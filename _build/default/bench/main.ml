@@ -1,0 +1,32 @@
+(* Bench entry point.
+
+   Usage:
+     dune exec bench/main.exe            -- all experiments + timings
+     dune exec bench/main.exe -- quick   -- reduced sweeps
+     dune exec bench/main.exe -- e2 e6   -- selected experiments
+     dune exec bench/main.exe -- timing  -- bechamel timings only *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "quick" args in
+  let selected = List.filter (fun a -> a <> "quick") args in
+  let want name = selected = [] || List.mem name selected in
+  Printf.printf
+    "colring bench — Content-Oblivious Leader Election on Rings\n\
+     (Frei, Gelles, Ghazy, Nolin; DISC 2024)\n\
+     mode: %s\n"
+    (if quick then "quick" else "full");
+  if want "e1" then (Experiments.e1 ~quick; Experiments.e1_dup ~quick);
+  if want "e2" then Experiments.e2 ~quick;
+  if want "e3" || want "e4" then Experiments.e3_e4 ~quick;
+  if want "e5" then Experiments.e5 ~quick;
+  if want "e6" then (Experiments.e6 ~quick; Experiments.e6b ~quick);
+  if want "e7" then Experiments.e7 ~quick;
+  if want "e8" then Experiments.e8 ~quick;
+  if want "e9" then Experiments.e9 ~quick;
+  if want "e10" then Experiments.e10 ~quick;
+  if want "e11" then Experiments.e11 ~quick;
+  if want "e12" then Experiments.e12 ~quick;
+  if want "e13" then Experiments.e13 ~quick;
+  if want "e14" then Experiments.e14 ~quick;
+  if want "timing" then Timing.run ()

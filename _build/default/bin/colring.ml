@@ -1,0 +1,572 @@
+(* colring — command-line driver for the content-oblivious leader
+   election reproduction.
+
+   Subcommands: elect, orient, anonymous, solitude, compose, baseline,
+   sweep, adversary, check, fast, graph.
+   Run `colring <cmd> --help` for details. *)
+
+open Cmdliner
+open Colring_engine
+open Colring_core
+module Rng = Colring_stats.Rng
+module Classic = Colring_classic
+module Compose = Colring_compose
+module LB = Colring_lowerbound
+module Harness = Colring_harness
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments *)
+
+let n_arg =
+  Arg.(value & opt int 8 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Ring size.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let id_max_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "id-max" ] ~docv:"MAX"
+        ~doc:"Largest assignable ID (default: 2n). IDs are distinct, MAX is used.")
+
+let sched_arg =
+  Arg.(
+    value
+    & opt string "random"
+    & info [ "scheduler" ] ~docv:"NAME"
+        ~doc:
+          "Delivery adversary: random, fifo, global-fifo, lifo, round-robin, \
+           bias-cw, bias-ccw.")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print the full event trace.")
+
+let diagram_arg =
+  Arg.(
+    value & flag
+    & info [ "diagram" ] ~doc:"Print an ASCII space-time diagram of the run.")
+
+let scheduler_of_name name ~seed =
+  match name with
+  | "random" -> Scheduler.random (Rng.create ~seed)
+  | "fifo" -> Scheduler.fifo
+  | "global-fifo" -> Scheduler.global_fifo
+  | "lifo" -> Scheduler.lifo
+  | "round-robin" -> Scheduler.round_robin ()
+  | "bias-cw" -> Scheduler.bias_direction ~cw:true
+  | "bias-ccw" -> Scheduler.bias_direction ~cw:false
+  | other -> failwith (Printf.sprintf "unknown scheduler %S" other)
+
+let make_ids ~n ~id_max ~seed =
+  let id_max = Option.value ~default:(2 * n) id_max in
+  Ids.distinct (Rng.create ~seed) ~n ~id_max
+
+let print_report (r : Election.report) =
+  Printf.printf "algorithm           %s\n" r.algorithm;
+  Printf.printf "ring size           %d\n" r.n;
+  Printf.printf "ID_max              %d\n" r.id_max;
+  Printf.printf "pulses sent         %d (paper: %d)  [cw %d / ccw %d]\n"
+    r.sends r.expected_sends r.sends_cw r.sends_ccw;
+  Printf.printf "leader              %s\n"
+    (match r.leader with
+    | Some v -> Printf.sprintf "node %d%s" v (if r.leader_is_max then " (max ID)" else "")
+    | None -> "NONE");
+  Printf.printf "quiescent           %b\n" r.quiescent;
+  Printf.printf "all terminated      %b\n" r.all_terminated;
+  Printf.printf "post-term pulses    %d\n" r.post_term_deliveries;
+  (match r.orientation_ok with
+  | Some ok -> Printf.printf "orientation         %s\n" (if ok then "consistent" else "INCONSISTENT")
+  | None -> ());
+  match r.termination_order_ok with
+  | Some ok -> Printf.printf "termination order   %s\n" (if ok then "leader-last, ccw" else "UNEXPECTED")
+  | None -> ()
+
+let print_outputs net =
+  Array.iteri
+    (fun v (o : Output.t) ->
+      Format.printf "  node %d: %a@." v Output.pp o)
+    (Network.outputs net)
+
+let maybe_trace net want =
+  if want then
+    match Network.trace net with
+    | Some tr -> Format.printf "%a@." Trace.pp tr
+    | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* elect *)
+
+let algo_conv =
+  let parse = function
+    | "algo1" -> Ok Election.Algo1
+    | "algo2" -> Ok Election.Algo2
+    | "algo3-doubled" -> Ok (Election.Algo3 Algo3.Doubled)
+    | "algo3-improved" -> Ok (Election.Algo3 Algo3.Improved)
+    | "resample" -> Ok Election.Algo3_resample
+    | s -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))
+  in
+  let print ppf a = Format.pp_print_string ppf (Election.algorithm_name a) in
+  Arg.conv (parse, print)
+
+let algo_arg =
+  Arg.(
+    value
+    & opt algo_conv Election.Algo2
+    & info [ "algo" ] ~docv:"ALGO"
+        ~doc:
+          "algo1 (stabilizing), algo2 (terminating), algo3-doubled, \
+           algo3-improved (non-oriented), resample (Prop. 19).")
+
+let elect n seed id_max sched_name algo trace diagram =
+  let ids = make_ids ~n ~id_max ~seed in
+  let topo =
+    match algo with
+    | Election.Algo1 | Election.Algo2 -> Topology.oriented n
+    | Election.Algo3 _ | Election.Algo3_resample ->
+        Topology.random_non_oriented (Rng.create ~seed:(seed + 1)) n
+  in
+  let sched = scheduler_of_name sched_name ~seed in
+  let report, net =
+    Election.run ~seed ~record_trace:(trace || diagram) algo ~topo ~ids ~sched
+  in
+  Printf.printf "ids: [%s]\n"
+    (String.concat "; " (Array.to_list (Array.map string_of_int ids)));
+  print_report report;
+  print_outputs net;
+  maybe_trace net trace;
+  if diagram then begin
+    match Network.trace net with
+    | Some tr ->
+        print_endline (Diagram.render tr ~n);
+        print_endline Diagram.legend
+    | None -> ()
+  end;
+  if Election.ok report then 0 else 1
+
+let elect_cmd =
+  Cmd.v
+    (Cmd.info "elect" ~doc:"Run a content-oblivious leader election.")
+    Term.(
+      const elect $ n_arg $ seed_arg $ id_max_arg $ sched_arg $ algo_arg
+      $ trace_arg $ diagram_arg)
+
+(* ------------------------------------------------------------------ *)
+(* orient *)
+
+let orient n seed id_max sched_name =
+  let ids = make_ids ~n ~id_max ~seed in
+  let topo = Topology.random_non_oriented (Rng.create ~seed:(seed + 1)) n in
+  let sched = scheduler_of_name sched_name ~seed in
+  Format.printf "%a@." Topology.pp topo;
+  let report, net =
+    Election.run (Election.Algo3 Algo3.Improved) ~topo ~ids ~sched
+  in
+  print_report report;
+  Array.iteri
+    (fun v (o : Output.t) ->
+      match o.cw_port with
+      | Some p ->
+          Printf.printf "  node %d claims its clockwise port is %s%s\n" v
+            (Port.to_string p)
+            (if Port.equal p (Topology.cw_send_port topo v) then
+               " (matches ground truth)"
+             else " (opposite of construction order — still globally consistent)")
+      | None -> Printf.printf "  node %d: no orientation\n" v)
+    (Network.outputs net);
+  if Election.ok report then 0 else 1
+
+let orient_cmd =
+  Cmd.v
+    (Cmd.info "orient"
+       ~doc:"Orient a non-oriented ring while electing a leader (Theorem 2).")
+    Term.(const orient $ n_arg $ seed_arg $ id_max_arg $ sched_arg)
+
+(* ------------------------------------------------------------------ *)
+(* anonymous *)
+
+let c_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "c" ] ~docv:"C" ~doc:"Algorithm 4 confidence parameter (c > 0).")
+
+let anonymous n seed c sched_name =
+  let rng = Rng.create ~seed in
+  let ids = Sampling.sample_ring rng ~c ~n in
+  Printf.printf "sampled ids: [%s]\n"
+    (String.concat "; " (Array.to_list (Array.map string_of_int ids)));
+  Printf.printf "unique max: %b\n" (Sampling.max_is_unique ids);
+  if Ids.id_max ids > 1_000_000 then begin
+    Printf.printf
+      "ID_max is %d — the run would need %d pulses; re-run with another seed\n"
+      (Ids.id_max ids)
+      (Formulas.algo3_improved_total ~n ~id_max:(Ids.id_max ids));
+    1
+  end
+  else begin
+    let topo = Topology.random_non_oriented rng n in
+    let sched = scheduler_of_name sched_name ~seed in
+    let report, net =
+      Election.run (Election.Algo3 Algo3.Improved) ~topo ~ids ~sched
+    in
+    print_report report;
+    print_outputs net;
+    if Election.ok report then 0 else 1
+  end
+
+let anonymous_cmd =
+  Cmd.v
+    (Cmd.info "anonymous"
+       ~doc:"Anonymous-ring election: Algorithm 4 sampling + Algorithm 3 (Theorem 3).")
+    Term.(const anonymous $ n_arg $ seed_arg $ c_arg $ sched_arg)
+
+(* ------------------------------------------------------------------ *)
+(* solitude *)
+
+let id_arg =
+  Arg.(value & opt int 8 & info [ "id" ] ~docv:"ID" ~doc:"Node ID.")
+
+let upto_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "upto" ] ~docv:"K" ~doc:"Print patterns for all IDs 1..K.")
+
+let solitude id upto =
+  let factory ~id = Algo2.program ~id in
+  (match upto with
+  | None ->
+      let p = LB.Solitude.extract factory ~id in
+      Printf.printf "solitude pattern of Algorithm 2, id %d (%d pulses):\n%s\n"
+        id (LB.Solitude.length p) p
+  | Some k ->
+      let tagged = LB.Solitude.extract_range factory ~lo:1 ~hi:k in
+      List.iter
+        (fun (i, p) -> Printf.printf "%4d  %s\n" i p)
+        tagged;
+      Printf.printf "all distinct (Lemma 22): %b\n"
+        (LB.Analysis.first_collision tagged = None));
+  0
+
+let solitude_cmd =
+  Cmd.v
+    (Cmd.info "solitude"
+       ~doc:"Extract solitude patterns (Definition 21) of Algorithm 2.")
+    Term.(const solitude $ id_arg $ upto_arg)
+
+(* ------------------------------------------------------------------ *)
+(* compose *)
+
+let app_arg =
+  Arg.(
+    value & opt string "discovery"
+    & info [ "app" ] ~docv:"APP"
+        ~doc:"discovery | gather | sum | chang-roberts | broadcast.")
+
+let compose n seed id_max sched_name app =
+  let ids = make_ids ~n ~id_max ~seed in
+  let sched = scheduler_of_name sched_name ~seed in
+  let mk_app v =
+    match app with
+    | "discovery" -> Compose.Corollary5.app_ring_discovery
+    | "gather" -> Compose.Corollary5.app_gather_ids ~my_id:ids.(v)
+    | "sum" -> Compose.Corollary5.app_sync_sum ~my_value:ids.(v)
+    | "chang-roberts" ->
+        Compose.Corollary5.app_sync_chang_roberts ~my_id:ids.(v)
+    | "broadcast" ->
+        Compose.Corollary5.app_broadcast ~payload:[ 72; 69; 76; 76; 79 ]
+    | other -> failwith (Printf.sprintf "unknown app %S" other)
+  in
+  let net =
+    Network.create ~seed (Topology.oriented n) (fun v ->
+        Compose.Corollary5.program ~id:ids.(v) ~app:(mk_app v))
+  in
+  let result = Network.run net sched in
+  let id_max = Ids.id_max ids in
+  let election = Formulas.algo2_total ~n ~id_max in
+  Printf.printf "ids: [%s]\n"
+    (String.concat "; " (Array.to_list (Array.map string_of_int ids)));
+  Printf.printf
+    "pulses: total %d = election %d (Theorem 1) + composition %d\n"
+    result.sends election (result.sends - election);
+  Printf.printf "quiescent %b, all terminated %b\n" result.quiescent
+    result.all_terminated;
+  print_outputs net;
+  if result.quiescent && result.all_terminated then 0 else 1
+
+let compose_cmd =
+  Cmd.v
+    (Cmd.info "compose"
+       ~doc:
+         "Corollary 5: elect with Algorithm 2, then run a computation over \
+          the fully-defective ring.")
+    Term.(const compose $ n_arg $ seed_arg $ id_max_arg $ sched_arg $ app_arg)
+
+(* ------------------------------------------------------------------ *)
+(* baseline *)
+
+let baseline_arg =
+  Arg.(
+    value & opt string "chang-roberts"
+    & info [ "algo" ] ~docv:"ALGO"
+        ~doc:
+          "chang-roberts | lelann | hirschberg-sinclair | peterson | \
+           franklin | itai-rodeh.")
+
+let baseline n seed sched_name algo =
+  let ids = Ids.dense (Rng.create ~seed) ~n in
+  let topo = Topology.oriented n in
+  let sched = scheduler_of_name sched_name ~seed in
+  let r =
+    match algo with
+    | "chang-roberts" ->
+        Classic.Driver.run ~seed ~name:algo ~expect_max:ids
+          (fun v -> Classic.Chang_roberts.program ~id:ids.(v))
+          ~topo ~sched
+    | "lelann" ->
+        Classic.Driver.run ~seed ~name:algo ~expect_max:ids
+          (fun v -> Classic.Lelann.program ~id:ids.(v))
+          ~topo ~sched
+    | "hirschberg-sinclair" ->
+        Classic.Driver.run ~seed ~name:algo ~expect_max:ids
+          (fun v -> Classic.Hirschberg_sinclair.program ~id:ids.(v))
+          ~topo ~sched
+    | "peterson" ->
+        Classic.Driver.run ~seed ~name:algo ~expect_max:ids
+          (fun v -> Classic.Peterson.program ~id:ids.(v))
+          ~topo ~sched
+    | "franklin" ->
+        Classic.Driver.run ~seed ~name:algo ~expect_max:ids
+          (fun v -> Classic.Franklin.program ~id:ids.(v))
+          ~topo ~sched
+    | "itai-rodeh" ->
+        Classic.Driver.run ~seed ~name:algo
+          (fun _ -> Classic.Itai_rodeh.program ~n ~range:8)
+          ~topo ~sched
+    | other -> failwith (Printf.sprintf "unknown baseline %S" other)
+  in
+  Printf.printf "%s on n=%d: %d messages, leader=%s, terminated=%b, drops=%d\n"
+    r.algorithm r.n r.messages
+    (match r.leader with Some v -> string_of_int v | None -> "NONE")
+    r.all_terminated r.post_term_drops;
+  if Classic.Driver.ok r then 0 else 1
+
+let baseline_cmd =
+  Cmd.v
+    (Cmd.info "baseline" ~doc:"Run a classic content-carrying baseline.")
+    Term.(const baseline $ n_arg $ seed_arg $ sched_arg $ baseline_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sweep *)
+
+let csv_arg =
+  Arg.(value & flag & info [ "csv" ] ~doc:"Emit raw per-run CSV instead of a summary.")
+
+let sweep seed sched_name algo csv =
+  let measurements =
+    Harness.Sweep.election ~algorithms:[ algo ]
+      ~workloads:
+        (match algo with
+        | Election.Algo1 | Election.Algo2 -> Harness.Workload.all_for_election
+        | Election.Algo3 _ | Election.Algo3_resample ->
+            [
+              Harness.Workload.dense_scrambled;
+              Harness.Workload.sparse_scrambled ~factor:8;
+            ])
+      ~ns:[ 2; 4; 8; 16; 32; 64; 128 ]
+      ~seeds:[ seed; seed + 1; seed + 2 ]
+      ~schedulers:[ (fun s -> scheduler_of_name sched_name ~seed:s) ]
+      ()
+  in
+  if csv then print_string (Harness.Sweep.to_csv measurements)
+  else
+    Format.printf "%a@." Harness.Sweep.pp_summary
+      (Harness.Sweep.summarize measurements);
+  if List.for_all (fun m -> m.Harness.Sweep.ok) measurements then 0 else 1
+
+let sweep_cmd =
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Sweep message counts over workloads and ring sizes (summary or CSV).")
+    Term.(const sweep $ seed_arg $ sched_arg $ algo_arg $ csv_arg)
+
+(* ------------------------------------------------------------------ *)
+(* adversary *)
+
+let k_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "k" ] ~docv:"K" ~doc:"Number of assignable IDs (1..K).")
+
+let adversary n k =
+  let r = LB.Adversary.replay ~k ~n (fun ~id -> Algo2.program ~id) in
+  Printf.printf
+    "Theorem 20 adversary against Algorithm 2, k=%d assignable IDs, n=%d:\n"
+    r.k r.n;
+  Printf.printf "  chosen ids            [%s]\n"
+    (String.concat "; " (Array.to_list (Array.map string_of_int r.ids)));
+  Printf.printf "  shared solitude prefix %d  (Corollary 24 floor: %d)\n"
+    r.shared_prefix r.formula_prefix;
+  Printf.printf "  forced pulses          >= n*s = %d\n" r.bound;
+  Printf.printf "  run actually sent      %d\n" r.sends;
+  Printf.printf "  per-node solitude agreement: [%s]\n"
+    (String.concat "; "
+       (Array.to_list (Array.map string_of_int r.per_node_agreement)));
+  Printf.printf "  every node mimicked its solitude run for >= s steps: %b\n"
+    r.mimicry;
+  if r.mimicry then 0 else 1
+
+let adversary_cmd =
+  Cmd.v
+    (Cmd.info "adversary"
+       ~doc:"Replay the Theorem 20 lower-bound adversary against Algorithm 2.")
+    Term.(const adversary $ n_arg $ k_arg)
+
+(* ------------------------------------------------------------------ *)
+(* check: exhaustive exploration *)
+
+let check n seed id_max =
+  let ids = make_ids ~n ~id_max ~seed in
+  if n > 6 then
+    Printf.printf
+      "warning: exhaustive exploration is exponential-ish; n > 6 may take a while\n";
+  Printf.printf
+    "exhaustively exploring every delivery schedule of Algorithm 2 on ids [%s]\n"
+    (String.concat "; " (Array.to_list (Array.map string_of_int ids)));
+  let id_max = Ids.id_max ids in
+  let stats =
+    Explore.exhaustive ~max_states:5_000_000
+      ~make:(fun () ->
+        Network.create (Topology.oriented n) (fun v ->
+            Algo2.program ~id:ids.(v)))
+      ~check:(fun net ->
+        Network.is_quiescent net && Network.all_terminated net
+        && Metrics.sends (Network.metrics net)
+           = Formulas.algo2_total ~n ~id_max
+        && Metrics.post_termination_deliveries (Network.metrics net) = 0)
+      ()
+  in
+  Printf.printf "distinct states  %d\n" stats.Explore.distinct_states;
+  Printf.printf "terminal states  %d\n" stats.Explore.terminal_states;
+  Printf.printf "max depth        %d\n" stats.Explore.max_depth;
+  Printf.printf "failures         %d\n" stats.Explore.failures;
+  Printf.printf "complete         %b\n" (not stats.Explore.truncated);
+  if stats.Explore.failures = 0 && not stats.Explore.truncated then 0 else 1
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Model-check Algorithm 2: explore every delivery schedule of a \
+          small instance and verify Theorem 1 at each terminal state.")
+    Term.(const check $ n_arg $ seed_arg $ id_max_arg)
+
+(* ------------------------------------------------------------------ *)
+(* fast: the analytical simulator at scale *)
+
+let fast n seed id_max =
+  let id_max = Option.value ~default:(1_000_000 * n) id_max in
+  let ids = Ids.distinct (Rng.create ~seed) ~n ~id_max in
+  let rng = Rng.create ~seed:(seed + 1) in
+  let flips = Array.init n (fun _ -> Rng.bool rng) in
+  Printf.printf "analytical simulation, n=%d, ID_max=%d\n" n id_max;
+  let a1 = Colring_fastsim.Fast.algo1 ~ids in
+  Printf.printf "algo1: %d pulses (formula %d), last absorber is max: %b\n"
+    a1.total
+    (Formulas.algo1_total ~n ~id_max)
+    a1.last_absorber_is_max;
+  let a2 = Colring_fastsim.Fast.algo2 ~ids in
+  Printf.printf "algo2: %d pulses (formula %d), leader node %d\n" a2.total
+    (Formulas.algo2_total ~n ~id_max)
+    a2.leader;
+  let a3 = Colring_fastsim.Fast.algo3 ~scheme:Algo3.Improved ~ids ~flips in
+  Printf.printf
+    "algo3 (improved, random flips): %d pulses (formula %d), oriented: %b\n"
+    a3.total
+    (Formulas.algo3_improved_total ~n ~id_max)
+    a3.orientation_consistent;
+  if
+    a1.total = Formulas.algo1_total ~n ~id_max
+    && a2.total = Formulas.algo2_total ~n ~id_max
+    && a3.total = Formulas.algo3_improved_total ~n ~id_max
+  then 0
+  else 1
+
+let fast_cmd =
+  Cmd.v
+    (Cmd.info "fast"
+       ~doc:
+         "Exact analytical simulation at scales (huge ID_max) the event \
+          engine cannot reach.")
+    Term.(const fast $ n_arg $ seed_arg $ id_max_arg)
+
+(* ------------------------------------------------------------------ *)
+(* graph: the general-graph exploration *)
+
+let graph_arg =
+  Arg.(
+    value & opt string "theta"
+    & info [ "shape" ] ~docv:"SHAPE"
+        ~doc:"theta | k4 | k6 | ring | chords (cycle with 2 chords).")
+
+let graph n seed shape =
+  let module G = Colring_graph.Gtopology in
+  let module GN = Colring_graph.Gnetwork in
+  let g =
+    match shape with
+    | "theta" -> G.theta 1 2 3
+    | "k4" -> G.complete 4
+    | "k6" -> G.complete 6
+    | "ring" -> G.ring (max 2 n)
+    | "chords" -> G.cycle_with_chords (Rng.create ~seed:(seed + 9)) ~n:(max 4 n) ~chords:2
+    | other -> failwith (Printf.sprintf "unknown shape %S" other)
+  in
+  Format.printf "%a@." G.pp g;
+  let n = G.n g in
+  let ids = Ids.distinct (Rng.create ~seed) ~n ~id_max:(3 * n) in
+  let net =
+    GN.create g (fun v -> Colring_graph.Circulate.rotor ~id:ids.(v))
+  in
+  let r =
+    GN.run ~max_deliveries:500_000 net (Scheduler.random (Rng.create ~seed:(seed + 50)))
+  in
+  Printf.printf
+    "rotor circulation (exploratory): pulses=%d quiescent=%b exhausted=%b\n"
+    r.GN.sends r.GN.quiescent r.GN.exhausted;
+  Array.iteri
+    (fun v (o : Output.t) ->
+      Printf.printf "  node %d (id %2d): %s\n" v ids.(v)
+        (Output.role_to_string o.role))
+    (GN.outputs net);
+  0
+
+let graph_cmd =
+  Cmd.v
+    (Cmd.info "graph"
+       ~doc:
+         "Explore pulse circulation on general 2-edge-connected graphs (the \
+          paper's open question; no correctness claim).")
+    Term.(const graph $ n_arg $ seed_arg $ graph_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  let doc =
+    "Content-oblivious leader election on rings (Frei, Gelles, Ghazy, Nolin; \
+     DISC 2024) — simulator and experiments."
+  in
+  Cmd.group (Cmd.info "colring" ~version:"1.0.0" ~doc)
+    [
+      elect_cmd;
+      orient_cmd;
+      anonymous_cmd;
+      solitude_cmd;
+      compose_cmd;
+      baseline_cmd;
+      sweep_cmd;
+      adversary_cmd;
+      check_cmd;
+      fast_cmd;
+      graph_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/adversarial_schedulers.ml: Array Colring_core Colring_engine Colring_stats Election List Network Printf Scheduler String Topology

@@ -1,0 +1,1 @@
+examples/anonymous_ring.ml: Algo3 Array Colring_core Colring_engine Colring_stats Election Ids Printf Sampling Scheduler String Topology

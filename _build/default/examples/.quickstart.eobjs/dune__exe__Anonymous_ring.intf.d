@@ -1,0 +1,1 @@
+examples/anonymous_ring.mli:

@@ -1,0 +1,1 @@
+examples/defective_computation.ml: Array Char Colring_compose Colring_core Colring_engine Colring_stats Formulas Ids List Network Option Output Printf Scheduler String Topology

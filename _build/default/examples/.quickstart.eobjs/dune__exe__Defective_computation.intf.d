@@ -1,0 +1,1 @@
+examples/defective_computation.mli:

@@ -1,0 +1,1 @@
+examples/lower_bound_tour.ml: Algo2 Array Colring_core Colring_lowerbound Formulas List Printf String

@@ -1,0 +1,1 @@
+examples/lower_bound_tour.mli:

@@ -1,0 +1,1 @@
+examples/model_checking.ml: Ablation Algo2 Array Colring_core Colring_engine Explore Formulas Ids Metrics Network Printf String Topology

@@ -1,0 +1,1 @@
+examples/open_question.ml: Algo3 Array Circulate Colring_core Colring_engine Colring_graph Colring_stats Formulas Gnetwork Gtopology Ids List Output Printf Scheduler String

@@ -1,0 +1,1 @@
+examples/open_question.mli:

@@ -1,0 +1,1 @@
+examples/oriented_vs_nonoriented.ml: Algo3 Array Colring_core Colring_engine Colring_stats Election Network Output Port Printf Scheduler Topology

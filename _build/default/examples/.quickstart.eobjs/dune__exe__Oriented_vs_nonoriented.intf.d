@@ -1,0 +1,1 @@
+examples/oriented_vs_nonoriented.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Colring_core Colring_engine Colring_stats Election List Network Output Printf Scheduler String Topology

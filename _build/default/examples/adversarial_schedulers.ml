@@ -1,0 +1,46 @@
+(* The asynchronous adversary cannot change anything that matters:
+   Algorithm 2's total pulse count, the elected leader, and even the
+   termination order are identical under every delivery schedule.
+
+   Run with:  dune exec examples/adversarial_schedulers.exe *)
+
+open Colring_engine
+open Colring_core
+module Rng = Colring_stats.Rng
+
+let () =
+  let ids = [| 6; 2; 11; 5; 8; 3; 9; 4 |] in
+  let n = Array.length ids in
+  let topo = Topology.oriented n in
+  let schedulers =
+    Scheduler.all_deterministic ()
+    @ [
+        Scheduler.random (Rng.create ~seed:1);
+        Scheduler.random (Rng.create ~seed:2);
+        Scheduler.random (Rng.create ~seed:3);
+      ]
+  in
+  Printf.printf "Algorithm 2 on ids [%s] under %d adversaries:\n\n"
+    (String.concat "; " (Array.to_list (Array.map string_of_int ids)))
+    (List.length schedulers);
+  Printf.printf "%-20s %8s %8s %8s  %s\n" "scheduler" "pulses" "cw" "ccw"
+    "termination order";
+  let counts = ref [] in
+  List.iter
+    (fun sched ->
+      let r, net = Election.run Election.Algo2 ~topo ~ids ~sched in
+      Printf.printf "%-20s %8d %8d %8d  [%s]\n" sched.Scheduler.name r.sends
+        r.sends_cw r.sends_ccw
+        (String.concat ";"
+           (List.map string_of_int (Network.termination_order net)));
+      counts := r.sends :: !counts;
+      assert (Election.ok r))
+    schedulers;
+  let all_equal = List.for_all (fun c -> c = List.hd !counts) !counts in
+  Printf.printf
+    "\nall adversaries produce the same count (%d = n(2*ID_max+1)): %b\n"
+    (List.hd !counts) all_equal;
+  Printf.printf
+    "deliveries differ wildly between schedules — only the *order* of\n\
+     arrivals per channel is information, and the algorithm extracts the\n\
+     same facts from every legal order.\n"

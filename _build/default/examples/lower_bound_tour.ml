@@ -1,0 +1,56 @@
+(* A walk through the Theorem 20 lower bound, executed for real.
+
+   Run with:  dune exec examples/lower_bound_tour.exe
+
+   1. Solitude patterns (Definition 21): what a node observes when it
+      runs alone, as a binary string.
+   2. Lemma 22: distinct IDs have distinct patterns.
+   3. Corollary 24: among k patterns, n share a long prefix.
+   4. The adversary: assign those n IDs to a ring, schedule in global
+      send order — every node mimics its solitude run for the shared
+      prefix, forcing n*s pulses. *)
+
+open Colring_core
+module LB = Colring_lowerbound
+
+let algo2 ~id = Algo2.program ~id
+
+let () =
+  Printf.printf "1. Solitude patterns of Algorithm 2 (0 = clockwise pulse):\n";
+  List.iter
+    (fun id ->
+      Printf.printf "   id %2d: %s\n" id (LB.Solitude.extract algo2 ~id))
+    [ 1; 2; 3; 4; 5 ];
+  Printf.printf
+    "   (id i gives 0^i 1^(i+1): 2i+1 pulses, the Theorem 1 count at n=1)\n\n";
+
+  let k = 64 in
+  let tagged = LB.Solitude.extract_range algo2 ~lo:1 ~hi:k in
+  Printf.printf "2. Lemma 22 on ids 1..%d: all patterns distinct: %b\n\n" k
+    (LB.Analysis.first_collision tagged = None);
+
+  let n = 4 in
+  let ids, s = LB.Analysis.best_group tagged ~group:n in
+  Printf.printf
+    "3. Corollary 24: among %d patterns, %d share a prefix of length %d\n"
+    k n s;
+  Printf.printf "   (the floor the corollary promises: %d);  ids: [%s]\n\n"
+    (Formulas.lower_bound ~n ~k / n)
+    (String.concat "; " (List.map string_of_int ids));
+
+  let r = LB.Adversary.replay ~k ~n algo2 in
+  Printf.printf "4. The adversary assigns [%s] to a %d-ring and delivers in\n"
+    (String.concat "; " (Array.to_list (Array.map string_of_int r.ids)))
+    n;
+  Printf.printf "   global send order.  Per-node agreement with the solitude\n";
+  Printf.printf "   pattern: [%s]  (each >= s = %d: %b)\n"
+    (String.concat "; "
+       (Array.to_list (Array.map string_of_int r.per_node_agreement)))
+    r.shared_prefix r.mimicry;
+  Printf.printf
+    "   So at least n*s = %d pulses were unavoidable; the run sent %d.\n"
+    r.bound r.sends;
+  Printf.printf
+    "\nSince IDs can be arbitrarily large, so is the forced cost — the\n\
+     ID_max term in Theorem 1 is inherent, not an artifact.\n";
+  assert r.mimicry

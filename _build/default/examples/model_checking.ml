@@ -1,0 +1,64 @@
+(* Exhaustive verification of Algorithm 2 on a small ring: EVERY legal
+   asynchronous schedule is explored, not a sample.
+
+   Run with:  dune exec examples/model_checking.exe *)
+
+open Colring_engine
+open Colring_core
+
+let () =
+  let ids = [| 2; 4; 1; 3 |] in
+  let n = Array.length ids in
+  Printf.printf
+    "Exploring every delivery schedule of Algorithm 2 on ids [%s]...\n\n"
+    (String.concat "; " (Array.to_list (Array.map string_of_int ids)));
+  let failures_detail = ref [] in
+  let stats =
+    Explore.exhaustive
+      ~make:(fun () ->
+        Network.create (Topology.oriented n) (fun v ->
+            Algo2.program ~id:ids.(v)))
+      ~check:(fun net ->
+        let ok =
+          Network.is_quiescent net && Network.all_terminated net
+          && Metrics.sends (Network.metrics net)
+             = Formulas.algo2_total ~n ~id_max:(Ids.id_max ids)
+        in
+        if not ok then failures_detail := "bad terminal" :: !failures_detail;
+        ok)
+      ()
+  in
+  Printf.printf "distinct global states reached : %d\n"
+    stats.Explore.distinct_states;
+  Printf.printf "terminal (quiescent) states    : %d\n"
+    stats.Explore.terminal_states;
+  Printf.printf "longest schedule               : %d deliveries\n"
+    stats.Explore.max_depth;
+  Printf.printf "property failures              : %d\n" stats.Explore.failures;
+  Printf.printf "search complete (not truncated): %b\n\n"
+    (not stats.Explore.truncated);
+  Printf.printf
+    "One terminal state means that although the adversary controls every\n\
+     delivery, all roads lead to the same final configuration: the max-ID\n\
+     node as Leader and exactly n(2*ID_max+1) = %d pulses spent.\n"
+    (Formulas.algo2_total ~n ~id_max:(Ids.id_max ids));
+  assert (stats.Explore.failures = 0 && not stats.Explore.truncated);
+
+  (* Contrast: the same exploration applied to the broken no-lag
+     variant finds a bad schedule. *)
+  let bad =
+    Explore.exhaustive
+      ~make:(fun () ->
+        Network.create (Topology.oriented 3) (fun v ->
+            Ablation.algo2_no_lag ~id:[| 3; 1; 2 |].(v)))
+      ~check:(fun net ->
+        Network.is_quiescent net
+        && Metrics.post_termination_deliveries (Network.metrics net) = 0)
+      ()
+  in
+  Printf.printf
+    "\nThe no-lag ablation on ids [3;1;2], same exhaustive search:\n\
+     %d terminal states, %d of them bad — the explorer finds the schedule\n\
+     that the paper's lag mechanism exists to rule out.\n"
+    bad.Explore.terminal_states bad.Explore.failures;
+  assert (bad.Explore.failures > 0)

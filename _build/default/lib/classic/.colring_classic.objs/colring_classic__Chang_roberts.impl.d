@@ -1,0 +1,1 @@
+lib/classic/chang_roberts.ml: Colring_engine Network Output Port

@@ -1,0 +1,1 @@
+lib/classic/chang_roberts.mli: Colring_engine

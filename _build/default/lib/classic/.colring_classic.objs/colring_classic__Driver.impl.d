@@ -1,0 +1,1 @@
+lib/classic/driver.ml: Array Colring_engine Metrics Network Output Topology

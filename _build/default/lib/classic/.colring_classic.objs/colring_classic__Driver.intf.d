@@ -1,0 +1,1 @@
+lib/classic/driver.mli: Colring_engine

@@ -1,0 +1,1 @@
+lib/classic/franklin.ml: Colring_engine Network Output Port Queue

@@ -1,0 +1,1 @@
+lib/classic/franklin.mli: Colring_engine

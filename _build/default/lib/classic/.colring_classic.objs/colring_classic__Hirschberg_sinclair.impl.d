@@ -1,0 +1,1 @@
+lib/classic/hirschberg_sinclair.ml: Colring_engine Network Output Port

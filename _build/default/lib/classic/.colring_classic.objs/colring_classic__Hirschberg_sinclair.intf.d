@@ -1,0 +1,1 @@
+lib/classic/hirschberg_sinclair.mli: Colring_engine

@@ -1,0 +1,1 @@
+lib/classic/itai_rodeh.ml: Colring_engine Colring_stats Network Output Port

@@ -1,0 +1,1 @@
+lib/classic/itai_rodeh.mli: Colring_engine

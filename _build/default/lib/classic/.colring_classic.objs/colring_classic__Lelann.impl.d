@@ -1,0 +1,1 @@
+lib/classic/lelann.ml: Colring_engine Network Output Port

@@ -1,0 +1,1 @@
+lib/classic/lelann.mli: Colring_engine

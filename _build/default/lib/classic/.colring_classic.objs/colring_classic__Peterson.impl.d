@@ -1,0 +1,1 @@
+lib/classic/peterson.ml: Colring_engine Network Output Port

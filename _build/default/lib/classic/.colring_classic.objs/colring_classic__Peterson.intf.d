@@ -1,0 +1,1 @@
+lib/classic/peterson.mli: Colring_engine

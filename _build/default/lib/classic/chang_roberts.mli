@@ -1,0 +1,19 @@
+(** The Chang-Roberts extrema-finding algorithm [10] — unidirectional,
+    content-carrying, O(n²) messages worst case and O(n log n) on
+    average over ID placements.
+
+    Every node launches its ID clockwise; a node forwards IDs larger
+    than its own, swallows smaller ones, and recognises itself as the
+    leader when its own ID returns.  The leader then circulates an
+    announcement so every node decides and terminates; with FIFO
+    channels nothing is in flight behind the announcement, so the
+    composed run is quiescent. *)
+
+type msg = Candidate of int | Announce of int
+
+val program : id:int -> msg Colring_engine.Network.program
+(** Run on an oriented ring with unique positive IDs. *)
+
+val worst_case_messages : n:int -> int
+(** [n(n+1)/2 + n] candidate hops for the adversarial (decreasing
+    clockwise) placement, plus [n] announcement hops. *)

@@ -1,0 +1,63 @@
+open Colring_engine
+
+type report = {
+  algorithm : string;
+  n : int;
+  messages : int;
+  deliveries : int;
+  leader : int option;
+  leader_is_max : bool;
+  roles_ok : bool;
+  all_terminated : bool;
+  quiescent : bool;
+  post_term_drops : int;
+  exhausted : bool;
+  causal_span : int;
+}
+
+let unique_leader outputs =
+  let leaders = ref [] in
+  Array.iteri
+    (fun v (o : Output.t) ->
+      if Output.equal_role o.role Output.Leader then leaders := v :: !leaders)
+    outputs;
+  match !leaders with [ v ] -> Some v | [] | _ :: _ -> None
+
+let run ?(seed = 0) ?max_deliveries ~name ?expect_max make_program ~topo ~sched =
+  let net = Network.create ~seed topo make_program in
+  let result = Network.run ?max_deliveries net sched in
+  let outputs = Network.outputs net in
+  let leader = unique_leader outputs in
+  let leader_is_max =
+    match (leader, expect_max) with
+    | Some v, Some ids ->
+        Array.for_all (fun id -> id <= ids.(v)) ids
+    | Some _, None -> true
+    | None, _ -> false
+  in
+  let roles_ok =
+    leader <> None
+    && Array.for_all
+         (fun (o : Output.t) ->
+           Output.equal_role o.role Output.Leader
+           || Output.equal_role o.role Output.Non_leader)
+         outputs
+  in
+  {
+    algorithm = name;
+    n = Topology.n topo;
+    messages = result.sends;
+    deliveries = result.deliveries;
+    leader;
+    leader_is_max;
+    roles_ok;
+    all_terminated = result.all_terminated;
+    quiescent = result.quiescent;
+    post_term_drops = Metrics.post_termination_deliveries (Network.metrics net);
+    exhausted = result.exhausted;
+    causal_span = Network.causal_span net;
+  }
+
+let ok r =
+  r.leader <> None && r.leader_is_max && r.roles_ok && r.all_terminated
+  && r.quiescent && not r.exhausted

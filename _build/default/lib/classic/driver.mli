@@ -1,0 +1,48 @@
+(** Shared runner for the classic (content-carrying) baselines.
+
+    The baselines run in the same simulator as the content-oblivious
+    algorithms but with real message payloads; the point of the E7
+    bench is the message-count landscape the paper's related-work
+    section describes (O(n log n) / O(n²) versus Θ(n·ID_max)).
+
+    Unlike Algorithm 2, the classic algorithms are not quiescently
+    terminating in general: stray messages may still be in flight when
+    a node terminates (Section 1.1's composability discussion).  The
+    engine drops such messages and the report exposes the count, which
+    is itself an interesting measured quantity. *)
+
+type report = {
+  algorithm : string;
+  n : int;
+  messages : int;
+  deliveries : int;
+  leader : int option;
+  leader_is_max : bool;
+      (** Leader is the max-ID node; vacuously true for the anonymous
+          Itai-Rodeh baseline when a unique leader exists. *)
+  roles_ok : bool;  (** Exactly one Leader, everyone else Non-Leader. *)
+  all_terminated : bool;
+  quiescent : bool;
+  post_term_drops : int;
+  exhausted : bool;
+  causal_span : int;  (** Asynchronous time (longest delivery chain). *)
+}
+
+val ok : report -> bool
+(** Unique correct leader, everyone decided and terminated, nothing
+    left in flight, not exhausted.  (Post-termination drops are
+    allowed; they are a reported property, not a failure.) *)
+
+val run :
+  ?seed:int ->
+  ?max_deliveries:int ->
+  name:string ->
+  ?expect_max:int array ->
+  (int -> 'm Colring_engine.Network.program) ->
+  topo:Colring_engine.Topology.t ->
+  sched:Colring_engine.Scheduler.t ->
+  report
+(** [run ~name ?expect_max make_program ~topo ~sched] creates and runs
+    the network.  [expect_max] gives the input IDs so the report can
+    check the winner is the max-ID node; omit it for anonymous
+    algorithms. *)

@@ -1,0 +1,18 @@
+(** Franklin's bidirectional election — O(n log n) messages.
+
+    Every active node sends its ID in both directions each round and
+    compares it with the first ID arriving from each side (relays
+    in-between forward everything).  A node beaten by either neighbour
+    value turns relay; at most half the actives survive a round, and
+    the sole survivor recognises its own ID returning from both sides.
+    A clockwise announcement then finishes the run.
+
+    Round messages pipeline through FIFO channels, so per-direction
+    arrival order suffices to pair values with rounds; a node that
+    turns relay first drains the values it had buffered for future
+    rounds, forwarding them onward. *)
+
+type msg = Value of int | Announce of int
+
+val program : id:int -> msg Colring_engine.Network.program
+(** Run on an oriented ring with unique positive IDs. *)

@@ -1,0 +1,26 @@
+(** Hirschberg-Sinclair [25] — bidirectional, content-carrying,
+    O(n log n) messages.
+
+    A candidate in phase [k] probes [2^k] hops in both directions;
+    nodes forward probes carrying IDs larger than their own, bounce a
+    reply when the hop budget is spent, and swallow smaller probes.  A
+    candidate that collects both replies starts the next phase; a probe
+    that returns to its originator means the originator's ID beat the
+    whole ring, so it announces itself.
+
+    Unlike the paper's Algorithm 2, termination is not quiescent:
+    replies belonging to already-defeated candidates can still be in
+    flight when the announcement sweeps the ring, so a few messages may
+    arrive at terminated nodes (the engine drops and counts them) —
+    exactly the composability failure Section 1.1 discusses. *)
+
+type msg =
+  | Probe of { id : int; phase : int; hops : int }
+  | Reply of { id : int; phase : int }
+  | Announce of int
+
+val program : id:int -> msg Colring_engine.Network.program
+(** Run on an oriented ring with unique positive IDs. *)
+
+val message_bound : n:int -> int
+(** The classic [8 n (ceil (log2 n) + 1) + 2n] upper bound. *)

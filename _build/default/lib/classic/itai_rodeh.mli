@@ -1,0 +1,26 @@
+(** Itai-Rodeh randomized leader election on anonymous rings [26] —
+    unidirectional, requires that nodes know [n], succeeds with
+    probability 1 and terminates with expected O(n log n) messages.
+
+    Active nodes draw random values each round and circulate them with
+    a hop counter (possible only because [n] is known — the counter
+    reaching [n] identifies a message's originator) and a uniqueness
+    bit that is cleared when an equal value is met.  Smaller values are
+    purged, larger ones turn the receiver passive; a message returning
+    with the bit set elects its originator.
+
+    This baseline contrasts with the paper's Theorem 3: there the ring
+    is anonymous *and* [n] is unknown, which provably rules out
+    terminating election — the content-oblivious algorithm only reaches
+    quiescence, while Itai-Rodeh buys termination with knowledge
+    of [n]. *)
+
+type msg =
+  | Token of { round : int; value : int; hops : int; unique : bool }
+  | Announce of { hops : int }
+
+val program :
+  n:int -> range:int -> msg Colring_engine.Network.program
+(** [program ~n ~range] — every node runs the same code (no IDs);
+    random values are drawn from [\[1, range\]] using the node's private
+    engine RNG stream.  [range >= 2]. *)

@@ -1,0 +1,16 @@
+(** Le Lann's leader election [28] — unidirectional, content-carrying,
+    exactly [n²] messages.
+
+    Every node circulates its ID around the whole ring and forwards
+    everyone else's; when its own ID returns it has (by FIFO order)
+    already seen all [n] IDs, so it decides by comparing the maximum
+    with its own and terminates — quiescently, with no announcement
+    round needed. *)
+
+type msg = Id of int
+
+val program : id:int -> msg Colring_engine.Network.program
+(** Run on an oriented ring with unique positive IDs. *)
+
+val messages : n:int -> int
+(** Always exactly [n * n]. *)

@@ -1,0 +1,20 @@
+(** Peterson's unidirectional algorithm [29] — O(n log n) messages on
+    every input.
+
+    Active nodes hold temporary values (initially their IDs).  In each
+    phase an active node sends its value, relays the first value it
+    receives, and survives iff that first value beats both its own and
+    the second received value; the maximal ID always survives, carried
+    by some node.  When a sole active node receives its own value back
+    it announces that value; the node whose *original* ID equals the
+    announced value outputs Leader, so the algorithm elects the max-ID
+    node like the other baselines.
+
+    Termination is via the announcement sweep and is not quiescent in
+    general (stray phase messages may be dropped at terminated
+    nodes). *)
+
+type msg = Value of int | Announce of int
+
+val program : id:int -> msg Colring_engine.Network.program
+(** Run on an oriented ring with unique positive IDs. *)

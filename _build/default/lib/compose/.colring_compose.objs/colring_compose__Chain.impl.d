@@ -1,0 +1,1 @@
+lib/compose/chain.ml: Colring_engine List Network Output

@@ -1,0 +1,1 @@
+lib/compose/chain.mli: Colring_engine

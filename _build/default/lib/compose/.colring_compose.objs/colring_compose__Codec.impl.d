@@ -1,0 +1,1 @@
+lib/compose/codec.ml: List

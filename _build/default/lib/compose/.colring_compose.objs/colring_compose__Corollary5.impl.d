@@ -1,0 +1,1 @@
+lib/compose/corollary5.ml: Array Blocking Chain Char Colring_core Colring_engine List Machines Metrics Network Output String Sync Tape Topology

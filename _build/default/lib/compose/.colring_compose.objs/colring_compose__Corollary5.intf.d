@@ -1,0 +1,1 @@
+lib/compose/corollary5.mli: Colring_engine Tape

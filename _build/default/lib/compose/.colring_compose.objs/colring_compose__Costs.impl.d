@@ -1,0 +1,1 @@
+lib/compose/costs.ml: Array Codec Colring_core

@@ -1,0 +1,1 @@
+lib/compose/costs.mli:

@@ -1,0 +1,1 @@
+lib/compose/machines.ml: Fun List Sync

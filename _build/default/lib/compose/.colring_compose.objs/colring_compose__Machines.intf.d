@@ -1,0 +1,1 @@
+lib/compose/machines.mli: Sync

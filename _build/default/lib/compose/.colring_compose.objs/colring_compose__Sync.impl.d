@@ -1,0 +1,1 @@
+lib/compose/sync.ml: Array Tape

@@ -1,0 +1,1 @@
+lib/compose/tape.ml: Array Blocking Buffer Char Codec Colring_engine List Network Port String

@@ -1,0 +1,1 @@
+lib/compose/tape.mli: Colring_engine

@@ -1,0 +1,42 @@
+let floor_log2 n =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) (v lsr 1) in
+  go 0 n
+
+let gamma n =
+  if n < 1 then invalid_arg "Codec.gamma: n must be >= 1";
+  let z = floor_log2 n in
+  let prefix = List.init z (fun _ -> false) in
+  let body = List.init (z + 1) (fun i -> (n lsr (z - i)) land 1 = 1) in
+  prefix @ body
+
+let gamma_length n =
+  if n < 1 then invalid_arg "Codec.gamma_length: n must be >= 1";
+  (2 * floor_log2 n) + 1
+
+let encode_value v =
+  if v < 0 then invalid_arg "Codec.encode_value: v must be >= 0";
+  gamma (v + 1)
+
+let encoded_length v = gamma_length (v + 1)
+
+let decode ~next =
+  let rec zeros z = if next () then z else zeros (z + 1) in
+  let z = zeros 0 in
+  let rec bits acc k =
+    if k = 0 then acc else bits ((acc lsl 1) lor (if next () then 1 else 0)) (k - 1)
+  in
+  bits 1 z
+
+let decode_value ~next = decode ~next - 1
+
+let decode_list symbols =
+  let rest = ref symbols in
+  let next () =
+    match !rest with
+    | [] -> failwith "Codec.decode_list: truncated input"
+    | b :: tl ->
+        rest := tl;
+        b
+  in
+  let v = decode ~next in
+  (v, !rest)

@@ -1,0 +1,33 @@
+(** Elias-gamma coding over the tape's binary symbol alphabet.
+
+    The shared tape (see {!Tape}) carries one bit per full-circle pulse:
+    a clockwise circle is a [0], a counterclockwise circle is a [1].
+    Values are framed with Elias gamma, which is self-delimiting, so a
+    reader always knows where a value ends without any out-of-band
+    marker.  [gamma N] for [N >= 2] starts with a [0] — the property
+    {!Tape.establish} exploits to mark the end of the enumeration
+    announcements (which are all [1]s). *)
+
+val gamma : int -> bool list
+(** [gamma n] for [n >= 1]: [floor (log2 n)] zeros, then the binary
+    digits of [n] (most significant — always [1] — first). *)
+
+val gamma_length : int -> int
+(** [List.length (gamma n)], i.e. [2 * floor (log2 n) + 1]. *)
+
+val encode_value : int -> bool list
+(** [gamma (v + 1)] — encodes any [v >= 0]. *)
+
+val encoded_length : int -> int
+
+val decode :
+  next:(unit -> bool) -> int
+(** Pull-based gamma decoder: reads symbols with [next] until one full
+    codeword is consumed and returns the decoded [N >= 1]. *)
+
+val decode_value : next:(unit -> bool) -> int
+(** [decode - 1]. *)
+
+val decode_list : bool list -> int * bool list
+(** Decode one codeword from the front of a list, returning the value
+    and the rest; [Failure] on truncated input. *)

@@ -1,0 +1,208 @@
+open Colring_engine
+module Algo2 = Colring_core.Algo2
+module Ids = Colring_core.Ids
+module Formulas = Colring_core.Formulas
+
+type app = Tape.session -> unit
+
+(* The session is created inside the blocking body; stash it so the
+   runner can read the cost counters afterwards. *)
+let program_with_cell ~id ~app =
+  let cell = ref None in
+  let prog =
+    Chain.chain (Algo2.program ~id) (fun (out : Output.t) ->
+        Blocking.make (fun api ->
+            let s =
+              Tape.establish api
+                ~is_root:(Output.equal_role out.role Output.Leader)
+            in
+            cell := Some s;
+            app s))
+  in
+  (prog, cell)
+
+let program ~id ~app = fst (program_with_cell ~id ~app)
+
+type report = {
+  n : int;
+  id_max : int;
+  total_pulses : int;
+  election_pulses : int;
+  compose_pulses : int;
+  tape_symbols : int;
+  batons : int;
+  quiescent : bool;
+  all_terminated : bool;
+  post_term_deliveries : int;
+  exhausted : bool;
+  outputs : Output.t array;
+  leader : int option;
+}
+
+let leader_of outputs =
+  let leaders = ref [] in
+  Array.iteri
+    (fun v (o : Output.t) ->
+      if Output.equal_role o.role Output.Leader then leaders := v :: !leaders)
+    outputs;
+  match !leaders with [ v ] -> Some v | [] | _ :: _ -> None
+
+let run ?(seed = 0) ?max_deliveries ~app ~ids sched =
+  let n = Array.length ids in
+  let topo = Topology.oriented n in
+  let cells = Array.make n (ref None) in
+  let net =
+    Network.create ~seed topo (fun v ->
+        let prog, cell = program_with_cell ~id:ids.(v) ~app in
+        cells.(v) <- cell;
+        prog)
+  in
+  let result = Network.run ?max_deliveries net sched in
+  let id_max = Ids.id_max ids in
+  let election_pulses = Formulas.algo2_total ~n ~id_max in
+  let leader_pos = Ids.argmax ids in
+  let tape_symbols, batons =
+    match !(cells.(leader_pos)) with
+    | Some s -> (Tape.symbols_on_tape s, Tape.batons_seen s)
+    | None -> (0, 0)
+  in
+  {
+    n;
+    id_max;
+    total_pulses = result.sends;
+    election_pulses;
+    compose_pulses = result.sends - election_pulses;
+    tape_symbols;
+    batons;
+    quiescent = result.quiescent;
+    all_terminated = result.all_terminated;
+    post_term_deliveries =
+      Metrics.post_termination_deliveries (Network.metrics net);
+    exhausted = result.exhausted;
+    outputs = Network.outputs net;
+    leader = leader_of (Network.outputs net);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Prebuilt apps.  Each ends with set_output and terminate; see the
+   .mli for semantics. *)
+
+let finish s output =
+  (Tape.api s).set_output output;
+  (Tape.api s).terminate ()
+
+let app_ring_discovery s =
+  let out =
+    Output.empty
+    |> Output.with_value (Tape.n s)
+    |> Output.with_values [ Tape.distance s ]
+    |> Output.with_role
+         (if Tape.is_root s then Output.Leader else Output.Non_leader)
+  in
+  finish s out
+
+let app_gather_ids ~my_id s =
+  let gathered = Tape.all_gather s ~value:my_id in
+  let maximum = Array.fold_left max min_int gathered in
+  let out =
+    Output.empty
+    |> Output.with_values (Array.to_list gathered)
+    |> Output.with_value maximum
+    |> Output.with_role
+         (if my_id = maximum then Output.Leader else Output.Non_leader)
+  in
+  finish s out
+
+let app_broadcast ~payload s =
+  let len = Tape.bcast s ~writer:0 ~value:(List.length payload) in
+  let received =
+    List.init len (fun i ->
+        Tape.bcast s ~writer:0 ~value:(List.nth payload i))
+  in
+  let out =
+    Output.empty
+    |> Output.with_values received
+    |> Output.with_role
+         (if Tape.is_root s then Output.Leader else Output.Non_leader)
+  in
+  finish s out
+
+let app_broadcast_text ~text s =
+  if Tape.is_root s then Tape.write_string s text;
+  let received = if Tape.is_root s then text else Tape.read_string s in
+  let out =
+    Output.empty
+    |> Output.with_values
+         (List.init (String.length received) (fun i ->
+              Char.code received.[i]))
+    |> Output.with_role
+         (if Tape.is_root s then Output.Leader else Output.Non_leader)
+  in
+  finish s out
+
+let app_assign_ids s =
+  let my_new_id = Tape.distance s + 1 in
+  let gathered = Tape.all_gather s ~value:my_new_id in
+  let out =
+    Output.empty
+    |> Output.with_value my_new_id
+    |> Output.with_values (Array.to_list gathered)
+    |> Output.with_role
+         (if Tape.is_root s then Output.Leader else Output.Non_leader)
+  in
+  finish s out
+
+let app_universal ~my_input ~simulate s =
+  let inputs = Tape.all_gather s ~value:my_input in
+  let outputs = simulate ~inputs in
+  if Array.length outputs <> Tape.n s then
+    failwith "Corollary5.app_universal: simulate returned wrong arity";
+  finish s outputs.(Tape.distance s)
+
+let app_machine ~machine s =
+  match machine s with
+  | Ok out -> finish s out
+  | Error msg -> failwith ("Corollary5.app_machine: " ^ msg)
+
+let app_sync_max ~my_value s =
+  let st, _rounds =
+    Sync.run s (Machines.max_flood ~value:my_value) ~rounds_cap:(4 * Tape.n s)
+  in
+  let out =
+    Output.empty
+    |> Output.with_value st.Machines.best
+    |> Output.with_role
+         (if my_value = st.Machines.best then Output.Leader
+          else Output.Non_leader)
+  in
+  finish s out
+
+let app_sync_sum ~my_value s =
+  let st, _rounds =
+    Sync.run s (Machines.ring_sum ~input:my_value) ~rounds_cap:(6 * Tape.n s)
+  in
+  match st.Machines.total with
+  | Some total ->
+      let out =
+        Output.empty |> Output.with_value total
+        |> Output.with_role
+             (if Tape.is_root s then Output.Leader else Output.Non_leader)
+      in
+      finish s out
+  | None -> failwith "app_sync_sum: no total computed"
+
+let app_sync_chang_roberts ~my_id s =
+  let st, _rounds =
+    Sync.run s
+      (Machines.chang_roberts_sync ~id:my_id)
+      ~rounds_cap:(8 * Tape.n s)
+  in
+  match st.Machines.leader_id with
+  | Some l ->
+      let out =
+        Output.empty |> Output.with_value l
+        |> Output.with_role
+             (if l = my_id then Output.Leader else Output.Non_leader)
+      in
+      finish s out
+  | None -> failwith "app_sync_chang_roberts: no leader learned"

@@ -1,0 +1,101 @@
+(** End-to-end Corollary 5: elect a leader with Algorithm 2, then use it
+    as the root of an arbitrary content-oblivious computation.
+
+    The composed per-node program is
+    [Chain.chain (Algo2.program ~id) (tape app)]: when Algorithm 2 would
+    terminate, the node instead switches to the tape phase.  Because
+    Algorithm 2 terminates quiescently and leader-last, the root's first
+    baton is sent only after every other node has switched — the exact
+    property Section 1.1 identifies as sufficient for composition. *)
+
+type app = Tape.session -> unit
+(** The computation to run after the election, written in blocking
+    style; it must end by setting an output and (for quiescent
+    termination) calling [terminate] on the session's api.  Every node
+    runs the same app; consult {!Tape.is_root} / {!Tape.distance}
+    inside. *)
+
+val program :
+  id:int -> app:app -> Colring_engine.Network.pulse Colring_engine.Network.program
+(** The composed per-node program (election then app). *)
+
+type report = {
+  n : int;
+  id_max : int;
+  total_pulses : int;
+  election_pulses : int;  (** The Theorem 1 closed form. *)
+  compose_pulses : int;  (** [total - election]. *)
+  tape_symbols : int;  (** As counted at the root. *)
+  batons : int;
+  quiescent : bool;
+  all_terminated : bool;
+  post_term_deliveries : int;
+  exhausted : bool;
+  outputs : Colring_engine.Output.t array;
+  leader : int option;
+}
+
+val run :
+  ?seed:int ->
+  ?max_deliveries:int ->
+  app:app ->
+  ids:int array ->
+  Colring_engine.Scheduler.t ->
+  report
+(** Build an oriented ring of [Array.length ids] nodes and run the
+    composed program to completion. *)
+
+(** {2 Prebuilt apps} *)
+
+val app_ring_discovery : app
+(** Every node outputs [value = n] and [values = \[distance\]], then
+    terminates — the minimal post-election computation. *)
+
+val app_gather_ids : my_id:int -> app
+(** All-gather of the original IDs: every node outputs the full ID
+    vector in clockwise ring order from the leader ([values]) and the
+    maximal ID ([value]). *)
+
+val app_broadcast : payload:int list -> app
+(** The root broadcasts an arbitrary list of non-negative integers;
+    every node outputs it in [values]. *)
+
+val app_broadcast_text : text:string -> app
+(** The root broadcasts a text; every node outputs its bytes in
+    [values] (the example programs decode it back). *)
+
+val app_assign_ids : app
+(** Section 5's closing observation made executable: with a leader,
+    unique IDs are computable.  Every node adopts
+    [distance from root + 1] as its new ID, then the ring all-gathers
+    the fresh IDs so everyone can verify they are distinct; outputs
+    [value = own new id] and [values = all new ids in ring order]. *)
+
+val app_machine :
+  machine:(Tape.session -> (Colring_engine.Output.t, string) result) -> app
+(** Run an arbitrary blocking computation returning the output to
+    publish (or an error message, which raises). *)
+
+val app_sync_max : my_value:int -> app
+(** Run {!Machines.max_flood} over the tape; outputs
+    [value = global max]. *)
+
+val app_sync_sum : my_value:int -> app
+(** Run {!Machines.ring_sum}; outputs [value = sum of inputs]. *)
+
+val app_sync_chang_roberts : my_id:int -> app
+(** Run {!Machines.chang_roberts_sync} over the tape — a classic
+    content-carrying election executed on the fully-defective ring;
+    outputs [value = winning id] and the role. *)
+
+val app_universal :
+  my_input:int ->
+  simulate:(inputs:int array -> Colring_engine.Output.t array) ->
+  app
+(** The bluntest reading of Corollary 5: gather every node's input over
+    the tape, deterministically simulate {e any} algorithm on them
+    (the callback typically spins up a nested reliable-network
+    simulation), and distribute each node's output back.  Every node
+    runs [simulate] on the identical gathered vector, so no broadcast
+    of results is even needed — determinism {e is} the broadcast.
+    Outputs are the simulated outputs, re-indexed to ring positions. *)

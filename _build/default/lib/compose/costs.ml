@@ -1,0 +1,37 @@
+module Formulas = Colring_core.Formulas
+
+let establish ~n =
+  if n < 1 then invalid_arg "Costs.establish: n must be >= 1";
+  let batons = n in
+  let announcements = (n - 1) * n in
+  let gamma_broadcast = if n >= 2 then Codec.gamma_length (n + 1) * n else 0 in
+  batons + announcements + gamma_broadcast
+
+let value ~n v = Codec.encoded_length v * n
+
+let pass = 1
+
+let rotation ~n ~turn ~writer = ((writer - turn) + n) mod n
+
+let bcast ~n ~turn ~writer v =
+  let hops = rotation ~n ~turn ~writer in
+  ((hops * pass) + value ~n v, writer)
+
+let all_gather ~n ~turn values =
+  if Array.length values <> n then invalid_arg "Costs.all_gather: arity";
+  let total = ref 0 and turn = ref turn in
+  Array.iteri
+    (fun d v ->
+      let pulses, turn' = bcast ~n ~turn:!turn ~writer:d v in
+      total := !total + pulses;
+      turn := turn')
+    values;
+  (!total, !turn)
+
+let ring_discovery_total ~n ~id_max =
+  Formulas.algo2_total ~n ~id_max + establish ~n
+
+let gather_ids_total ~ids_by_distance ~id_max =
+  let n = Array.length ids_by_distance in
+  let gather, _ = all_gather ~n ~turn:0 ids_by_distance in
+  Formulas.algo2_total ~n ~id_max + establish ~n + gather

@@ -1,0 +1,36 @@
+(** Closed-form pulse costs of the tape protocol.
+
+    Everything the tape does is deterministic, so its pulse cost is a
+    function of [n] and the values written.  These formulas are tested
+    against measured runs (they must match {e exactly}); the E8 bench
+    prints both.  All assume an established session whose write turn
+    starts at the root (distance 0), which is what {!Tape.establish}
+    leaves behind. *)
+
+val establish : n:int -> int
+(** The enumeration phase: [n] baton hops, [n-1] announcement circles
+    of [n] pulses each, plus (for [n >= 2]) the root's gamma(n+1)
+    broadcast at [n] pulses per symbol. *)
+
+val value : n:int -> int -> int
+(** Writing value [v]: [gamma_length (v+1) * n]. *)
+
+val pass : int
+(** Moving the turn one hop: 1 pulse. *)
+
+val bcast : n:int -> turn:int -> writer:int -> int -> int * int
+(** [(pulses, final_turn)] of a {!Tape.bcast}, including turn
+    rotation. *)
+
+val all_gather : n:int -> turn:int -> int array -> int * int
+(** [(pulses, final_turn)] of a {!Tape.all_gather} where the array
+    holds each distance's contributed value. *)
+
+val ring_discovery_total : n:int -> id_max:int -> int
+(** Election (Theorem 1) + establish — the full
+    {!Corollary5.app_ring_discovery} run. *)
+
+val gather_ids_total : ids_by_distance:int array -> id_max:int -> int
+(** Election + establish + the ID all-gather
+    ({!Corollary5.app_gather_ids}); [ids_by_distance.(d)] is the ID of
+    the node at clockwise distance [d] from the leader. *)

@@ -1,0 +1,101 @@
+(* Data messages are tagged even, announcements odd, so a single int
+   channel carries both phases of each protocol. *)
+let data v = 2 * v
+let announce v = (2 * v) + 1
+let is_announce m = m land 1 = 1
+let payload m = m / 2
+
+type max_state = { value : int; best : int; rounds_left : int }
+
+let max_flood ~value =
+  {
+    Sync.name = "max-flood";
+    init = (fun ~pos:_ ~n -> { value; best = value; rounds_left = n });
+    step =
+      (fun st ~round:_ ~from_ccw ~from_cw ->
+        let best =
+          List.fold_left
+            (fun acc m -> max acc (payload m))
+            st.best
+            (List.filter_map Fun.id [ from_ccw; from_cw ])
+        in
+        let st = { st with best; rounds_left = st.rounds_left - 1 } in
+        if st.rounds_left < 0 then
+          { Sync.state = st; to_cw = None; to_ccw = None; halt = true }
+        else
+          {
+            Sync.state = st;
+            to_cw = Some (data best);
+            to_ccw = Some (data best);
+            halt = false;
+          });
+  }
+
+type cr_state = { id : int; leader_id : int option; announced : bool }
+
+let chang_roberts_sync ~id =
+  {
+    Sync.name = "chang-roberts-sync";
+    init = (fun ~pos:_ ~n:_ -> { id; leader_id = None; announced = false });
+    step =
+      (fun st ~round ~from_ccw ~from_cw:_ ->
+        let quiet st halt = { Sync.state = st; to_cw = None; to_ccw = None; halt } in
+        let send st m = { Sync.state = st; to_cw = Some m; to_ccw = None; halt = false } in
+        match (st.leader_id, from_ccw) with
+        | Some _, None -> quiet st true (* done; stay halted *)
+        | Some l, Some m when is_announce m ->
+            (* Our own announcement returned to the winner: absorb. *)
+            if payload m = l && st.announced && st.id = l then quiet st true
+            else quiet st true
+        | Some _, Some _ -> quiet st true (* stray data after learning *)
+        | None, Some m when is_announce m ->
+            (* Learn the winner and forward the announcement. *)
+            send { st with leader_id = Some (payload m) } m
+        | None, Some m ->
+            let c = payload m in
+            if c = st.id then
+              (* Own candidate survived the circle: announce. *)
+              send { st with leader_id = Some st.id; announced = true }
+                (announce st.id)
+            else if c > st.id then send st m (* relay the bigger candidate *)
+            else quiet st false (* swallow *)
+        | None, None ->
+            if round = 0 then send st (data st.id) (* launch own candidate *)
+            else quiet st false);
+  }
+
+type sum_state = {
+  pos : int;
+  n : int;
+  input : int;
+  total : int option;
+  finished : bool;
+}
+
+let ring_sum ~input =
+  {
+    Sync.name = "ring-sum";
+    init = (fun ~pos ~n -> { pos; n; input; total = None; finished = false });
+    step =
+      (fun st ~round ~from_ccw ~from_cw:_ ->
+        let quiet st halt = { Sync.state = st; to_cw = None; to_ccw = None; halt } in
+        let send st m = { Sync.state = st; to_cw = Some m; to_ccw = None; halt = false } in
+        if st.finished then quiet st true
+        else
+          match from_ccw with
+          | Some m when is_announce m ->
+              (* The total sweeping the ring. *)
+              let st = { st with total = Some (payload m); finished = true } in
+              if st.pos = 0 then quiet st true (* announcement returned *)
+              else send st m
+          | Some m ->
+              let acc = payload m in
+              if st.pos = 0 then
+                (* The token is back at the root: announce the total. *)
+                let st = { st with total = Some acc } in
+                send st (announce acc)
+              else send st (data (acc + st.input))
+          | None ->
+              if round = 0 && st.pos = 0 then send st (data st.input)
+              else quiet st false);
+  }

@@ -1,0 +1,36 @@
+(** Example synchronous ring algorithms to run over the defective ring
+    via {!Sync}.
+
+    Machines must be idempotent after halting: {!Sync.run} keeps calling
+    [step] (with [halt = true] expected back) until every node halts in
+    the same round. *)
+
+type max_state = { value : int; best : int; rounds_left : int }
+
+val max_flood : value:int -> max_state Sync.machine
+(** Every node floods the largest value seen in both directions; after
+    [n] rounds [best] is the global maximum everywhere.  This is the
+    classic extrema-finding task — run over pulses it shows Corollary 5
+    executing a content-carrying algorithm verbatim on the
+    fully-defective ring. *)
+
+type cr_state = { id : int; leader_id : int option; announced : bool }
+
+val chang_roberts_sync : id:int -> cr_state Sync.machine
+(** A round-synchronous rendition of Chang-Roberts: candidate IDs
+    travel clockwise, bigger IDs swallow smaller ones; the node whose
+    ID survives the full circle announces it, and the announcement
+    sweeps the ring so [leader_id] is the maximal ID everywhere. *)
+
+type sum_state = {
+  pos : int;
+  n : int;
+  input : int;
+  total : int option;
+  finished : bool;
+}
+
+val ring_sum : input:int -> sum_state Sync.machine
+(** A sequential token accumulates the sum of all inputs clockwise from
+    the root, then the root announces the total, so every node ends
+    with [total = Some (sum of all inputs)]. *)

@@ -1,0 +1,48 @@
+type 'a step_result = {
+  state : 'a;
+  to_cw : int option;
+  to_ccw : int option;
+  halt : bool;
+}
+
+type 'a machine = {
+  name : string;
+  init : pos:int -> n:int -> 'a;
+  step :
+    'a -> round:int -> from_ccw:int option -> from_cw:int option ->
+    'a step_result;
+}
+
+let encode_opt = function None -> 0 | Some v ->
+  if v < 0 then invalid_arg "Sync: message values must be >= 0" else v + 1
+
+let decode_opt = function 0 -> None | v -> Some (v - 1)
+
+let run session machine ~rounds_cap =
+  let n = Tape.n session in
+  let me = Tape.distance session in
+  let state = ref (machine.init ~pos:me ~n) in
+  let from_ccw = ref None and from_cw = ref None in
+  let rec go round =
+    if round >= rounds_cap then
+      failwith ("Sync.run: rounds_cap hit for machine " ^ machine.name);
+    let r = machine.step !state ~round ~from_ccw:!from_ccw ~from_cw:!from_cw in
+    state := r.state;
+    let cw_msgs =
+      Tape.all_gather session ~value:(encode_opt r.to_cw)
+    in
+    let ccw_msgs =
+      Tape.all_gather session ~value:(encode_opt r.to_ccw)
+    in
+    let halts = Tape.all_gather session ~value:(if r.halt then 1 else 0) in
+    if Array.for_all (fun h -> h = 1) halts then round + 1
+    else begin
+      (* My clockwise inbox entry comes from my counterclockwise
+         neighbour's to_cw, and vice versa. *)
+      from_ccw := decode_opt cw_msgs.((me + n - 1) mod n);
+      from_cw := decode_opt ccw_msgs.((me + 1) mod n);
+      go (round + 1)
+    end
+  in
+  let rounds = go 0 in
+  (!state, rounds)

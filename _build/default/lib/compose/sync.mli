@@ -1,0 +1,35 @@
+(** Simulation of arbitrary synchronous-round ring algorithms over the
+    fully-defective ring — Corollary 5 made executable.
+
+    A {!machine} is an ordinary message-passing ring algorithm: per
+    round it consumes the messages its two neighbours sent in the
+    previous round and emits new ones.  {!run} executes it over the
+    shared tape: each round performs three {!Tape.all_gather}
+    collectives (clockwise messages, counterclockwise messages, halt
+    flags), after which every node extracts its own inbox locally.
+    Since every node sees every gathered value, the simulation is
+    trivially deterministic and identical at all nodes.
+
+    Message values must be non-negative.  Rounds proceed until every
+    machine instance halts (or [rounds_cap] is hit). *)
+
+type 'a step_result = {
+  state : 'a;
+  to_cw : int option;  (** Message for the clockwise neighbour. *)
+  to_ccw : int option;
+  halt : bool;
+}
+
+type 'a machine = {
+  name : string;
+  init : pos:int -> n:int -> 'a;
+      (** [pos] is the node's clockwise distance from the root. *)
+  step :
+    'a -> round:int -> from_ccw:int option -> from_cw:int option ->
+    'a step_result;
+      (** Round 0 runs with an empty inbox. *)
+}
+
+val run : Tape.session -> 'a machine -> rounds_cap:int -> 'a * int
+(** Final machine state at this node, and the number of rounds run.
+    Raises [Failure] if [rounds_cap] rounds pass without global halt. *)

@@ -1,0 +1,110 @@
+(** The shared-tape protocol: arbitrary computation over a
+    fully-defective oriented ring with an elected root (our
+    ring-specialized realization of the compiler of Censor-Hillel et
+    al. [8], used to demonstrate Corollary 5).
+
+    {2 Protocol}
+
+    All communication is serialized — at most one pulse is ever in
+    flight — and uses two pulse shapes:
+
+    - a {e tape symbol}: a pulse relayed by every node and absorbed by
+      its originator after a full circle.  A clockwise circle is the
+      bit [0], a counterclockwise circle the bit [1]; since every node
+      relays the pulse exactly once, all nodes observe the same symbol
+      sequence — a global broadcast tape with a binary alphabet.
+    - a {e baton}: a single-hop clockwise pulse that moves the
+      exclusive write turn to the next node clockwise.  Only the
+      receiver sees it; everyone else tracks the turn by executing the
+      same deterministic operation sequence.
+
+    {!establish} bootstraps knowledge: the root circulates a baton all
+    the way around; each node, upon receiving it, announces itself with
+    one counterclockwise tape symbol before passing the baton on, so
+    the k-th node learns its clockwise distance k from the announcement
+    count, and the root learns [n].  The root then writes [n] in
+    Elias-gamma (whose first symbol is clockwise, while all
+    announcements were counterclockwise — that is how readers detect
+    the boundary).
+
+    Values are written in Elias-gamma ({!Codec}), which is
+    self-delimiting, so readers always know where a value ends.
+
+    {2 Cost}
+
+    A tape symbol costs [n] pulses, a baton 1.  [establish] costs
+    [n] baton hops + [(n-1) * n] announcement pulses + (for [n >= 2])
+    [n * gamma_length (n+1)] broadcast pulses, and each value [v] costs
+    [n * (2 floor(log2 (v+1)) + 1)] — see {!Costs} for the closed
+    forms, which the tests check against measured runs exactly. *)
+
+type session
+
+val establish :
+  Colring_engine.Network.pulse Colring_engine.Network.api ->
+  is_root:bool ->
+  session
+(** Run the enumeration phase.  Must be called from inside a
+    {!Colring_engine.Blocking.make} body, by every node, with exactly
+    one root.  Returns once this node knows [n] and its distance. *)
+
+val api : session -> Colring_engine.Network.pulse Colring_engine.Network.api
+val n : session -> int
+(** Ring size, learned during {!establish}. *)
+
+val distance : session -> int
+(** Clockwise distance from the root (0 for the root itself). *)
+
+val is_root : session -> bool
+val turn : session -> int
+(** Distance of the node currently holding the write turn. *)
+
+val my_turn : session -> bool
+
+(** {2 Mid-level tape operations} *)
+
+val write_symbol : session -> bool -> unit
+(** Emit one tape symbol (requires the turn); returns after the pulse
+    has completed its circle. *)
+
+val read_symbol : session -> bool
+(** Consume and relay the next tape symbol (for non-writers). *)
+
+val pass_turn : session -> unit
+(** Move the turn one node clockwise (all nodes must call this at the
+    same point of their operation sequence; only the holder and the
+    successor exchange the baton). *)
+
+val write_value : session -> int -> unit
+(** Gamma-encode a value ([>= 0]) onto the tape (requires the turn). *)
+
+val read_value : session -> int
+
+(** {2 Collectives}
+
+    Every node must call collectives in the same order with matching
+    arguments — the usual SPMD contract. *)
+
+val bcast : session -> writer:int -> value:int -> int
+(** The node at distance [writer] contributes [value]; everyone returns
+    the written value ([value] is ignored elsewhere).  Rotates the turn
+    to [writer] with batons as needed. *)
+
+val all_gather : session -> value:int -> int array
+(** Index [d] of the result is the value contributed by the node at
+    distance [d]. *)
+
+val write_string : session -> string -> unit
+(** Gamma-framed text: length, then one value per byte (requires the
+    turn). *)
+
+val read_string : session -> string
+
+(** {2 Cost counters} *)
+
+val symbols_on_tape : session -> int
+(** Symbols this node has observed or written (identical at all nodes
+    once quiescent). *)
+
+val batons_seen : session -> int
+(** Batons this node sent or absorbed. *)

@@ -1,0 +1,1 @@
+lib/core/ablation.ml: Array Colring_engine Ids Metrics Network Output Port

@@ -1,0 +1,1 @@
+lib/core/algo1.ml: Colring_engine Formulas Network Output Port

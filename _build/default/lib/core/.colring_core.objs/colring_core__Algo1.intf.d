@@ -1,0 +1,1 @@
+lib/core/algo1.mli: Colring_engine

@@ -1,0 +1,1 @@
+lib/core/algo2.mli: Colring_engine

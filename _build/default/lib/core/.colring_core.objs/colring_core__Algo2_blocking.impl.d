@@ -1,0 +1,1 @@
+lib/core/algo2_blocking.ml: Blocking Colring_engine Network Output Port

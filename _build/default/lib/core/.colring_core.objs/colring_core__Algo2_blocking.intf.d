@@ -1,0 +1,1 @@
+lib/core/algo2_blocking.mli: Colring_engine

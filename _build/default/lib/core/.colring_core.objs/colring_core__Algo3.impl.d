@@ -1,0 +1,1 @@
+lib/core/algo3.ml: Array Colring_engine Colring_stats Formulas Network Output Port

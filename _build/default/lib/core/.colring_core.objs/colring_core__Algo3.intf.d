@@ -1,0 +1,1 @@
+lib/core/algo3.mli: Colring_engine

@@ -1,0 +1,1 @@
+lib/core/election.ml: Algo1 Algo2 Algo3 Array Colring_engine Formulas Ids List Metrics Network Option Output Port Topology

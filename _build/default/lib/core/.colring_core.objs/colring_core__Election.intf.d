@@ -1,0 +1,1 @@
+lib/core/election.mli: Algo3 Colring_engine

@@ -1,0 +1,1 @@
+lib/core/ids.ml: Array Colring_stats Hashtbl

@@ -1,0 +1,1 @@
+lib/core/ids.mli: Colring_stats

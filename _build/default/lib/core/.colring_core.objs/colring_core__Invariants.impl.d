@@ -1,0 +1,1 @@
+lib/core/invariants.ml: Array Colring_engine Format Ids List Network Printf

@@ -1,0 +1,1 @@
+lib/core/invariants.mli: Colring_engine Format

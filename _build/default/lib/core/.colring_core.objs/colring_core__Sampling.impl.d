@@ -1,0 +1,1 @@
+lib/core/sampling.ml: Array Colring_stats

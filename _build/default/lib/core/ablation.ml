@@ -1,0 +1,153 @@
+open Colring_engine
+
+let cw_out = Port.P1
+let cw_in = Port.P0
+let ccw_out = Port.P0
+let ccw_in = Port.P1
+
+(* Algorithm 2 minus the lag: both instances start at initialization
+   and the CCW block is not gated on rho_cw >= id.  Compare Algo2. *)
+let algo2_no_lag ~id =
+  if id < 1 then invalid_arg "Ablation.algo2_no_lag: id must be positive";
+  let rho_cw = ref 0 and rho_ccw = ref 0 in
+  let term_initiated = ref false in
+  let finished = ref false in
+  let role = ref Output.Undecided in
+  let start (api : _ Network.api) =
+    api.send cw_out ();
+    api.send ccw_out () (* no lag: CCW launches immediately *)
+  in
+  let finish (api : _ Network.api) =
+    finished := true;
+    api.set_output (Output.with_role !role Output.empty);
+    api.terminate ()
+  in
+  let wake (api : _ Network.api) =
+    let continue = ref true in
+    while !continue && not !finished do
+      if !term_initiated then begin
+        match api.recv ccw_in with
+        | Some () ->
+            incr rho_ccw;
+            finish api
+        | None -> continue := false
+      end
+      else begin
+        let progress = ref false in
+        (match api.recv cw_in with
+        | Some () ->
+            progress := true;
+            incr rho_cw;
+            if !rho_cw = id then role := Output.Leader
+            else begin
+              role := Output.Non_leader;
+              api.send cw_out ()
+            end
+        | None -> ());
+        (* No rho_cw >= id guard here: the broken part. *)
+        (match api.recv ccw_in with
+        | Some () ->
+            progress := true;
+            incr rho_ccw;
+            if !rho_ccw <> id then api.send ccw_out ()
+        | None -> ());
+        if (not !term_initiated) && !rho_cw = id && !rho_ccw = id then begin
+          api.send ccw_out ();
+          term_initiated := true;
+          progress := true
+        end;
+        if !rho_ccw > !rho_cw then finish api
+        else if not !progress then continue := false
+      end
+    done
+  in
+  let inspect () =
+    [ ("id", id); ("rho_cw", !rho_cw); ("rho_ccw", !rho_ccw) ]
+  in
+  { Network.start; wake; inspect }
+
+(* Algorithm 3 with identical virtual IDs per direction. *)
+let algo3_same_virtual_ids ~id =
+  if id < 1 then invalid_arg "Ablation.algo3_same_virtual_ids: id > 0";
+  let rho = [| 0; 0 |] in
+  let start (api : _ Network.api) =
+    api.send Port.P0 ();
+    api.send Port.P1 ()
+  in
+  let wake (api : _ Network.api) =
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      for i = 0 to 1 do
+        match api.recv (Port.of_index (1 - i)) with
+        | Some () ->
+            progress := true;
+            rho.(1 - i) <- rho.(1 - i) + 1;
+            if rho.(1 - i) <> id then api.send (Port.of_index i) ()
+        | None -> ()
+      done;
+      if max rho.(0) rho.(1) >= id then begin
+        let role =
+          if rho.(0) = id && rho.(1) < id then Output.Leader
+          else Output.Non_leader
+        in
+        let cw_port = if rho.(0) > rho.(1) then Port.P1 else Port.P0 in
+        api.set_output
+          (Output.with_cw_port cw_port (Output.with_role role Output.empty))
+      end
+    done
+  in
+  let inspect () = [ ("id", id); ("rho0", rho.(0)); ("rho1", rho.(1)) ] in
+  { Network.start; wake; inspect }
+
+(* Algorithm 1 without the absorption case. *)
+let algo1_no_absorption ~id =
+  if id < 1 then invalid_arg "Ablation.algo1_no_absorption: id > 0";
+  let rho = ref 0 in
+  let start (api : _ Network.api) = api.send cw_out () in
+  let wake (api : _ Network.api) =
+    let continue = ref true in
+    while !continue do
+      match api.recv cw_in with
+      | Some () ->
+          incr rho;
+          api.set_output
+            (if !rho = id then Output.leader else Output.non_leader);
+          api.send cw_out () (* always relays: never absorbs *)
+      | None -> continue := false
+    done
+  in
+  let inspect () = [ ("id", id); ("rho_cw", !rho) ] in
+  { Network.start; wake; inspect }
+
+type failure = {
+  wrong_leader : bool;
+  not_quiescent : bool;
+  post_term_deliveries : int;
+  exhausted : bool;
+  sends : int;
+}
+
+let observe ?(max_deliveries = 200_000) factory ~topo ~ids ~sched =
+  let net = Network.create topo (fun v -> factory ~id:ids.(v)) in
+  let result = Network.run ~max_deliveries net sched in
+  let outputs = Network.outputs net in
+  let leaders = ref [] in
+  Array.iteri
+    (fun v (o : Output.t) ->
+      if Output.equal_role o.role Output.Leader then leaders := v :: !leaders)
+    outputs;
+  let wrong_leader =
+    match !leaders with [ v ] -> v <> Ids.argmax ids | [] | _ :: _ -> true
+  in
+  {
+    wrong_leader;
+    not_quiescent = not result.quiescent;
+    post_term_deliveries =
+      Metrics.post_termination_deliveries (Network.metrics net);
+    exhausted = result.exhausted;
+    sends = result.sends;
+  }
+
+let failed f =
+  f.wrong_leader || f.not_quiescent || f.post_term_deliveries > 0 || f.exhausted

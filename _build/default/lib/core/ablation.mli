@@ -1,0 +1,52 @@
+(** Deliberately broken variants of the paper's algorithms.
+
+    Each variant removes exactly one design ingredient the paper argues
+    is necessary.  The test-suite and the E10 bench run them to show
+    the failure actually materialises — the experimental counterpart of
+    the paper's "why the algorithm is built this way" discussion
+    (Section 3.2's lag argument, Section 4's distinct directional
+    maxima, Section 3.1's pulse absorption). *)
+
+val algo2_no_lag :
+  id:int -> Colring_engine.Network.pulse Colring_engine.Network.program
+(** Algorithm 2 with the counterclockwise instance started at
+    initialization instead of being gated on [ρcw >= ID].  The event
+    [ρcw = ID = ρccw] is then no longer unique to the maximal node:
+    premature termination pulses circulate and runs end with wrong
+    leaders, missing leaders, early termination, or pulses arriving at
+    terminated nodes — depending on the adversary. *)
+
+val algo3_same_virtual_ids :
+  id:int -> Colring_engine.Network.pulse Colring_engine.Network.program
+(** Algorithm 3 with [ID^(0) = ID^(1) = ID]: the two directional
+    executions then have identical maxima, both port counters stabilize
+    at the same value, the leader predicate [ρ0 = ID^(1) > ρ1] can
+    never hold, and orientation ties are broken inconsistently.  Shows
+    why the virtual IDs must make the directions distinguishable. *)
+
+val algo1_no_absorption :
+  id:int -> Colring_engine.Network.pulse Colring_engine.Network.program
+(** Algorithm 1 with the [ρcw = ID] absorption removed: every node is a
+    pure relay, the initial n pulses circulate forever and the network
+    never reaches quiescence (runs end by exhausting the delivery
+    budget). *)
+
+type failure = {
+  wrong_leader : bool;  (** No unique leader, or not the max-ID node. *)
+  not_quiescent : bool;
+  post_term_deliveries : int;
+  exhausted : bool;
+  sends : int;
+}
+
+val observe :
+  ?max_deliveries:int ->
+  (id:int -> Colring_engine.Network.pulse Colring_engine.Network.program) ->
+  topo:Colring_engine.Topology.t ->
+  ids:int array ->
+  sched:Colring_engine.Scheduler.t ->
+  failure
+(** Run a (possibly broken) program factory and report what went
+    wrong; all fields benign means this particular run got lucky. *)
+
+val failed : failure -> bool

@@ -1,0 +1,40 @@
+open Colring_engine
+
+(* On an oriented ring, clockwise pulses are sent from Port_1 and
+   received on Port_0 (the paper's convention, Section 2). *)
+let cw_out = Port.P1
+let cw_in = Port.P0
+
+type state = { id : int; mutable rho_cw : int; mutable sigma_cw : int }
+
+let send_cw (api : _ Network.api) st =
+  api.send cw_out ();
+  st.sigma_cw <- st.sigma_cw + 1
+
+let recv_cw (api : _ Network.api) st =
+  match api.recv cw_in with
+  | Some () ->
+      st.rho_cw <- st.rho_cw + 1;
+      true
+  | None -> false
+
+let program ~id =
+  if id < 1 then invalid_arg "Algo1.program: id must be positive";
+  let st = { id; rho_cw = 0; sigma_cw = 0 } in
+  let start api = send_cw api st in
+  let wake (api : _ Network.api) =
+    while recv_cw api st do
+      if st.rho_cw = st.id then api.set_output Output.leader
+      else begin
+        (* v acts as a relay unless ρcw = ID_v. *)
+        api.set_output Output.non_leader;
+        send_cw api st
+      end
+    done
+  in
+  let inspect () =
+    [ ("id", st.id); ("rho_cw", st.rho_cw); ("sigma_cw", st.sigma_cw) ]
+  in
+  { Network.start; wake; inspect }
+
+let total_pulses = Formulas.algo1_total

@@ -1,0 +1,122 @@
+open Colring_engine
+
+(* Clockwise pulses leave via Port_1 and arrive on Port_0;
+   counterclockwise pulses leave via Port_0 and arrive on Port_1. *)
+let cw_out = Port.P1
+let cw_in = Port.P0
+let ccw_out = Port.P0
+let ccw_in = Port.P1
+
+type state = {
+  id : int;
+  mutable rho_cw : int;
+  mutable sigma_cw : int;
+  mutable rho_ccw : int;
+  mutable sigma_ccw : int;
+  mutable role : Output.role;
+  mutable term_initiated : bool;
+  mutable finished : bool;
+}
+
+let send_cw (api : _ Network.api) st =
+  api.send cw_out ();
+  st.sigma_cw <- st.sigma_cw + 1
+
+let send_ccw (api : _ Network.api) st =
+  api.send ccw_out ();
+  st.sigma_ccw <- st.sigma_ccw + 1
+
+let recv_cw (api : _ Network.api) st =
+  match api.recv cw_in with
+  | Some () ->
+      st.rho_cw <- st.rho_cw + 1;
+      true
+  | None -> false
+
+let recv_ccw (api : _ Network.api) st =
+  match api.recv ccw_in with
+  | Some () ->
+      st.rho_ccw <- st.rho_ccw + 1;
+      true
+  | None -> false
+
+let finish (api : _ Network.api) st =
+  st.finished <- true;
+  api.set_output (Output.with_role st.role Output.empty);
+  api.terminate ()
+
+let program ~id =
+  if id < 1 then invalid_arg "Algo2.program: id must be positive";
+  let st =
+    {
+      id;
+      rho_cw = 0;
+      sigma_cw = 0;
+      rho_ccw = 0;
+      sigma_ccw = 0;
+      role = Output.Undecided;
+      term_initiated = false;
+      finished = false;
+    }
+  in
+  let start api = send_cw api st in
+  let wake (api : _ Network.api) =
+    (* One call re-runs the repeat-loop body (lines 3-18) to a fixpoint,
+       mirroring the paper's continuously polling loop. *)
+    let continue = ref true in
+    while !continue && not st.finished do
+      if st.term_initiated then begin
+        (* Line 16: busy-wait for the returning termination pulse; it is
+           consumed here (not by line 11) and hence never forwarded. *)
+        if recv_ccw api st then finish api st else continue := false
+      end
+      else begin
+        let progress = ref false in
+        (* Lines 3-8: Algorithm 1 over the CW channel. *)
+        if recv_cw api st then begin
+          progress := true;
+          if st.rho_cw = st.id then st.role <- Output.Leader
+          else begin
+            st.role <- Output.Non_leader;
+            send_cw api st
+          end;
+          api.set_output (Output.with_role st.role Output.empty)
+        end;
+        (* Lines 9-13: Algorithm 1 over the CCW channel, lagging. *)
+        if st.rho_cw >= st.id then begin
+          if st.sigma_ccw = 0 then begin
+            send_ccw api st;
+            progress := true
+          end;
+          if recv_ccw api st then begin
+            progress := true;
+            if st.rho_ccw <> st.id then send_ccw api st
+          end
+        end;
+        (* Lines 14-15: the election-complete event, unique to the
+           node of maximal ID. *)
+        if (not st.term_initiated) && st.rho_cw = st.id && st.rho_ccw = st.id
+        then begin
+          send_ccw api st;
+          st.term_initiated <- true;
+          progress := true
+        end;
+        (* Line 18: the exit condition. *)
+        if st.rho_ccw > st.rho_cw then finish api st
+        else if not !progress then continue := false
+      end
+    done
+  in
+  let inspect () =
+    [
+      ("id", st.id);
+      ("rho_cw", st.rho_cw);
+      ("sigma_cw", st.sigma_cw);
+      ("rho_ccw", st.rho_ccw);
+      ("sigma_ccw", st.sigma_ccw);
+      ("term_initiated", if st.term_initiated then 1 else 0);
+    ]
+  in
+  { Network.start; wake; inspect }
+
+let total_pulses = Formulas.algo2_total

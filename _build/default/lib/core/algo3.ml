@@ -1,0 +1,101 @@
+open Colring_engine
+module Rng = Colring_stats.Rng
+
+type id_scheme = Doubled | Improved
+
+type state = {
+  mutable id : int; (* mutable only for the Proposition 19 variant *)
+  scheme : id_scheme;
+  rho : int array; (* received per local port *)
+  sigma : int array; (* sent per local port *)
+  mutable resamples : int;
+}
+
+(* ID^(i) governs forwarding *out of* port i (= absorbing pulses that
+   arrived on port 1-i), line 2 of Algorithm 3. *)
+let virtual_id st i =
+  match st.scheme with
+  | Doubled -> (2 * st.id) - 1 + i
+  | Improved -> st.id + i
+
+let send (api : _ Network.api) st i =
+  api.send (Port.of_index i) ();
+  st.sigma.(i) <- st.sigma.(i) + 1
+
+let recv (api : _ Network.api) st i =
+  match api.recv (Port.of_index i) with
+  | Some () ->
+      st.rho.(i) <- st.rho.(i) + 1;
+      true
+  | None -> false
+
+(* Lines 8-16: recompute the (revisable) output from the counters. *)
+let decide (api : _ Network.api) st =
+  if max st.rho.(0) st.rho.(1) >= virtual_id st 1 then begin
+    let role =
+      if st.rho.(0) = virtual_id st 1 && st.rho.(1) < virtual_id st 1 then
+        Output.Leader
+      else Output.Non_leader
+    in
+    (* More arrivals on a port means the larger-ID direction comes in
+       there; clockwise pulses arrive at counterclockwise ports. *)
+    let cw_port = if st.rho.(0) > st.rho.(1) then Port.P1 else Port.P0 in
+    api.set_output (Output.with_cw_port cw_port (Output.with_role role Output.empty))
+  end
+
+(* Proposition 19: resample upon receipt while min(ρ0,ρ1) > ID.  By the
+   time this fires the node has absorbed its one pulse in each
+   direction, and the fresh ID stays below both counters, so the node
+   remains a pure relay: pulse dynamics are unchanged. *)
+let maybe_resample (api : _ Network.api) st =
+  let m = min st.rho.(0) st.rho.(1) in
+  if m > st.id then begin
+    st.id <- Rng.int_incl api.rng 1 (m - 1);
+    st.resamples <- st.resamples + 1
+  end
+
+let make ~resample ~scheme ~id =
+  if id < 1 then invalid_arg "Algo3.program: id must be positive";
+  let st = { id; scheme; rho = [| 0; 0 |]; sigma = [| 0; 0 |]; resamples = 0 } in
+  let start api =
+    for i = 0 to 1 do
+      send api st i
+    done
+  in
+  let wake (api : _ Network.api) =
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      for i = 0 to 1 do
+        (* Line 6: pulses received at port 1-i are forwarded at port i
+           unless the count matches ID^(i). *)
+        if recv api st (1 - i) then begin
+          progress := true;
+          if st.rho.(1 - i) <> virtual_id st i then send api st i;
+          if resample then maybe_resample api st
+        end
+      done;
+      decide api st
+    done
+  in
+  let inspect () =
+    [
+      ("id", st.id);
+      ("id0", virtual_id st 0);
+      ("id1", virtual_id st 1);
+      ("rho0", st.rho.(0));
+      ("rho1", st.rho.(1));
+      ("sigma0", st.sigma.(0));
+      ("sigma1", st.sigma.(1));
+      ("resamples", st.resamples);
+    ]
+  in
+  { Network.start; wake; inspect }
+
+let program ~scheme ~id = make ~resample:false ~scheme ~id
+let program_resampling ~id = make ~resample:true ~scheme:Improved ~id
+
+let total_pulses ~scheme ~n ~id_max =
+  match scheme with
+  | Doubled -> Formulas.algo3_doubled_total ~n ~id_max
+  | Improved -> Formulas.algo3_improved_total ~n ~id_max

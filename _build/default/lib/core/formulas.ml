@@ -1,0 +1,15 @@
+let algo1_total ~n ~id_max = n * id_max
+let algo2_total ~n ~id_max = n * ((2 * id_max) + 1)
+let algo3_doubled_total ~n ~id_max = n * ((4 * id_max) - 1)
+let algo3_improved_total ~n ~id_max = n * ((2 * id_max) + 1)
+
+let floor_log2 v =
+  if v < 1 then invalid_arg "Formulas.floor_log2";
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) (v lsr 1) in
+  go 0 v
+
+let lower_bound ~n ~k =
+  if k < n then invalid_arg "Formulas.lower_bound: k < n";
+  (* floor (log2 (k/n)) = the largest s with n * 2^s <= k. *)
+  let rec go s = if n lsl (s + 1) <= k then go (s + 1) else s in
+  n * go 0

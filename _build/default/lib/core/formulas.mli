@@ -1,0 +1,25 @@
+(** Closed-form message counts from the paper's statements.
+
+    Tests assert exact equality of measured totals with these formulas
+    (the totals are schedule-independent), and the benches print them
+    as the "paper" column. *)
+
+val algo1_total : n:int -> id_max:int -> int
+(** Corollary 13: every node sends exactly [id_max] pulses, so the
+    warm-up Algorithm 1 sends [n * id_max] in total. *)
+
+val algo2_total : n:int -> id_max:int -> int
+(** Theorem 1: [n * (2 * id_max + 1)]. *)
+
+val algo3_doubled_total : n:int -> id_max:int -> int
+(** Proposition 15: [n * (4 * id_max - 1)]. *)
+
+val algo3_improved_total : n:int -> id_max:int -> int
+(** Theorem 2: [n * (2 * id_max + 1)]. *)
+
+val lower_bound : n:int -> k:int -> int
+(** Theorem 20: with [k >= n] assignable IDs, some assignment forces at
+    least [n * floor (log2 (k / n))] pulses. *)
+
+val floor_log2 : int -> int
+(** [floor_log2 v] for [v >= 1]. *)

@@ -1,0 +1,45 @@
+module Rng = Colring_stats.Rng
+
+let dense rng ~n =
+  let a = Array.init n (fun i -> i + 1) in
+  Rng.shuffle rng a;
+  a
+
+let distinct rng ~n ~id_max =
+  if id_max < n then invalid_arg "Ids.distinct: id_max < n";
+  (* Floyd's sampling of n-1 distinct values from [1, id_max-1], plus
+     id_max itself. *)
+  let seen = Hashtbl.create (2 * n) in
+  let picked = ref [] in
+  for j = id_max - n + 1 to id_max - 1 do
+    let t = Rng.int_incl rng 1 j in
+    let v = if Hashtbl.mem seen t then j else t in
+    Hashtbl.replace seen v ();
+    picked := v :: !picked
+  done;
+  let a = Array.of_list (id_max :: !picked) in
+  Rng.shuffle rng a;
+  a
+
+let argmax a =
+  let best = ref 0 in
+  Array.iteri (fun i x -> if x > a.(!best) then best := i) a;
+  !best
+
+let id_max a = Array.fold_left max min_int a
+
+let with_max_at a ~pos =
+  let n = Array.length a in
+  let src = argmax a in
+  (* Rotate so the max lands at [pos], preserving cyclic order. *)
+  Array.init n (fun i -> a.((i - pos + src + n + n) mod n))
+
+let duplicated rng ~n ~id_max ~dup_max =
+  if dup_max < 1 || dup_max > n then invalid_arg "Ids.duplicated: bad dup_max";
+  if id_max < 2 && n > dup_max then invalid_arg "Ids.duplicated: id_max too small";
+  let a =
+    Array.init n (fun i ->
+        if i < dup_max then id_max else Rng.int_incl rng 1 (id_max - 1))
+  in
+  Rng.shuffle rng a;
+  a

@@ -1,0 +1,30 @@
+(** ID assignments for experiment workloads.
+
+    The paper's complexity depends on [ID_max], not just [n], so the
+    sweeps need control over both: dense assignments ([1..n]), sparse
+    ones (distinct values up to a large bound — the regime where the
+    [Ω(n log(ID_max/n))] lower bound bites), adversarial placements of
+    the maximum, and duplicated IDs for the Lemma 16/17 experiments. *)
+
+val dense : Colring_stats.Rng.t -> n:int -> int array
+(** A uniformly random permutation of [1..n]. *)
+
+val distinct : Colring_stats.Rng.t -> n:int -> id_max:int -> int array
+(** [n] distinct IDs drawn from [\[1, id_max\]], with [id_max] itself
+    always assigned (so the instance's [ID_max] is exactly [id_max]),
+    in random ring positions.  Requires [id_max >= n]. *)
+
+val with_max_at : int array -> pos:int -> int array
+(** Copy of the assignment with the maximal ID rotated to ring
+    position [pos]. *)
+
+val duplicated :
+  Colring_stats.Rng.t -> n:int -> id_max:int -> dup_max:int -> int array
+(** Assignment where the value [id_max] occurs exactly [dup_max] times
+    and all other entries are uniform in [\[1, id_max - 1\]] (repeats
+    allowed) — the Lemma 17 workload.  Requires
+    [1 <= dup_max <= n]. *)
+
+val id_max : int array -> int
+val argmax : int array -> int
+(** Position of the maximal value (first one on ties). *)

@@ -1,0 +1,122 @@
+open Colring_engine
+
+type violation = { step : int; node : int; lemma : string; detail : string }
+
+type checker = {
+  net : Network.pulse Network.t;
+  ids : int array;
+  id_max : int;
+  max_node : int;
+  crossed : bool array; (* rho_cw >= id observed *)
+  mutable max_crossed : bool;
+  mutable violations : violation list; (* reversed *)
+}
+
+let attach net ~ids =
+  {
+    net;
+    ids;
+    id_max = Ids.id_max ids;
+    max_node = Ids.argmax ids;
+    crossed = Array.make (Array.length ids) false;
+    max_crossed = false;
+    violations = [];
+  }
+
+let report c ~step ~node ~lemma detail =
+  c.violations <- { step; node; lemma; detail } :: c.violations
+
+let counter counters name = List.assoc_opt name counters
+
+let check_direction c ~step ~node ~id ~rho ~sigma ~started ~suffix =
+  if started then begin
+    if rho < id && sigma <> rho + 1 then
+      report c ~step ~node ~lemma:("lemma6.1" ^ suffix)
+        (Printf.sprintf "rho=%d sigma=%d id=%d" rho sigma id);
+    if rho >= id && sigma <> rho then
+      report c ~step ~node ~lemma:("lemma6.2" ^ suffix)
+        (Printf.sprintf "rho=%d sigma=%d id=%d" rho sigma id)
+  end
+
+(* Lemmas 8/9 (hence 11): the clockwise instance is quiescent — no
+   pulse sent but not yet consumed — iff every node has received at
+   least its ID.  Both directions of the equivalence are checked from
+   the nodes' own counters (conservation: in-transit = Σσ - Σρ,
+   including mailbox pulses, as the paper's footnote 2 counts them). *)
+let check_quiescence_iff c ~step =
+  let n = Array.length c.ids in
+  let sum_sigma = ref 0 and sum_rho = ref 0 in
+  let all_crossed = ref true in
+  let have_counters = ref true in
+  for node = 0 to n - 1 do
+    let counters = Network.inspect c.net node in
+    match (counter counters "rho_cw", counter counters "sigma_cw") with
+    | Some rho, Some sigma ->
+        sum_rho := !sum_rho + rho;
+        sum_sigma := !sum_sigma + sigma;
+        if rho < c.ids.(node) then all_crossed := false
+    | _ -> have_counters := false
+  done;
+  if !have_counters then begin
+    let quiescent_cw = !sum_sigma = !sum_rho in
+    if quiescent_cw && not !all_crossed then
+      report c ~step ~node:(-1) ~lemma:"lemma9"
+        "cw quiescent but some node has rho < ID";
+    if !all_crossed && not quiescent_cw then
+      report c ~step ~node:(-1) ~lemma:"lemma8"
+        "all nodes crossed but cw pulses still in transit"
+  end
+
+let probe c ~step =
+  check_quiescence_iff c ~step;
+  let n = Array.length c.ids in
+  for node = 0 to n - 1 do
+    if not (Network.terminated c.net node) then begin
+      let counters = Network.inspect c.net node in
+      let id = c.ids.(node) in
+      (match (counter counters "rho_cw", counter counters "sigma_cw") with
+      | Some rho, Some sigma ->
+          check_direction c ~step ~node ~id ~rho ~sigma ~started:true
+            ~suffix:".cw";
+          if rho > c.id_max then
+            report c ~step ~node ~lemma:"corollary14"
+              (Printf.sprintf "rho_cw=%d > ID_max=%d" rho c.id_max);
+          if rho >= id && not c.crossed.(node) then begin
+            c.crossed.(node) <- true;
+            if c.max_crossed && node <> c.max_node then
+              report c ~step ~node ~lemma:"lemma7"
+                "crossed rho >= ID after the max-ID node";
+            if node = c.max_node then begin
+              c.max_crossed <- true;
+              Array.iteri
+                (fun v crossed ->
+                  if not crossed then
+                    report c ~step ~node:v ~lemma:"lemma7"
+                      "max-ID node crossed while this node had rho < ID")
+                c.crossed
+            end
+          end
+      | _ -> ());
+      match
+        ( counter counters "rho_ccw",
+          counter counters "sigma_ccw",
+          counter counters "term_initiated" )
+      with
+      | Some rho, Some sigma, Some initiated ->
+          (* The CCW instance starts with its first send; after the
+             leader initiates termination its sigma runs one ahead. *)
+          if initiated = 0 then
+            check_direction c ~step ~node ~id ~rho ~sigma ~started:(sigma > 0)
+              ~suffix:".ccw";
+          if rho > c.id_max + 1 then
+            report c ~step ~node ~lemma:"corollary14.ccw"
+              (Printf.sprintf "rho_ccw=%d > ID_max+1=%d" rho (c.id_max + 1))
+      | _ -> ()
+    end
+  done
+
+let violations c = List.rev c.violations
+let ok c = c.violations = []
+
+let pp_violation ppf v =
+  Format.fprintf ppf "step %d node %d [%s] %s" v.step v.node v.lemma v.detail

@@ -1,0 +1,30 @@
+(** Algorithm 4 — message-free random ID sampling for anonymous rings
+    (Section 5).
+
+    Each node samples a bit-length from a geometric distribution with
+    parameter [1 - p] where [p = 2^(-1/(c+2))], then that many uniform
+    bits.  For any [c > 0] the maximal sampled value over [n] nodes is
+    attained by a unique node with high probability, is at least
+    [n^Ω(c)] and at most [n^O(c²)] (Lemma 18).  The sampled value is
+    shifted by one so that IDs are positive integers, as the rest of
+    the paper assumes; the shift is order-preserving so none of the
+    guarantees change.
+
+    Feeding these IDs to Algorithm 3 (Improved scheme) yields the
+    Theorem 3 anonymous-ring election: only the maximal ID must be
+    unique (Lemma 16). *)
+
+val bit_length : Colring_stats.Rng.t -> c:float -> int
+(** The geometric [BitCount] sample (capped at 62 so values fit in an
+    OCaml [int]; the cap is hit with probability far below 2^-40 for
+    any [c] and [n] this repository uses). *)
+
+val sample : Colring_stats.Rng.t -> c:float -> int
+(** One ID: [1 + uniform {0,1}^BitCount], always [>= 1]. *)
+
+val sample_ring : Colring_stats.Rng.t -> c:float -> n:int -> int array
+(** Independent IDs for an [n]-node ring, one stream per node. *)
+
+val max_is_unique : int array -> bool
+(** Whether the maximum occurs exactly once — the success event of the
+    sampling stage. *)

@@ -1,0 +1,1 @@
+lib/engine/blocking.ml: Effect Network Port

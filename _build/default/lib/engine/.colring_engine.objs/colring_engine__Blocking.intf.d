@@ -1,0 +1,1 @@
+lib/engine/blocking.mli: Network Port

@@ -1,0 +1,1 @@
+lib/engine/diagram.ml: Buffer List Output Port Printf String Trace

@@ -1,0 +1,1 @@
+lib/engine/diagram.mli: Trace

@@ -1,0 +1,1 @@
+lib/engine/explore.ml: Buffer Format Hashtbl List Network Output Port Topology

@@ -1,0 +1,1 @@
+lib/engine/metrics.ml: Array Format

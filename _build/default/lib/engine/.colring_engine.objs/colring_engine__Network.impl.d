@@ -1,0 +1,1 @@
+lib/engine/network.ml: Array Colring_stats Fun List Metrics Output Port Queue Scheduler Topology Trace

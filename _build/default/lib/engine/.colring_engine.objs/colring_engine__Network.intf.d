@@ -1,0 +1,1 @@
+lib/engine/network.mli: Colring_stats Metrics Output Port Scheduler Topology Trace

@@ -1,0 +1,1 @@
+lib/engine/output.ml: Format List Option Port String

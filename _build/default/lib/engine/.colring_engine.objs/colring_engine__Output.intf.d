@@ -1,0 +1,1 @@
+lib/engine/output.mli: Format Port

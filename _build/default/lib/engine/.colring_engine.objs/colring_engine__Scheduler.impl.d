@@ -1,0 +1,1 @@
+lib/engine/scheduler.ml: Array Colring_stats Format Printf Seq

@@ -1,0 +1,1 @@
+lib/engine/scheduler.mli: Colring_stats Format

@@ -1,0 +1,1 @@
+lib/engine/topology.ml: Array Colring_stats Format Fun Port

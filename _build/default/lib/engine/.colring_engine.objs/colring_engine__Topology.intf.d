@@ -1,0 +1,1 @@
+lib/engine/topology.mli: Colring_stats Format Port

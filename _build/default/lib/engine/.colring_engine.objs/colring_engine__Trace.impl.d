@@ -1,0 +1,1 @@
+lib/engine/trace.ml: Format List Output Port

@@ -1,0 +1,81 @@
+type stats = {
+  distinct_states : int;
+  terminal_states : int;
+  replayed_deliveries : int;
+  failures : int;
+  truncated : bool;
+  max_depth : int;
+}
+
+let fingerprint net =
+  let buf = Buffer.create 128 in
+  let n = Network.size net in
+  let topo = Network.topology net in
+  for link = 0 to Topology.num_links topo - 1 do
+    Buffer.add_string buf (string_of_int (Network.channel_length net ~link));
+    Buffer.add_char buf ','
+  done;
+  Buffer.add_char buf '|';
+  for v = 0 to n - 1 do
+    Buffer.add_string buf
+      (string_of_int (Network.mailbox_length net ~node:v ~port:Port.P0));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf
+      (string_of_int (Network.mailbox_length net ~node:v ~port:Port.P1));
+    Buffer.add_char buf ';';
+    Buffer.add_string buf (if Network.terminated net v then "T" else "t");
+    Buffer.add_string buf (Format.asprintf "%a" Output.pp (Network.output net v));
+    List.iter
+      (fun (k, x) ->
+        Buffer.add_string buf k;
+        Buffer.add_char buf '=';
+        Buffer.add_string buf (string_of_int x);
+        Buffer.add_char buf ' ')
+      (Network.inspect net v);
+    Buffer.add_char buf '|'
+  done;
+  Buffer.contents buf
+
+let replay make path =
+  let net = make () in
+  List.iter (fun link -> Network.force_step net ~link) (List.rev path);
+  net
+
+let exhaustive ?(max_states = 200_000) ~make ~check () =
+  let seen = Hashtbl.create 4096 in
+  let terminal = ref 0 in
+  let failures = ref 0 in
+  let replayed = ref 0 in
+  let truncated = ref false in
+  let max_depth = ref 0 in
+  (* The stack holds decision paths (most recent decision first). *)
+  let stack = ref [ [] ] in
+  while !stack <> [] && not !truncated do
+    match !stack with
+    | [] -> ()
+    | path :: rest ->
+        stack := rest;
+        let depth = List.length path in
+        if depth > !max_depth then max_depth := depth;
+        let net = replay make path in
+        replayed := !replayed + depth;
+        let fp = fingerprint net in
+        if not (Hashtbl.mem seen fp) then begin
+          Hashtbl.add seen fp ();
+          if Hashtbl.length seen >= max_states then truncated := true;
+          match Network.active_links net with
+          | [] ->
+              incr terminal;
+              if not (check net) then incr failures
+          | links ->
+              List.iter (fun link -> stack := (link :: path) :: !stack) links
+        end
+  done;
+  {
+    distinct_states = Hashtbl.length seen;
+    terminal_states = !terminal;
+    replayed_deliveries = !replayed;
+    failures = !failures;
+    truncated = !truncated;
+    max_depth = !max_depth;
+  }

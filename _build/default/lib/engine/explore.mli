@@ -1,0 +1,45 @@
+(** Exhaustive exploration of the asynchronous adversary's choices —
+    bounded model checking for pulse protocols.
+
+    The only nondeterminism in the model is which non-empty link
+    delivers next, so the reachable behaviours of an instance form a
+    tree of link choices.  {!exhaustive} walks that tree depth-first,
+    de-duplicating states by a fingerprint built from everything that
+    determines future behaviour: per-link queue lengths (pulses are
+    contentless, so lengths suffice), mailbox lengths, termination
+    flags, node outputs, and every counter the programs expose through
+    [inspect].
+
+    Soundness of the de-duplication requires programs to be
+    {e state-transparent}: two nodes with equal inspect counters, equal
+    outputs and equal termination status must behave identically.  All
+    algorithms in this repository satisfy this (their whole mutable
+    state is exported).
+
+    States are reconstructed by replaying the decision path from a
+    fresh network, so no state snapshotting is needed; this is
+    quadratic in path depth and meant for small instances (tens of
+    total deliveries), where it proves a theorem-like statement: {e
+    every} reachable execution satisfies the property. *)
+
+type stats = {
+  distinct_states : int;  (** Fingerprint-distinct states visited. *)
+  terminal_states : int;  (** States with no message in flight. *)
+  replayed_deliveries : int;  (** Total work done, in deliveries. *)
+  failures : int;  (** Terminal states where the property failed. *)
+  truncated : bool;  (** Hit [max_states] before finishing. *)
+  max_depth : int;  (** Longest decision path seen. *)
+}
+
+val exhaustive :
+  ?max_states:int ->
+  make:(unit -> Network.pulse Network.t) ->
+  check:(Network.pulse Network.t -> bool) ->
+  unit ->
+  stats
+(** [exhaustive ~make ~check ()] explores every schedule of the
+    instance built by [make] (default [max_states] 200_000) and
+    evaluates [check] at each distinct terminal state. *)
+
+val fingerprint : Network.pulse Network.t -> string
+(** The state fingerprint described above (exposed for tests). *)

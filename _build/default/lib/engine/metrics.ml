@@ -1,0 +1,61 @@
+type t = {
+  mutable sends : int;
+  mutable sends_cw : int;
+  mutable deliveries : int;
+  mutable consumes : int;
+  mutable wakes : int;
+  mutable post_term : int;
+  sends_by_node : int array;
+  sends_by_link : int array;
+  delivered : int array; (* node * 2 + port *)
+  consumed : int array;
+}
+
+let create ~n_nodes ~n_links =
+  {
+    sends = 0;
+    sends_cw = 0;
+    deliveries = 0;
+    consumes = 0;
+    wakes = 0;
+    post_term = 0;
+    sends_by_node = Array.make n_nodes 0;
+    sends_by_link = Array.make n_links 0;
+    delivered = Array.make (n_nodes * 2) 0;
+    consumed = Array.make (n_nodes * 2) 0;
+  }
+
+let on_send t ~link ~node ~cw =
+  t.sends <- t.sends + 1;
+  if cw then t.sends_cw <- t.sends_cw + 1;
+  t.sends_by_node.(node) <- t.sends_by_node.(node) + 1;
+  t.sends_by_link.(link) <- t.sends_by_link.(link) + 1
+
+let on_deliver t ~node ~port_index =
+  t.deliveries <- t.deliveries + 1;
+  let i = (node * 2) + port_index in
+  t.delivered.(i) <- t.delivered.(i) + 1
+
+let on_consume t ~node ~port_index =
+  t.consumes <- t.consumes + 1;
+  let i = (node * 2) + port_index in
+  t.consumed.(i) <- t.consumed.(i) + 1
+
+let on_post_termination_delivery t = t.post_term <- t.post_term + 1
+let on_wake t = t.wakes <- t.wakes + 1
+
+let sends t = t.sends
+let sends_cw t = t.sends_cw
+let sends_ccw t = t.sends - t.sends_cw
+let deliveries t = t.deliveries
+let consumes t = t.consumes
+let wakes t = t.wakes
+let sends_by t ~node = t.sends_by_node.(node)
+let sends_on_link t ~link = t.sends_by_link.(link)
+let delivered_to t ~node ~port_index = t.delivered.((node * 2) + port_index)
+let consumed_by t ~node ~port_index = t.consumed.((node * 2) + port_index)
+let post_termination_deliveries t = t.post_term
+
+let pp ppf t =
+  Format.fprintf ppf "sends=%d (cw=%d ccw=%d) deliveries=%d consumes=%d wakes=%d post-term=%d"
+    t.sends t.sends_cw (sends_ccw t) t.deliveries t.consumes t.wakes t.post_term

@@ -1,0 +1,39 @@
+(** Engine-side counters.
+
+    These are maintained by the simulator independently of whatever
+    counters the node programs keep (the paper's ρ and σ), so tests can
+    cross-check the two.  Message complexity in the paper counts *sent*
+    pulses; {!sends} is the number the benches report. *)
+
+type t
+
+val create : n_nodes:int -> n_links:int -> t
+
+val on_send : t -> link:int -> node:int -> cw:bool -> unit
+val on_deliver : t -> node:int -> port_index:int -> unit
+val on_consume : t -> node:int -> port_index:int -> unit
+val on_post_termination_delivery : t -> unit
+val on_wake : t -> unit
+
+val sends : t -> int
+(** Total pulses sent — the paper's message complexity. *)
+
+val sends_cw : t -> int
+(** Pulses sent that travel clockwise (ground-truth direction). *)
+
+val sends_ccw : t -> int
+
+val deliveries : t -> int
+val consumes : t -> int
+val wakes : t -> int
+
+val sends_by : t -> node:int -> int
+val sends_on_link : t -> link:int -> int
+val delivered_to : t -> node:int -> port_index:int -> int
+val consumed_by : t -> node:int -> port_index:int -> int
+
+val post_termination_deliveries : t -> int
+(** Number of pulses delivered to already-terminated nodes.  Zero iff
+    termination was quiescent in the paper's sense. *)
+
+val pp : Format.formatter -> t -> unit

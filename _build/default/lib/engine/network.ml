@@ -1,0 +1,264 @@
+module Rng = Colring_stats.Rng
+
+type 'm api = {
+  node : int;
+  recv : Port.t -> 'm option;
+  peek : Port.t -> 'm option;
+  pending : Port.t -> int;
+  send : Port.t -> 'm -> unit;
+  set_output : Output.t -> unit;
+  terminate : unit -> unit;
+  rng : Rng.t;
+}
+
+type 'm program = {
+  start : 'm api -> unit;
+  wake : 'm api -> unit;
+  inspect : unit -> (string * int) list;
+}
+
+let silent_program =
+  { start = (fun _ -> ()); wake = (fun _ -> ()); inspect = (fun () -> []) }
+
+type 'm envelope = { payload : 'm; seq : int; batch : int; depth : int }
+
+type 'm t = {
+  topo : Topology.t;
+  programs : 'm program array;
+  mutable apis : 'm api array;
+  channels : 'm envelope Queue.t array; (* by link id *)
+  mailboxes : 'm Queue.t array; (* node * 2 + port *)
+  outputs : Output.t array;
+  term : bool array;
+  mutable term_order_rev : int list;
+  metrics : Metrics.t;
+  trace : Trace.t option;
+  mutable next_seq : int;
+  mutable next_batch : int;
+  mutable in_flight : int;
+  mutable mailbox_backlog : int;
+  (* Causal clocks: [local_clock.(v)] is the largest causal depth of
+     any pulse delivered to v; pulses sent by v's current activation
+     carry depth [local_clock.(v) + 1].  The maximum over all delivered
+     pulses is the run's asynchronous time (every message counted as
+     one time unit). *)
+  local_clock : int array;
+  mutable causal_span : int;
+  nonempty_buf : int array; (* scratch for scheduler views *)
+}
+
+let record t e = match t.trace with None -> () | Some tr -> Trace.record tr e
+
+let slot v p = (v * 2) + Port.index p
+
+let make_api t v rng =
+  let recv p =
+    match Queue.take_opt t.mailboxes.(slot v p) with
+    | None -> None
+    | Some m ->
+        t.mailbox_backlog <- t.mailbox_backlog - 1;
+        Metrics.on_consume t.metrics ~node:v ~port_index:(Port.index p);
+        record t (Trace.Consume { node = v; port = p });
+        Some m
+  in
+  let peek p = Queue.peek_opt t.mailboxes.(slot v p) in
+  let pending p = Queue.length t.mailboxes.(slot v p) in
+  let send p m =
+    if t.term.(v) then failwith "Network: send after terminate";
+    let link = Topology.link_id t.topo v p in
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    Queue.add
+      {
+        payload = m;
+        seq;
+        batch = t.next_batch;
+        depth = t.local_clock.(v) + 1;
+      }
+      t.channels.(link);
+    t.in_flight <- t.in_flight + 1;
+    Metrics.on_send t.metrics ~link ~node:v
+      ~cw:(Topology.link_travels_cw t.topo link);
+    record t (Trace.Send { node = v; port = p; seq })
+  in
+  let set_output o =
+    if t.outputs.(v) <> o then begin
+      t.outputs.(v) <- o;
+      record t (Trace.Decide { node = v; output = o })
+    end
+  in
+  let terminate () =
+    if not t.term.(v) then begin
+      t.term.(v) <- true;
+      t.term_order_rev <- v :: t.term_order_rev;
+      record t (Trace.Terminate { node = v })
+    end
+  in
+  { node = v; recv; peek; pending; send; set_output; terminate; rng }
+
+let create ?(record_trace = false) ?(seed = 0) topo make_program =
+  Topology.check topo;
+  let n = Topology.n topo in
+  let programs = Array.init n make_program in
+  let t =
+    {
+      topo;
+      programs;
+      apis = [||];
+      channels = Array.init (Topology.num_links topo) (fun _ -> Queue.create ());
+      mailboxes = Array.init (n * 2) (fun _ -> Queue.create ());
+      outputs = Array.make n Output.empty;
+      term = Array.make n false;
+      term_order_rev = [];
+      metrics = Metrics.create ~n_nodes:n ~n_links:(Topology.num_links topo);
+      trace = (if record_trace then Some (Trace.create ()) else None);
+      next_seq = 0;
+      next_batch = 0;
+      in_flight = 0;
+      mailbox_backlog = 0;
+      local_clock = Array.make n 0;
+      causal_span = 0;
+      nonempty_buf = Array.make (Topology.num_links topo) 0;
+    }
+  in
+  let root_rng = Rng.create ~seed in
+  t.apis <- Array.init n (fun v -> make_api t v (Rng.split_at root_rng v));
+  for v = 0 to n - 1 do
+    t.next_batch <- t.next_batch + 1;
+    Metrics.on_wake t.metrics;
+    t.programs.(v).start t.apis.(v)
+  done;
+  t
+
+let view t =
+  let k = ref 0 in
+  Array.iteri
+    (fun link q ->
+      if not (Queue.is_empty q) then begin
+        t.nonempty_buf.(!k) <- link;
+        incr k
+      end)
+    t.channels;
+  let nonempty = Array.sub t.nonempty_buf 0 !k in
+  {
+    Scheduler.nonempty;
+    head_seq = (fun link -> (Queue.peek t.channels.(link)).seq);
+    head_batch = (fun link -> (Queue.peek t.channels.(link)).batch);
+    travels_cw = (fun link -> Topology.link_travels_cw t.topo link);
+    dst_node = (fun link -> fst (Topology.link_dst t.topo link));
+    step = Metrics.deliveries t.metrics;
+  }
+
+let deliver_from t link =
+  let env = Queue.take t.channels.(link) in
+  t.in_flight <- t.in_flight - 1;
+  let dst, dst_port = Topology.link_dst t.topo link in
+  if t.term.(dst) then
+    (* Terminated nodes ignore pulses; each such arrival is a
+       violation of quiescent termination, which tests assert away. *)
+    Metrics.on_post_termination_delivery t.metrics
+  else begin
+    Metrics.on_deliver t.metrics ~node:dst ~port_index:(Port.index dst_port);
+    record t (Trace.Deliver { node = dst; port = dst_port; seq = env.seq });
+    Queue.add env.payload t.mailboxes.(slot dst dst_port);
+    t.mailbox_backlog <- t.mailbox_backlog + 1;
+    if env.depth > t.local_clock.(dst) then t.local_clock.(dst) <- env.depth;
+    if env.depth > t.causal_span then t.causal_span <- env.depth;
+    t.next_batch <- t.next_batch + 1;
+    Metrics.on_wake t.metrics;
+    t.programs.(dst).wake t.apis.(dst)
+  end
+
+let step t (sched : Scheduler.t) =
+  if t.in_flight = 0 then false
+  else begin
+    deliver_from t (sched.pick (view t));
+    true
+  end
+
+let active_links t =
+  let acc = ref [] in
+  for link = Array.length t.channels - 1 downto 0 do
+    if not (Queue.is_empty t.channels.(link)) then acc := link :: !acc
+  done;
+  !acc
+
+let force_step t ~link =
+  if Queue.is_empty t.channels.(link) then
+    invalid_arg "Network.force_step: empty link";
+  deliver_from t link
+
+let channel_length t ~link = Queue.length t.channels.(link)
+let mailbox_length t ~node ~port = Queue.length t.mailboxes.(slot node port)
+
+let inject t ~node ~port m =
+  let link = Topology.link_id t.topo node port in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.next_batch <- t.next_batch + 1;
+  Queue.add
+    { payload = m; seq; batch = t.next_batch; depth = t.local_clock.(node) + 1 }
+    t.channels.(link);
+  t.in_flight <- t.in_flight + 1;
+  Metrics.on_send t.metrics ~link ~node
+    ~cw:(Topology.link_travels_cw t.topo link);
+  record t (Trace.Send { node; port; seq })
+
+type run_result = {
+  sends : int;
+  deliveries : int;
+  quiescent : bool;
+  all_terminated : bool;
+  exhausted : bool;
+  termination_order : int list;
+}
+
+let all_terminated t = Array.for_all Fun.id t.term
+let in_flight t = t.in_flight
+let mailbox_backlog t = t.mailbox_backlog
+let is_quiescent t = t.in_flight = 0 && t.mailbox_backlog = 0
+
+let run ?(max_deliveries = 50_000_000) ?probe t sched =
+  let exhausted = ref false in
+  let continue = ref true in
+  while !continue do
+    if Metrics.deliveries t.metrics >= max_deliveries then begin
+      exhausted := true;
+      continue := false
+    end
+    else if not (step t sched) then continue := false
+    else
+      match probe with
+      | None -> ()
+      | Some f -> f ~step:(Metrics.deliveries t.metrics)
+  done;
+  {
+    sends = Metrics.sends t.metrics;
+    deliveries = Metrics.deliveries t.metrics;
+    quiescent = is_quiescent t;
+    all_terminated = all_terminated t;
+    exhausted = !exhausted;
+    termination_order = List.rev t.term_order_rev;
+  }
+
+let causal_span t = t.causal_span
+
+let topology t = t.topo
+let size t = Topology.n t.topo
+let output t v = t.outputs.(v)
+let outputs t = Array.copy t.outputs
+let terminated t v = t.term.(v)
+let termination_order t = List.rev t.term_order_rev
+let inspect t v = t.programs.(v).inspect ()
+
+let inspect_counter t v name =
+  match List.assoc_opt name (inspect t v) with
+  | Some x -> x
+  | None -> raise Not_found
+
+let metrics t = t.metrics
+let trace t = t.trace
+
+type pulse = unit
+
+let pulse = ()

@@ -1,0 +1,144 @@
+(** The asynchronous fully-defective network simulator.
+
+    Nodes are event-driven (Section 2): a node acts once at start-up
+    and afterwards only when the scheduler delivers a pulse to it.  The
+    simulator keeps, per directed link, a FIFO queue of in-flight
+    messages, and per node and local port a mailbox of delivered but
+    not yet consumed messages — the paper's "incoming queue" that
+    [recvCW]/[recvCCW] poll.  A {!Scheduler.t} decides which in-flight
+    message moves into a mailbox next; after each delivery the
+    receiving node's program is woken and polls its mailboxes.
+
+    The payload type ['m] is [unit] for content-oblivious algorithms
+    (see {!pulse}); the classic baselines instantiate it with real
+    message contents.  Nothing in the simulator lets a scheduler or a
+    program observe anything the model forbids. *)
+
+type 'm t
+
+(** {2 Node programs} *)
+
+type 'm api = {
+  node : int;  (** This node's index; programs must not use it as an ID. *)
+  recv : Port.t -> 'm option;
+      (** Consume the oldest mailbox entry of a local port, if any —
+          the paper's [recv*()] (returns 0/1 there). *)
+  peek : Port.t -> 'm option;  (** Look without consuming. *)
+  pending : Port.t -> int;  (** Mailbox length. *)
+  send : Port.t -> 'm -> unit;
+      (** Emit through a local port.  Raises after {!field-terminate}. *)
+  set_output : Output.t -> unit;
+      (** Revise this node's output (allowed until termination). *)
+  terminate : unit -> unit;
+      (** Enter the terminating state: all later incoming pulses are
+          ignored (and counted as quiescence violations). *)
+  rng : Colring_stats.Rng.t;  (** Private randomness source. *)
+}
+
+type 'm program = {
+  start : 'm api -> unit;  (** The one initial activation. *)
+  wake : 'm api -> unit;
+      (** Called after every delivery to this node; must poll mailboxes
+          to a fixpoint and return (never block). *)
+  inspect : unit -> (string * int) list;
+      (** Named internal counters (ρ, σ, …) for invariant probes. *)
+}
+
+val silent_program : 'm program
+(** A program that never sends, consumes or decides. *)
+
+(** {2 Construction} *)
+
+val create :
+  ?record_trace:bool ->
+  ?seed:int ->
+  Topology.t ->
+  (int -> 'm program) ->
+  'm t
+(** [create topo make_program] instantiates [make_program v] for every
+    node [v] and runs each program's [start].  [seed] derives every
+    node's private {!Colring_stats.Rng.t} stream (default 0);
+    [record_trace] enables event recording (default off). *)
+
+(** {2 Execution} *)
+
+type run_result = {
+  sends : int;  (** Total pulses sent — the paper's message complexity. *)
+  deliveries : int;
+  quiescent : bool;
+      (** Nothing in flight and every mailbox empty when the run ended. *)
+  all_terminated : bool;
+  exhausted : bool;  (** Stopped by [max_deliveries] instead of quiescence. *)
+  termination_order : int list;  (** Chronological. *)
+}
+
+val run :
+  ?max_deliveries:int ->
+  ?probe:(step:int -> unit) ->
+  'm t ->
+  Scheduler.t ->
+  run_result
+(** Deliver until no message is in flight (or [max_deliveries] is hit,
+    default [50_000_000]).  [probe] runs after every delivery-and-wake,
+    letting tests assert invariants at each reachable configuration. *)
+
+val step : 'm t -> Scheduler.t -> bool
+(** Deliver exactly one message; [false] when nothing was in flight. *)
+
+val active_links : 'm t -> int list
+(** Directed links that currently hold in-flight messages, ascending —
+    the choice points of the asynchronous adversary. *)
+
+val force_step : 'm t -> link:int -> unit
+(** Deliver the oldest message of one specific link (bypassing any
+    scheduler); raises [Invalid_argument] if the link is empty.  Used
+    by the exhaustive explorer. *)
+
+val channel_length : 'm t -> link:int -> int
+val mailbox_length : 'm t -> node:int -> port:Port.t -> int
+
+val inject : 'm t -> node:int -> port:Port.t -> 'm -> unit
+(** Put a message in flight on [node]'s outgoing channel at [port] as
+    if the node had sent it — a deliberate *violation* of the model
+    (Section 2: "pulses cannot be dropped or injected by the channel").
+    Exists only so tests and benches can demonstrate that the
+    no-injection assumption is load-bearing: a single spurious pulse
+    breaks Algorithm 2's counting.  Injected messages are counted in
+    {!Metrics.sends}. *)
+
+(** {2 Observation} *)
+
+val topology : 'm t -> Topology.t
+val size : 'm t -> int
+val output : 'm t -> int -> Output.t
+val outputs : 'm t -> Output.t array
+val terminated : 'm t -> int -> bool
+val all_terminated : 'm t -> bool
+val termination_order : 'm t -> int list
+val inspect : 'm t -> int -> (string * int) list
+val inspect_counter : 'm t -> int -> string -> int
+(** Raises [Not_found] for an unknown counter name. *)
+
+val metrics : 'm t -> Metrics.t
+val trace : 'm t -> Trace.t option
+val in_flight : 'm t -> int
+(** Messages in channels (sent, not yet delivered). *)
+
+val mailbox_backlog : 'm t -> int
+(** Messages delivered but not yet consumed, over all nodes. *)
+
+val is_quiescent : 'm t -> bool
+(** [in_flight = 0] and [mailbox_backlog = 0]. *)
+
+val causal_span : 'm t -> int
+(** The asynchronous time of the run so far: the longest chain of
+    causally dependent deliveries, counting each message as one time
+    unit (a pulse sent by an activation carries depth one more than the
+    deepest pulse its node has received).  The paper analyses message
+    complexity only; this exposes the orthogonal time dimension. *)
+
+(** {2 Pulses} *)
+
+type pulse = unit
+
+val pulse : pulse

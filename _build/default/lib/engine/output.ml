@@ -1,0 +1,33 @@
+type role = Leader | Non_leader | Undecided
+
+type t = {
+  role : role;
+  cw_port : Port.t option;
+  value : int option;
+  values : int list;
+}
+
+let empty = { role = Undecided; cw_port = None; value = None; values = [] }
+let leader = { empty with role = Leader }
+let non_leader = { empty with role = Non_leader }
+let with_role role t = { t with role }
+let with_cw_port p t = { t with cw_port = Some p }
+let with_value v t = { t with value = Some v }
+let with_values vs t = { t with values = vs }
+
+let role_to_string = function
+  | Leader -> "Leader"
+  | Non_leader -> "Non-Leader"
+  | Undecided -> "Undecided"
+
+let equal_role (a : role) (b : role) = a = b
+
+let pp ppf t =
+  Format.fprintf ppf "%s" (role_to_string t.role);
+  Option.iter (fun p -> Format.fprintf ppf " cw=%a" Port.pp p) t.cw_port;
+  Option.iter (fun v -> Format.fprintf ppf " value=%d" v) t.value;
+  match t.values with
+  | [] -> ()
+  | vs ->
+      Format.fprintf ppf " values=[%s]"
+        (String.concat ";" (List.map string_of_int vs))

@@ -1,0 +1,34 @@
+(** Node outputs.
+
+    A single record covers every algorithm in the repository: leader
+    election sets {!field-role}; ring orientation sets
+    {!field-cw_port}; composed computations (Corollary 5) set
+    {!field-value} or {!field-values}.  Outputs are revisable until the
+    node terminates — stabilizing algorithms overwrite them as pulses
+    arrive, exactly like the [state] variable of Algorithm 1. *)
+
+type role = Leader | Non_leader | Undecided
+
+type t = {
+  role : role;
+  cw_port : Port.t option;
+      (** The local port this node believes leads to its clockwise
+          neighbour, for orientation algorithms. *)
+  value : int option;  (** Scalar result of a composed computation. *)
+  values : int list;  (** Vector result (e.g. an all-gather). *)
+}
+
+val empty : t
+(** Undecided, no orientation, no values. *)
+
+val leader : t
+val non_leader : t
+
+val with_role : role -> t -> t
+val with_cw_port : Port.t -> t -> t
+val with_value : int -> t -> t
+val with_values : int list -> t -> t
+
+val role_to_string : role -> string
+val equal_role : role -> role -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+(** The two communication ports of a ring node (Section 2 of the paper).
+
+    A node only ever sees its local port names [Port_0] and [Port_1];
+    whether a port leads clockwise is a global property the node cannot
+    observe on a non-oriented ring. *)
+
+type t = P0 | P1
+
+val opposite : t -> t
+(** [opposite P0 = P1] and vice versa. *)
+
+val index : t -> int
+(** [0] or [1]; used for array indexing. *)
+
+val of_index : int -> t
+(** Inverse of {!index}; raises [Invalid_argument] outside [{0,1}]. *)
+
+val all : t list
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

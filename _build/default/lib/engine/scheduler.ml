@@ -1,0 +1,108 @@
+type view = {
+  nonempty : int array;
+  head_seq : int -> int;
+  head_batch : int -> int;
+  travels_cw : int -> bool;
+  dst_node : int -> int;
+  step : int;
+}
+
+type t = { name : string; pick : view -> int }
+
+let argmin_by key v =
+  let best = ref v.nonempty.(0) in
+  let best_key = ref (key v v.nonempty.(0)) in
+  Array.iter
+    (fun link ->
+      let k = key v link in
+      if k < !best_key then begin
+        best := link;
+        best_key := k
+      end)
+    v.nonempty;
+  !best
+
+(* Key tuples are packed lexicographically as (a, b, c). *)
+let fifo =
+  {
+    name = "fifo-cw-priority";
+    pick =
+      argmin_by (fun v link ->
+          (v.head_batch link, (if v.travels_cw link then 0 else 1), v.head_seq link));
+  }
+
+let global_fifo =
+  { name = "global-fifo"; pick = argmin_by (fun v link -> (v.head_seq link, 0, 0)) }
+
+let lifo =
+  { name = "lifo"; pick = argmin_by (fun v link -> (-v.head_seq link, 0, 0)) }
+
+let round_robin () =
+  let cursor = ref 0 in
+  {
+    name = "round-robin";
+    pick =
+      (fun v ->
+        (* First non-empty link at or after the cursor, wrapping. *)
+        let after = Array.to_seq v.nonempty |> Seq.filter (fun l -> l >= !cursor) in
+        let link =
+          match after () with
+          | Seq.Cons (l, _) -> l
+          | Seq.Nil -> v.nonempty.(0)
+        in
+        cursor := link + 1;
+        link);
+  }
+
+let random rng =
+  {
+    name = "random";
+    pick = (fun v -> Colring_stats.Rng.choose rng v.nonempty);
+  }
+
+let bias_direction ~cw =
+  {
+    name = (if cw then "bias-cw" else "bias-ccw");
+    pick =
+      argmin_by (fun v link ->
+          ((if v.travels_cw link = cw then 0 else 1), v.head_seq link, 0));
+  }
+
+let starve_node ~node =
+  {
+    name = Printf.sprintf "starve-node-%d" node;
+    pick =
+      argmin_by (fun v link ->
+          ((if v.dst_node link = node then 1 else 0), v.head_seq link, 0));
+  }
+
+let hog_node ~node =
+  {
+    name = Printf.sprintf "hog-node-%d" node;
+    pick =
+      argmin_by (fun v link ->
+          ((if v.dst_node link = node then 0 else 1), v.head_seq link, 0));
+  }
+
+let starve_link ~link:starved =
+  {
+    name = Printf.sprintf "starve-link-%d" starved;
+    pick =
+      argmin_by (fun v link ->
+          ((if link = starved then 1 else 0), v.head_seq link, 0));
+  }
+
+let all_deterministic () =
+  [
+    fifo;
+    global_fifo;
+    lifo;
+    round_robin ();
+    bias_direction ~cw:true;
+    bias_direction ~cw:false;
+    starve_node ~node:0;
+    hog_node ~node:0;
+    starve_link ~link:0;
+  ]
+
+let pp ppf t = Format.pp_print_string ppf t.name

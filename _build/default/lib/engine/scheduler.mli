@@ -1,0 +1,67 @@
+(** Asynchronous adversaries.
+
+    In the fully-defective model the only power the network has is the
+    choice of which in-flight pulse gets delivered next (delays are
+    arbitrary but finite, channels never drop, duplicate or reorder
+    pulses).  A scheduler realizes one such choice policy.  Algorithms
+    must be correct under *every* scheduler; the test-suite runs each
+    algorithm against all of them, including seeded random ones.
+
+    A scheduler sees a {!view} of the in-flight state — which directed
+    links are non-empty, the age of each link's oldest pulse — and
+    returns the link to deliver from.  It never sees pulse contents
+    (there are none) nor node states. *)
+
+type view = {
+  nonempty : int array;  (** Link ids with pulses in flight, ascending. *)
+  head_seq : int -> int;
+      (** Global send-sequence number of a link's oldest pulse. *)
+  head_batch : int -> int;
+      (** Send batch (one per node activation) of a link's oldest
+          pulse; pulses of one batch were sent "at the same time". *)
+  travels_cw : int -> bool;  (** Ground-truth direction of a link. *)
+  dst_node : int -> int;  (** Receiving node of a link. *)
+  step : int;  (** Deliveries performed so far. *)
+}
+
+type t = { name : string; pick : view -> int }
+
+val fifo : t
+(** Definition 21's scheduler: oldest pulse first, batch ties broken in
+    favour of clockwise pulses. *)
+
+val global_fifo : t
+(** Strict global send order (sequence numbers only). *)
+
+val lifo : t
+(** Always delivers the link whose oldest pulse is youngest; an
+    aggressive reordering adversary. *)
+
+val round_robin : unit -> t
+(** Rotates over links; stateful, create one per run. *)
+
+val random : Colring_stats.Rng.t -> t
+(** Uniform choice among non-empty links. *)
+
+val bias_direction : cw:bool -> t
+(** Prefers delivering pulses travelling in the given ground-truth
+    direction; falls back to FIFO among the preferred class.  With
+    [~cw:false] this starves the clockwise instance, stressing
+    Algorithm 2's requirement that the counterclockwise instance lag. *)
+
+val starve_node : node:int -> t
+(** Withholds deliveries to [node] for as long as any other delivery is
+    possible. *)
+
+val hog_node : node:int -> t
+(** Delivers to [node] whenever possible. *)
+
+val starve_link : link:int -> t
+(** Withholds one directed link as long as possible — the
+    slow-channel adversary. *)
+
+val all_deterministic : unit -> t list
+(** Fresh instances of every deterministic scheduler above (node- and
+    link-specific ones instantiated for node 0 / link 0). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,94 @@
+type t = {
+  size : int;
+  peers : (int * Port.t) array; (* index: node * 2 + port *)
+  cw_ports : Port.t array; (* ground-truth clockwise sending port per node *)
+}
+
+let n t = t.size
+
+let slot v (p : Port.t) = (v * 2) + Port.index p
+
+let peer t v p = t.peers.(slot v p)
+let cw_send_port t v = t.cw_ports.(v)
+let flipped t v = Port.equal t.cw_ports.(v) Port.P0
+let is_oriented t = Array.for_all (fun p -> Port.equal p Port.P1) t.cw_ports
+
+let non_oriented ~flips =
+  let size = Array.length flips in
+  if size < 1 then invalid_arg "Topology.non_oriented: empty ring";
+  let cw_ports =
+    Array.map (fun f -> if f then Port.P0 else Port.P1) flips
+  in
+  let peers = Array.make (size * 2) (-1, Port.P0) in
+  for v = 0 to size - 1 do
+    let w = (v + 1) mod size in
+    (* v's clockwise-out port connects to w's counterclockwise-out port
+       (i.e. the port through which w receives clockwise pulses). *)
+    let vp = cw_ports.(v) and wp = Port.opposite cw_ports.(w) in
+    peers.(slot v vp) <- (w, wp);
+    peers.(slot w wp) <- (v, vp)
+  done;
+  { size; peers; cw_ports }
+
+let oriented size =
+  if size < 1 then invalid_arg "Topology.oriented: n must be >= 1";
+  non_oriented ~flips:(Array.make size false)
+
+let random_non_oriented rng size =
+  if size < 1 then invalid_arg "Topology.random_non_oriented: n must be >= 1";
+  non_oriented ~flips:(Array.init size (fun _ -> Colring_stats.Rng.bool rng))
+
+let cw_neighbor t v = fst (peer t v (cw_send_port t v))
+let ccw_neighbor t v = fst (peer t v (Port.opposite (cw_send_port t v)))
+
+let distance_cw t u v =
+  let rec go cur d =
+    if cur = v then d
+    else if d > t.size then failwith "Topology.distance_cw: not a ring"
+    else go (cw_neighbor t cur) (d + 1)
+  in
+  go u 0
+
+let num_links t = t.size * 2
+let link_id _t v p = slot v p
+let link_src _t id = (id / 2, Port.of_index (id mod 2))
+let link_dst t id = t.peers.(id)
+
+let link_travels_cw t id =
+  let v, p = link_src t id in
+  Port.equal p t.cw_ports.(v)
+
+let check t =
+  (* Wiring symmetry: the peer relation is an involution on endpoints. *)
+  for id = 0 to num_links t - 1 do
+    let v, p = link_src t id in
+    let w, q = peer t v p in
+    let v', p' = peer t w q in
+    if v' <> v || not (Port.equal p' p) then
+      failwith "Topology.check: wiring not symmetric"
+  done;
+  (* Single clockwise cycle covering all nodes. *)
+  let visited = Array.make t.size false in
+  let rec walk cur steps =
+    if steps > t.size then failwith "Topology.check: walk too long"
+    else begin
+      if steps < t.size then begin
+        if visited.(cur) then failwith "Topology.check: premature revisit";
+        visited.(cur) <- true;
+        walk (cw_neighbor t cur) (steps + 1)
+      end
+      else if cur <> 0 then failwith "Topology.check: cycle does not close"
+    end
+  in
+  walk 0 0;
+  if not (Array.for_all Fun.id visited) then
+    failwith "Topology.check: disconnected"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>ring n=%d%s@," t.size
+    (if is_oriented t then " (oriented)" else " (non-oriented)");
+  for v = 0 to t.size - 1 do
+    Format.fprintf ppf "  node %d: cw-port=%a cw->%d ccw->%d@," v Port.pp
+      t.cw_ports.(v) (cw_neighbor t v) (ccw_neighbor t v)
+  done;
+  Format.fprintf ppf "@]"

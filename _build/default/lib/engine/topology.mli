@@ -1,0 +1,69 @@
+(** Ring topologies (Section 2, Figure 1).
+
+    A ring of [n] nodes is stored with full port wiring: for every node
+    and local port, the peer node and the peer's local port.  The
+    builder also records the ground truth of which local port of each
+    node leads clockwise.  That ground truth is *never* given to node
+    programs — it exists so tests and benches can check orientation
+    outputs and classify pulse directions.
+
+    Clockwise is, by convention, the direction of increasing node index
+    (… → i → i+1 → …).  On an {!oriented} ring, [Port_1] is every
+    node's clockwise port, matching the paper's convention that a pulse
+    re-sent from [Port_1] by every node traverses all edges.  A
+    {!non_oriented} ring swaps the two port labels of every flipped
+    node. The degenerate ring [n = 1] wires the node's two ports to
+    each other, which is what the solitude construction of
+    Definition 21 requires. *)
+
+type t
+
+val oriented : int -> t
+(** [oriented n] is the n-node ring with all ports aligned.
+    Raises [Invalid_argument] when [n < 1]. *)
+
+val non_oriented : flips:bool array -> t
+(** [non_oriented ~flips] builds a ring of [Array.length flips] nodes
+    where node [i]'s port labels are swapped iff [flips.(i)]. *)
+
+val random_non_oriented : Colring_stats.Rng.t -> int -> t
+(** Ring with independently fair-coin port flips. *)
+
+val n : t -> int
+
+val peer : t -> int -> Port.t -> int * Port.t
+(** [peer t v p] is the endpoint reached by sending from node [v]'s
+    port [p]. *)
+
+val cw_send_port : t -> int -> Port.t
+(** Ground truth: the local port of node [v] whose pulses travel
+    clockwise.  Analysis only. *)
+
+val cw_neighbor : t -> int -> int
+val ccw_neighbor : t -> int -> int
+
+val flipped : t -> int -> bool
+(** Whether the node's port labels are swapped w.r.t. the oriented
+    convention. *)
+
+val is_oriented : t -> bool
+
+val distance_cw : t -> int -> int -> int
+(** [distance_cw t u v] hops from [u] to [v] walking clockwise. *)
+
+(** {2 Directed links}
+
+    A directed link is identified by its sending endpoint; there are
+    [2 * n] of them. *)
+
+val num_links : t -> int
+val link_id : t -> int -> Port.t -> int
+val link_src : t -> int -> int * Port.t
+val link_dst : t -> int -> int * Port.t
+val link_travels_cw : t -> int -> bool
+
+val check : t -> unit
+(** Asserts ring well-formedness (symmetric wiring, a single cycle
+    covering all nodes).  Raises [Failure] otherwise. *)
+
+val pp : Format.formatter -> t -> unit

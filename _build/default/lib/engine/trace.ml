@@ -1,0 +1,40 @@
+type event =
+  | Send of { node : int; port : Port.t; seq : int }
+  | Deliver of { node : int; port : Port.t; seq : int }
+  | Consume of { node : int; port : Port.t }
+  | Terminate of { node : int }
+  | Decide of { node : int; output : Output.t }
+
+type t = { mutable events : event list; mutable length : int } (* reversed *)
+
+let create () = { events = []; length = 0 }
+
+let record t e =
+  t.events <- e :: t.events;
+  t.length <- t.length + 1
+
+let events t = List.rev t.events
+let length t = t.length
+
+let consumed_ports t ~node =
+  List.filter_map
+    (function
+      | Consume { node = v; port } when v = node -> Some port
+      | Send _ | Deliver _ | Consume _ | Terminate _ | Decide _ -> None)
+    (events t)
+
+let pp_event ppf = function
+  | Send { node; port; seq } ->
+      Format.fprintf ppf "send    node=%d %a seq=%d" node Port.pp port seq
+  | Deliver { node; port; seq } ->
+      Format.fprintf ppf "deliver node=%d %a seq=%d" node Port.pp port seq
+  | Consume { node; port } ->
+      Format.fprintf ppf "consume node=%d %a" node Port.pp port
+  | Terminate { node } -> Format.fprintf ppf "term    node=%d" node
+  | Decide { node; output } ->
+      Format.fprintf ppf "decide  node=%d %a" node Output.pp output
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun e -> Format.fprintf ppf "%a@," pp_event e) (events t);
+  Format.fprintf ppf "@]"

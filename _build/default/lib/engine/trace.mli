@@ -1,0 +1,37 @@
+(** Execution traces.
+
+    Traces record sends, deliveries (channel → mailbox), consumptions
+    (mailbox → program), termination, and output changes.  They feed
+    the solitude-pattern extraction of the lower-bound machinery and
+    the debugging pretty-printer; recording is optional because large
+    sweeps do not want the allocation. *)
+
+type event =
+  | Send of { node : int; port : Port.t; seq : int }
+      (** [node] emitted pulse [seq] from its local [port]. *)
+  | Deliver of { node : int; port : Port.t; seq : int }
+      (** Pulse [seq] moved from the channel into [node]'s mailbox for
+          its local [port]. *)
+  | Consume of { node : int; port : Port.t }
+      (** The program at [node] consumed one pulse from the mailbox of
+          its local [port] (the paper's [recv*] returning 1). *)
+  | Terminate of { node : int }
+  | Decide of { node : int; output : Output.t }
+      (** The program revised its output. *)
+
+type t
+
+val create : unit -> t
+val record : t -> event -> unit
+val events : t -> event list
+(** In chronological order. *)
+
+val length : t -> int
+
+val consumed_ports : t -> node:int -> Port.t list
+(** The chronological sequence of local ports from which [node]
+    consumed pulses — the raw material of a solitude pattern
+    (Definition 21). *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/fastsim/driver.mli:

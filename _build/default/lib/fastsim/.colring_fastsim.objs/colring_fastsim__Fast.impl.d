@@ -1,0 +1,1 @@
+lib/fastsim/fast.ml: Array Colring_core Colring_engine Driver List Option Output Port Topology

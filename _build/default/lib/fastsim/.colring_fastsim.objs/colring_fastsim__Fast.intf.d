@@ -1,0 +1,1 @@
+lib/fastsim/fast.mli: Colring_core Colring_engine

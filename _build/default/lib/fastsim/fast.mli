@@ -1,0 +1,48 @@
+(** Exact fast simulation of the paper's algorithms at scales the event
+    engine cannot reach (ID_max up to ~10^14), built on {!Driver}.
+
+    These are still *simulations of the dynamics* — pulse absorption
+    order, per-node counters and hop totals come out of the driven
+    runs, not out of the closed-form formulas — so the benches can
+    check measured-vs-formula at extreme scales.  The event engine
+    remains the reference; the differential tests pin the two against
+    each other on overlapping scales. *)
+
+type algo1_report = {
+  total : int;  (** Measured pulses; Theorem: n·ID_max. *)
+  receives : int array;  (** All entries must equal ID_max (Cor. 13). *)
+  leaders : int list;  (** Nodes left in the Leader state (max-ID ones). *)
+  last_absorber_is_max : bool;  (** Lemma 7/17 under the fast schedule. *)
+}
+
+val algo1 : ids:int array -> algo1_report
+
+type algo2_report = {
+  total : int;
+  cw : int;
+  ccw : int;  (** Including the termination pulse. *)
+  leader : int;
+  termination_order : int list;
+}
+
+val algo2 : ids:int array -> algo2_report
+(** Requires unique positive IDs. *)
+
+type algo3_report = {
+  total : int;
+  cw_instance : int;  (** Pulses of the direction out of max's Port1. *)
+  ccw_instance : int;
+  leader : int;
+  leader_unique : bool;
+  orientation_consistent : bool;
+  cw_ports : Colring_engine.Port.t array;
+      (** Each node's claimed clockwise port at quiescence. *)
+}
+
+val algo3 :
+  scheme:Colring_core.Algo3.id_scheme ->
+  ids:int array ->
+  flips:bool array ->
+  algo3_report
+(** Requires unique positive IDs; [flips] defines the non-oriented
+    ring exactly as {!Colring_engine.Topology.non_oriented}. *)

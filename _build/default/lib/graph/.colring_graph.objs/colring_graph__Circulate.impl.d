@@ -1,0 +1,1 @@
+lib/graph/circulate.ml: Array Colring_core Colring_engine Gnetwork Output Port

@@ -1,0 +1,1 @@
+lib/graph/circulate.mli: Colring_core Colring_engine Gnetwork

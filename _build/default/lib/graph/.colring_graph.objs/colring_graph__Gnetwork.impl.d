@@ -1,0 +1,1 @@
+lib/graph/gnetwork.ml: Array Colring_engine Colring_stats Fun Gtopology List Output Queue Scheduler

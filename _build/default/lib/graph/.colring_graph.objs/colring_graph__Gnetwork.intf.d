@@ -1,0 +1,1 @@
+lib/graph/gnetwork.mli: Colring_engine Colring_stats Gtopology

@@ -1,0 +1,1 @@
+lib/graph/gtopology.ml: Array Colring_stats Format Fun Hashtbl List

@@ -1,0 +1,1 @@
+lib/graph/gtopology.mli: Colring_stats Format

@@ -1,0 +1,181 @@
+open Colring_engine
+module Rng = Colring_stats.Rng
+
+type 'm api = {
+  node : int;
+  degree : int;
+  recv : int -> 'm option;
+  pending : int -> int;
+  send : int -> 'm -> unit;
+  set_output : Output.t -> unit;
+  terminate : unit -> unit;
+  rng : Rng.t;
+}
+
+type 'm program = {
+  start : 'm api -> unit;
+  wake : 'm api -> unit;
+  inspect : unit -> (string * int) list;
+}
+
+type 'm envelope = { payload : 'm; seq : int; batch : int }
+
+type 'm t = {
+  topo : Gtopology.t;
+  programs : 'm program array;
+  mutable apis : 'm api array;
+  channels : 'm envelope Queue.t array; (* by link id *)
+  mailboxes : 'm Queue.t array; (* by link id of the RECEIVING endpoint *)
+  outputs : Output.t array;
+  term : bool array;
+  mutable sends : int;
+  mutable deliveries : int;
+  mutable post_term : int;
+  mutable next_seq : int;
+  mutable next_batch : int;
+  mutable in_flight : int;
+  mutable backlog : int;
+  nonempty_buf : int array;
+}
+
+let make_api t v rng =
+  let mailbox p = t.mailboxes.(Gtopology.link_id t.topo ~node:v ~port:p) in
+  let recv p =
+    match Queue.take_opt (mailbox p) with
+    | Some m ->
+        t.backlog <- t.backlog - 1;
+        Some m
+    | None -> None
+  in
+  let pending p = Queue.length (mailbox p) in
+  let send p m =
+    if t.term.(v) then failwith "Gnetwork: send after terminate";
+    let link = Gtopology.link_id t.topo ~node:v ~port:p in
+    Queue.add
+      { payload = m; seq = t.next_seq; batch = t.next_batch }
+      t.channels.(link);
+    t.next_seq <- t.next_seq + 1;
+    t.in_flight <- t.in_flight + 1;
+    t.sends <- t.sends + 1
+  in
+  let set_output o = t.outputs.(v) <- o in
+  let terminate () = t.term.(v) <- true in
+  {
+    node = v;
+    degree = Gtopology.degree t.topo v;
+    recv;
+    pending;
+    send;
+    set_output;
+    terminate;
+    rng;
+  }
+
+let create ?(seed = 0) topo make_program =
+  let n = Gtopology.n topo in
+  let links = Gtopology.num_links topo in
+  let t =
+    {
+      topo;
+      programs = Array.init n make_program;
+      apis = [||];
+      channels = Array.init links (fun _ -> Queue.create ());
+      mailboxes = Array.init links (fun _ -> Queue.create ());
+      outputs = Array.make n Output.empty;
+      term = Array.make n false;
+      sends = 0;
+      deliveries = 0;
+      post_term = 0;
+      next_seq = 0;
+      next_batch = 0;
+      in_flight = 0;
+      backlog = 0;
+      nonempty_buf = Array.make links 0;
+    }
+  in
+  let root_rng = Rng.create ~seed in
+  t.apis <- Array.init n (fun v -> make_api t v (Rng.split_at root_rng v));
+  for v = 0 to n - 1 do
+    t.next_batch <- t.next_batch + 1;
+    t.programs.(v).start t.apis.(v)
+  done;
+  t
+
+let view t =
+  let k = ref 0 in
+  Array.iteri
+    (fun link q ->
+      if not (Queue.is_empty q) then begin
+        t.nonempty_buf.(!k) <- link;
+        incr k
+      end)
+    t.channels;
+  let nonempty = Array.sub t.nonempty_buf 0 !k in
+  {
+    Scheduler.nonempty;
+    head_seq = (fun link -> (Queue.peek t.channels.(link)).seq);
+    head_batch = (fun link -> (Queue.peek t.channels.(link)).batch);
+    travels_cw = (fun _ -> false);
+    dst_node = (fun link -> fst (Gtopology.link_dst t.topo link));
+    step = t.deliveries;
+  }
+
+let step t (sched : Scheduler.t) =
+  if t.in_flight = 0 then false
+  else begin
+    let link = sched.pick (view t) in
+    let env = Queue.take t.channels.(link) in
+    t.in_flight <- t.in_flight - 1;
+    let dst, dst_port = Gtopology.link_dst t.topo link in
+    if t.term.(dst) then t.post_term <- t.post_term + 1
+    else begin
+      t.deliveries <- t.deliveries + 1;
+      Queue.add env.payload
+        t.mailboxes.(Gtopology.link_id t.topo ~node:dst ~port:dst_port);
+      t.backlog <- t.backlog + 1;
+      t.next_batch <- t.next_batch + 1;
+      t.programs.(dst).wake t.apis.(dst)
+    end;
+    true
+  end
+
+type run_result = {
+  sends : int;
+  deliveries : int;
+  quiescent : bool;
+  all_terminated : bool;
+  exhausted : bool;
+}
+
+let is_quiescent t = t.in_flight = 0 && t.backlog = 0
+
+let run ?(max_deliveries = 20_000_000) (t : _ t) sched =
+  let exhausted = ref false in
+  let continue = ref true in
+  while !continue do
+    if t.deliveries >= max_deliveries then begin
+      exhausted := true;
+      continue := false
+    end
+    else if not (step t sched) then continue := false
+  done;
+  {
+    sends = t.sends;
+    deliveries = t.deliveries;
+    quiescent = is_quiescent t;
+    all_terminated = Array.for_all Fun.id t.term;
+    exhausted = !exhausted;
+  }
+
+let topology t = t.topo
+let output t v = t.outputs.(v)
+let outputs t = Array.copy t.outputs
+let inspect t v = t.programs.(v).inspect ()
+
+let inspect_counter t v name =
+  match List.assoc_opt name (inspect t v) with
+  | Some x -> x
+  | None -> raise Not_found
+
+let sends (t : _ t) = t.sends
+let post_termination_deliveries (t : _ t) = t.post_term

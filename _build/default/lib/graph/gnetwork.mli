@@ -1,0 +1,51 @@
+(** Discrete-event simulator for general multi-port topologies — the
+    {!Colring_engine.Network} model lifted from rings to arbitrary
+    graphs.  Shares the scheduler abstraction (direction bias
+    degenerates: on a general graph there is no global direction, so
+    [travels_cw] is reported as [false] for every link).
+
+    Deliberately leaner than the ring engine (no traces, diagrams or
+    blocking layer): it exists to cross-validate the ring algorithms
+    on an independent implementation and to host the exploratory
+    general-graph experiments of bench E14. *)
+
+type 'm t
+
+type 'm api = {
+  node : int;
+  degree : int;
+  recv : int -> 'm option;  (** Consume from a port's mailbox. *)
+  pending : int -> int;
+  send : int -> 'm -> unit;
+  set_output : Colring_engine.Output.t -> unit;
+  terminate : unit -> unit;
+  rng : Colring_stats.Rng.t;
+}
+
+type 'm program = {
+  start : 'm api -> unit;
+  wake : 'm api -> unit;
+  inspect : unit -> (string * int) list;
+}
+
+val create : ?seed:int -> Gtopology.t -> (int -> 'm program) -> 'm t
+
+type run_result = {
+  sends : int;
+  deliveries : int;
+  quiescent : bool;
+  all_terminated : bool;
+  exhausted : bool;
+}
+
+val run :
+  ?max_deliveries:int -> 'm t -> Colring_engine.Scheduler.t -> run_result
+
+val topology : 'm t -> Gtopology.t
+val output : 'm t -> int -> Colring_engine.Output.t
+val outputs : 'm t -> Colring_engine.Output.t array
+val inspect : 'm t -> int -> (string * int) list
+val inspect_counter : 'm t -> int -> string -> int
+val sends : 'm t -> int
+val is_quiescent : 'm t -> bool
+val post_termination_deliveries : 'm t -> int

@@ -1,0 +1,1 @@
+lib/harness/sweep.ml: Buffer Colring_core Colring_engine Colring_stats Election Format Hashtbl Ids List Option Printf Scheduler Workload

@@ -1,0 +1,1 @@
+lib/harness/sweep.mli: Colring_core Colring_engine Format Workload

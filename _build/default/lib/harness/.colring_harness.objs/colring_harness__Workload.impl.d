@@ -1,0 +1,1 @@
+lib/harness/workload.ml: Array Colring_core Colring_engine Colring_stats Ids Printf Sampling Topology

@@ -1,0 +1,1 @@
+lib/harness/workload.mli: Colring_engine Colring_stats

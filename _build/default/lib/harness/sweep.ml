@@ -1,0 +1,125 @@
+open Colring_engine
+open Colring_core
+module Rng = Colring_stats.Rng
+module Summary = Colring_stats.Summary
+module Fit = Colring_stats.Fit
+
+type measurement = {
+  algorithm : string;
+  workload : string;
+  n : int;
+  id_max : int;
+  seed : int;
+  scheduler : string;
+  sends : int;
+  expected : int;
+  deliveries : int;
+  ok : bool;
+}
+
+let compatible algorithm (workload : Workload.t) =
+  match algorithm with
+  | Election.Algo1 | Election.Algo2 -> workload.oriented
+  | Election.Algo3 _ | Election.Algo3_resample -> true
+
+let election ?(id_max_cap = 100_000) ~algorithms ~workloads ~ns ~seeds
+    ~schedulers () =
+  let out = ref [] in
+  List.iter
+    (fun algorithm ->
+      List.iter
+        (fun (workload : Workload.t) ->
+          if compatible algorithm workload then
+            List.iter
+              (fun n ->
+                List.iter
+                  (fun seed ->
+                    let rng = Rng.create ~seed:(seed + (n * 65_537)) in
+                    let ids, topo = workload.generate rng ~n in
+                    if Ids.id_max ids <= id_max_cap then
+                      List.iter
+                        (fun mk_sched ->
+                          let sched = mk_sched seed in
+                          let r =
+                            Election.run_report algorithm ~topo ~ids ~sched
+                          in
+                          out :=
+                            {
+                              algorithm = Election.algorithm_name algorithm;
+                              workload = workload.name;
+                              n;
+                              id_max = r.id_max;
+                              seed;
+                              scheduler = sched.Scheduler.name;
+                              sends = r.sends;
+                              expected = r.expected_sends;
+                              deliveries = r.deliveries;
+                              ok = Election.ok r;
+                            }
+                            :: !out)
+                        schedulers)
+                  seeds)
+              ns)
+        workloads)
+    algorithms;
+  List.rev !out
+
+let to_csv ms =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "algorithm,workload,n,id_max,seed,scheduler,sends,expected,deliveries,ok\n";
+  List.iter
+    (fun m ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%d,%d,%d,%s,%d,%d,%d,%b\n" m.algorithm
+           m.workload m.n m.id_max m.seed m.scheduler m.sends m.expected
+           m.deliveries m.ok))
+    ms;
+  Buffer.contents buf
+
+type summary_row = {
+  group : string;
+  group_n : int;
+  runs : int;
+  ok_runs : int;
+  mean_sends : float;
+  max_rel_err_vs_expected : float;
+}
+
+let summarize ms =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun m ->
+      let key = (m.algorithm ^ "/" ^ m.workload, m.n) in
+      let group = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+      Hashtbl.replace tbl key (m :: group))
+    ms;
+  Hashtbl.fold
+    (fun (group, group_n) group_ms acc ->
+      let sends = Summary.create () in
+      List.iter (fun m -> Summary.add_int sends m.sends) group_ms;
+      {
+        group;
+        group_n;
+        runs = List.length group_ms;
+        ok_runs = List.length (List.filter (fun m -> m.ok) group_ms);
+        mean_sends = Summary.mean sends;
+        max_rel_err_vs_expected =
+          Fit.max_rel_err
+            (List.map
+               (fun m -> (float_of_int m.expected, float_of_int m.sends))
+               group_ms);
+      }
+      :: acc)
+    tbl []
+  |> List.sort (fun a b -> compare (a.group, a.group_n) (b.group, b.group_n))
+
+let pp_summary ppf rows =
+  Format.fprintf ppf "@[<v>%-32s %6s %6s %6s %12s %10s@,"
+    "algorithm/workload" "n" "runs" "ok" "mean sends" "maxrelerr";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-32s %6d %6d %6d %12.1f %10.6f@," r.group r.group_n
+        r.runs r.ok_runs r.mean_sends r.max_rel_err_vs_expected)
+    rows;
+  Format.fprintf ppf "@]"

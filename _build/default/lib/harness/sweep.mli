@@ -1,0 +1,51 @@
+(** Parameter sweeps: run algorithm × workload × ring-size × seed ×
+    scheduler grids, collect one measurement per run, and export or
+    summarize them.
+
+    The sweep silently skips incompatible cells (an oriented-only
+    algorithm on a scrambled workload) and instances whose pulse budget
+    would be excessive (anonymous workloads can sample enormous IDs;
+    the cost is Θ(n·ID_max)). *)
+
+type measurement = {
+  algorithm : string;
+  workload : string;
+  n : int;
+  id_max : int;
+  seed : int;
+  scheduler : string;
+  sends : int;
+  expected : int;  (** The paper's closed form for the instance. *)
+  deliveries : int;
+  ok : bool;  (** {!Colring_core.Election.ok}. *)
+}
+
+val election :
+  ?id_max_cap:int ->
+  algorithms:Colring_core.Election.algorithm list ->
+  workloads:Workload.t list ->
+  ns:int list ->
+  seeds:int list ->
+  schedulers:(int -> Colring_engine.Scheduler.t) list ->
+  unit ->
+  measurement list
+(** Run the full grid ([schedulers] are built per seed so stateful ones
+    are fresh); [id_max_cap] (default 100_000) skips over-sized
+    instances. *)
+
+val to_csv : measurement list -> string
+(** Header plus one line per measurement. *)
+
+type summary_row = {
+  group : string;  (** "algorithm/workload". *)
+  group_n : int;
+  runs : int;
+  ok_runs : int;
+  mean_sends : float;
+  max_rel_err_vs_expected : float;
+}
+
+val summarize : measurement list -> summary_row list
+(** Group by (algorithm, workload, n), sorted. *)
+
+val pp_summary : Format.formatter -> summary_row list -> unit

@@ -1,0 +1,85 @@
+open Colring_engine
+open Colring_core
+module Rng = Colring_stats.Rng
+
+type t = {
+  name : string;
+  oriented : bool;
+  generate : Rng.t -> n:int -> int array * Topology.t;
+}
+
+let dense =
+  {
+    name = "dense";
+    oriented = true;
+    generate = (fun rng ~n -> (Ids.dense rng ~n, Topology.oriented n));
+  }
+
+let sparse ~factor =
+  if factor < 1 then invalid_arg "Workload.sparse: factor must be >= 1";
+  {
+    name = Printf.sprintf "sparse-x%d" factor;
+    oriented = true;
+    generate =
+      (fun rng ~n ->
+        (Ids.distinct rng ~n ~id_max:(factor * n), Topology.oriented n));
+  }
+
+let decreasing =
+  {
+    name = "decreasing";
+    oriented = true;
+    generate =
+      (fun _rng ~n -> (Array.init n (fun v -> n - v), Topology.oriented n));
+  }
+
+let max_far =
+  {
+    name = "max-far";
+    oriented = true;
+    generate =
+      (fun rng ~n ->
+        let ids = Ids.dense rng ~n in
+        (Ids.with_max_at ids ~pos:(n / 2), Topology.oriented n));
+  }
+
+let dense_scrambled =
+  {
+    name = "dense-scrambled";
+    oriented = false;
+    generate =
+      (fun rng ~n -> (Ids.dense rng ~n, Topology.random_non_oriented rng n));
+  }
+
+let sparse_scrambled ~factor =
+  {
+    name = Printf.sprintf "sparse-scrambled-x%d" factor;
+    oriented = false;
+    generate =
+      (fun rng ~n ->
+        ( Ids.distinct rng ~n ~id_max:(factor * n),
+          Topology.random_non_oriented rng n ));
+  }
+
+let duplicated_max ~copies =
+  {
+    name = Printf.sprintf "dup-max-%d" copies;
+    oriented = true;
+    generate =
+      (fun rng ~n ->
+        let copies = min copies n in
+        ( Ids.duplicated rng ~n ~id_max:(2 * n) ~dup_max:copies,
+          Topology.oriented n ));
+  }
+
+let anonymous ~c =
+  {
+    name = Printf.sprintf "anonymous-c%.1f" c;
+    oriented = false;
+    generate =
+      (fun rng ~n ->
+        (Sampling.sample_ring rng ~c ~n, Topology.random_non_oriented rng n));
+  }
+
+let all_for_election =
+  [ dense; sparse ~factor:8; decreasing; max_far ]

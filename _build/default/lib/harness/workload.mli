@@ -1,0 +1,47 @@
+(** Named instance generators for parameter sweeps.
+
+    A workload turns (rng, n) into a concrete ring instance — an ID
+    assignment plus a topology.  The named generators cover the regimes
+    the paper's statements distinguish: dense IDs ([ID_max = n], the
+    best case for the content-oblivious algorithms), sparse IDs
+    ([ID_max >> n], where the Theorem 4 lower bound says the cost must
+    grow), adversarial ID placements, duplicated IDs (Lemma 16/17) and
+    anonymous sampling (Algorithm 4). *)
+
+type t = {
+  name : string;
+  oriented : bool;
+      (** Whether the generated topology is guaranteed oriented
+          (Algorithms 1/2 require it). *)
+  generate :
+    Colring_stats.Rng.t -> n:int -> int array * Colring_engine.Topology.t;
+}
+
+val dense : t
+(** Permutation of [1..n] on an oriented ring. *)
+
+val sparse : factor:int -> t
+(** Distinct IDs up to [factor * n], oriented. *)
+
+val decreasing : t
+(** IDs [n, n-1, ..., 1] clockwise, oriented — Chang-Roberts' worst
+    placement. *)
+
+val max_far : t
+(** Dense IDs with the maximum placed opposite position 0, oriented. *)
+
+val dense_scrambled : t
+(** Permutation of [1..n] on a ring with random port flips. *)
+
+val sparse_scrambled : factor:int -> t
+
+val duplicated_max : copies:int -> t
+(** [copies] nodes share [ID_max = 2n]; the rest draw uniformly below
+    it (repeats allowed), oriented — the Lemma 16/17 regime. *)
+
+val anonymous : c:float -> t
+(** Algorithm 4 samples on a scrambled ring.  [ID_max] is unbounded in
+    principle; {!Sweep} skips instances whose cost would be excessive. *)
+
+val all_for_election : t list
+(** The workloads every deterministic election algorithm should face. *)

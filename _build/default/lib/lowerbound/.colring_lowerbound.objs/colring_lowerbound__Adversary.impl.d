@@ -1,0 +1,1 @@
+lib/lowerbound/adversary.ml: Analysis Array Bytes Colring_core Colring_engine Hashtbl List Network Option Port Scheduler Solitude Topology Trace

@@ -1,0 +1,1 @@
+lib/lowerbound/adversary.mli: Colring_engine

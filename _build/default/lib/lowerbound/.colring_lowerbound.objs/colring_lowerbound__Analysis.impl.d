@@ -1,0 +1,1 @@
+lib/lowerbound/analysis.ml: Array Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/lowerbound/analysis.mli: Solitude

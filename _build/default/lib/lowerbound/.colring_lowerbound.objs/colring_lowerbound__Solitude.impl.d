@@ -1,0 +1,1 @@
+lib/lowerbound/solitude.ml: Bytes Colring_engine List Network Port Printf Scheduler String Topology Trace

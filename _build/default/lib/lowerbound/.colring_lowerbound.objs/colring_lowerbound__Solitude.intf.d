@@ -1,0 +1,1 @@
+lib/lowerbound/solitude.mli: Colring_engine

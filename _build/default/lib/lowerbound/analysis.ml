@@ -1,0 +1,117 @@
+let all_unique patterns =
+  let seen = Hashtbl.create 64 in
+  List.for_all
+    (fun p ->
+      if Hashtbl.mem seen p then false
+      else begin
+        Hashtbl.add seen p ();
+        true
+      end)
+    patterns
+
+let first_collision tagged =
+  let seen = Hashtbl.create 64 in
+  let rec go = function
+    | [] -> None
+    | (id, p) :: rest -> (
+        match Hashtbl.find_opt seen p with
+        | Some id' -> Some (id', id)
+        | None ->
+            Hashtbl.add seen p id;
+            go rest)
+  in
+  go tagged
+
+let common_prefix_length a b =
+  let lim = min (String.length a) (String.length b) in
+  let rec go i = if i < lim && a.[i] = b.[i] then go (i + 1) else i in
+  go 0
+
+let max_group_sharing patterns ~prefix_len =
+  if prefix_len = 0 then List.length patterns
+  else begin
+    let buckets = Hashtbl.create 64 in
+    List.iter
+      (fun p ->
+        if String.length p >= prefix_len then begin
+          let key = String.sub p 0 prefix_len in
+          Hashtbl.replace buckets key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt buckets key))
+        end)
+      patterns;
+    Hashtbl.fold (fun _ c acc -> max c acc) buckets 0
+  end
+
+(* The largest s with >= group patterns sharing a length-s prefix, in
+   O(k L + k group): sort the patterns; a group of [group] patterns
+   sharing a prefix can be taken contiguous in sorted order, and the
+   longest prefix of a contiguous window is the minimum of the adjacent
+   longest-common-prefixes inside it. *)
+let best_shared_prefix patterns ~group =
+  if group <= 0 then invalid_arg "Analysis.best_shared_prefix: group <= 0";
+  let arr = Array.of_list patterns in
+  let k = Array.length arr in
+  if group > k then 0
+  else if group = 1 then
+    Array.fold_left (fun acc p -> max acc (String.length p)) 0 arr
+  else begin
+    Array.sort compare arr;
+    let lcp = Array.init (k - 1) (fun i -> common_prefix_length arr.(i) arr.(i + 1)) in
+    (* Sliding-window minimum over windows of (group - 1) adjacent lcps
+       using a monotonic deque. *)
+    let w = group - 1 in
+    let best = ref 0 in
+    let dq = Array.make (k - 1) 0 in
+    let head = ref 0 and tail = ref 0 in
+    for i = 0 to k - 2 do
+      while !tail > !head && lcp.(dq.(!tail - 1)) >= lcp.(i) do
+        decr tail
+      done;
+      dq.(!tail) <- i;
+      incr tail;
+      if dq.(!head) <= i - w then incr head;
+      if i >= w - 1 then best := max !best lcp.(dq.(!head))
+    done;
+    !best
+  end
+
+let best_group tagged ~group =
+  if group <= 0 then invalid_arg "Analysis.best_group: group <= 0";
+  let arr = Array.of_list tagged in
+  let k = Array.length arr in
+  if group > k then invalid_arg "Analysis.best_group: group > #patterns";
+  Array.sort (fun (_, a) (_, b) -> compare a b) arr;
+  if group = 1 then begin
+    let best = ref 0 in
+    Array.iteri
+      (fun i (_, p) ->
+        if String.length p > String.length (snd arr.(!best)) then best := i
+        else ignore i)
+      arr;
+    ([ fst arr.(!best) ], String.length (snd arr.(!best)))
+  end
+  else begin
+    let w = group - 1 in
+    let lcp =
+      Array.init (k - 1) (fun i ->
+          common_prefix_length (snd arr.(i)) (snd arr.(i + 1)))
+    in
+    (* Windows are narrow (group <= ring size), so the quadratic scan is
+       fine here; [best_shared_prefix] has the O(k) version. *)
+    let best_start = ref 0 and best_len = ref (-1) in
+    for j = 0 to k - 1 - w do
+      let m = ref max_int in
+      for i = j to j + w - 1 do
+        if lcp.(i) < !m then m := lcp.(i)
+      done;
+      if !m > !best_len then begin
+        best_len := !m;
+        best_start := j
+      end
+    done;
+    let ids = List.init group (fun i -> fst arr.(!best_start + i)) in
+    (ids, !best_len)
+  end
+
+let implied_message_bound patterns ~n =
+  n * best_shared_prefix patterns ~group:n

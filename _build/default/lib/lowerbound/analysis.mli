@@ -1,0 +1,32 @@
+(** Prefix analysis of solitude patterns — the combinatorial half of the
+    Theorem 20 lower bound (Lemma 23 / Corollary 24). *)
+
+val all_unique : Solitude.pattern list -> bool
+(** Lemma 22's necessary condition: no two patterns coincide. *)
+
+val first_collision : (int * Solitude.pattern) list -> (int * int) option
+(** The first pair of IDs with identical patterns, if any. *)
+
+val common_prefix_length : Solitude.pattern -> Solitude.pattern -> int
+
+val max_group_sharing : Solitude.pattern list -> prefix_len:int -> int
+(** The largest number of patterns (of length at least [prefix_len])
+    that agree on their first [prefix_len] symbols. *)
+
+val best_shared_prefix : Solitude.pattern list -> group:int -> int
+(** The largest [s] such that at least [group] patterns share a prefix
+    of length [s] (0 when [group] exceeds the number of patterns); runs
+    in O(k L) via sorted adjacent LCPs and a sliding-window minimum.
+    Corollary 24 promises [s >= floor (log2 (k / group))] for any [k]
+    distinct binary strings. *)
+
+val best_group : (int * Solitude.pattern) list -> group:int -> int list * int
+(** The IDs of a [group]-sized set of patterns achieving
+    {!best_shared_prefix}, together with that prefix length — the IDs
+    the Theorem 20 adversary assigns to the ring. *)
+
+val implied_message_bound : Solitude.pattern list -> n:int -> int
+(** [n * best_shared_prefix ~group:n] — the number of messages the
+    Theorem 20 adversary forces on an [n]-node ring whose IDs can be
+    drawn from the given pattern set: it picks [n] IDs whose patterns
+    share a long prefix and replays each node's solitude schedule. *)

@@ -1,0 +1,1 @@
+lib/stats/fit.ml: Float Format List

@@ -1,0 +1,1 @@
+lib/stats/histogram.ml: Format Hashtbl List Option

@@ -1,0 +1,42 @@
+type t = (int, int) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let add t v = Hashtbl.replace t v (1 + Option.value ~default:0 (Hashtbl.find_opt t v))
+
+let count t v = Option.value ~default:0 (Hashtbl.find_opt t v)
+
+let total t = Hashtbl.fold (fun _ c acc -> acc + c) t 0
+
+let distinct t = Hashtbl.length t
+
+let bins t =
+  Hashtbl.fold (fun v c acc -> (v, c) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let mode t =
+  List.fold_left
+    (fun best (v, c) ->
+      match best with
+      | Some (_, bc) when bc >= c -> best
+      | _ -> Some (v, c))
+    None (bins t)
+
+let floor_log2 v =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) (v lsr 1) in
+  go 0 (max 1 v)
+
+let log2_bins t =
+  let buckets = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun v c ->
+      let b = floor_log2 v in
+      Hashtbl.replace buckets b (c + Option.value ~default:0 (Hashtbl.find_opt buckets b)))
+    t;
+  Hashtbl.fold (fun b c acc -> (b, c) :: acc) buckets []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>";
+  List.iter (fun (v, c) -> Format.fprintf ppf "%d:%d " v c) (bins t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,31 @@
+(** Integer histograms, used for pulse-count and ID-magnitude
+    distributions in the anonymous-ring experiments. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> unit
+(** Count one occurrence of the given value. *)
+
+val count : t -> int -> int
+(** Occurrences of a value. *)
+
+val total : t -> int
+(** Number of recorded observations. *)
+
+val distinct : t -> int
+(** Number of distinct values observed. *)
+
+val mode : t -> (int * int) option
+(** Most frequent value with its count, smallest value on ties. *)
+
+val bins : t -> (int * int) list
+(** All (value, count) pairs in increasing value order. *)
+
+val log2_bins : t -> (int * int) list
+(** Bucket observations by floor(log2 (max 1 value)); pairs of
+    (log2 bucket, count) in increasing order.  Renders the geometric
+    ID-size distribution of Algorithm 4 compactly. *)
+
+val pp : Format.formatter -> t -> unit

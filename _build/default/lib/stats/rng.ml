@@ -1,0 +1,67 @@
+type t = Random.State.t
+
+(* A fixed 64-bit mix (splitmix64 finalizer) decorrelates seeds that
+   differ in few bits, so that seed, seed+1, ... give unrelated streams. *)
+let mix64 z =
+  let z = Int64.of_int z in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.to_int (Int64.logxor z (Int64.shift_right_logical z 31))
+
+let create ~seed = Random.State.make [| mix64 seed; mix64 (seed + 0x9e3779b9) |]
+
+let split t =
+  let a = Random.State.bits t and b = Random.State.bits t in
+  Random.State.make [| mix64 a; mix64 b |]
+
+let split_at t i =
+  (* Copy so the parent stream is not advanced; fold the child index in. *)
+  let c = Random.State.copy t in
+  let a = Random.State.bits c in
+  Random.State.make [| mix64 (a lxor mix64 i); mix64 (i + 0x85ebca6b) |]
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Random.State.int rejects bounds >= 2^30; fall back to int64. *)
+  if bound < 1 lsl 30 then Random.State.int t bound
+  else Int64.to_int (Random.State.int64 t (Int64.of_int bound))
+
+let int_incl t lo hi =
+  if lo > hi then invalid_arg "Rng.int_incl: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let bool t = Random.State.bool t
+let float t bound = Random.State.float t bound
+
+let geometric t ~p =
+  if not (p > 0. && p <= 1.) then invalid_arg "Rng.geometric: p out of (0,1]";
+  if p >= 1. then 0
+  else begin
+    (* Inverse transform: floor(log(U)/log(1-p)) has the right law. *)
+    let u = 1. -. Random.State.float t 1. (* in (0,1] *) in
+    int_of_float (Float.floor (Float.log u /. Float.log (1. -. p)))
+  end
+
+let bits t k =
+  if k < 0 || k > 62 then invalid_arg "Rng.bits: k out of [0,62]";
+  (* Random.State.bits yields 30 uniform bits per call. *)
+  let rec go acc remaining =
+    if remaining <= 0 then acc
+    else
+      let take = min remaining 30 in
+      let chunk = Random.State.bits t land ((1 lsl take) - 1) in
+      go ((acc lsl take) lor chunk) (remaining - take)
+  in
+  go 0 k
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))

@@ -1,0 +1,49 @@
+(** Deterministic, splittable random sources.
+
+    Every randomized component in the repository draws from an explicit
+    {!t}; no global state is used, so any run is reproducible from its
+    integer seed.  Splitting derives independent streams, which lets a
+    sweep give each trial (and each node inside a trial) its own stream
+    without correlation between trials. *)
+
+type t
+(** A mutable random stream. *)
+
+val create : seed:int -> t
+(** [create ~seed] builds a stream determined entirely by [seed]. *)
+
+val split : t -> t
+(** [split t] derives a new stream from [t]; the two streams produce
+    independent-looking sequences.  Advances [t]. *)
+
+val split_at : t -> int -> t
+(** [split_at t i] derives the [i]-th child stream of [t] without
+    advancing [t]; children for distinct [i] are independent.  Used to
+    give node [i] of a network its own stream. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); [bound] must be positive. *)
+
+val int_incl : t -> int -> int -> int
+(** [int_incl t lo hi] is uniform in [lo, hi]; requires [lo <= hi]. *)
+
+val bool : t -> bool
+(** A fair coin flip. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val geometric : t -> p:float -> int
+(** [geometric t ~p] samples the number of failures before the first
+    success in Bernoulli(p) trials, i.e. the geometric distribution on
+    [{0,1,2,...}] with success parameter [p], [0 < p <= 1].  This is the
+    distribution Algorithm 4 uses for its ID bit count. *)
+
+val bits : t -> int -> int
+(** [bits t k] is a uniform [k]-bit non-negative integer ([0 <= k <= 62]). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

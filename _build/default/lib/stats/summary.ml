@@ -1,0 +1,56 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+  mutable sample : float list; (* all observations, for quantiles *)
+}
+
+let create () =
+  { n = 0; mean = 0.; m2 = 0.; min = infinity; max = neg_infinity; sample = [] }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x;
+  t.sample <- x :: t.sample
+
+let add_int t x = add t (float_of_int x)
+
+let count t = t.n
+let mean t = if t.n = 0 then nan else t.mean
+let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+let min t = t.min
+let max t = t.max
+
+let quantile t q =
+  if t.n = 0 then nan
+  else begin
+    let a = Array.of_list t.sample in
+    Array.sort compare a;
+    let pos = q *. float_of_int (Array.length a - 1) in
+    let lo = int_of_float (Float.floor pos) and hi = int_of_float (Float.ceil pos) in
+    let frac = pos -. Float.floor pos in
+    (a.(lo) *. (1. -. frac)) +. (a.(hi) *. frac)
+  end
+
+let median t = quantile t 0.5
+
+let of_list xs =
+  let t = create () in
+  List.iter (add t) xs;
+  t
+
+let of_ints xs =
+  let t = create () in
+  List.iter (add_int t) xs;
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "mean=%.3f sd=%.3f min=%.3f max=%.3f n=%d" (mean t)
+    (stddev t) t.min t.max t.n

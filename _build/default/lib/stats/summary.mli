@@ -1,0 +1,38 @@
+(** Descriptive statistics over a sample of floats.
+
+    Accumulation uses Welford's online algorithm, so a summary can be fed
+    incrementally by a sweep without keeping every observation; quantiles
+    are computed from the retained observations. *)
+
+type t
+(** A mutable accumulator. *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Record one observation. *)
+
+val add_int : t -> int -> unit
+
+val count : t -> int
+val mean : t -> float
+(** Mean of the sample; [nan] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [0.] with fewer than two observations. *)
+
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [0,1], by linear interpolation on the sorted
+    retained sample; [nan] when empty. *)
+
+val median : t -> float
+
+val of_list : float list -> t
+val of_ints : int list -> t
+
+val pp : Format.formatter -> t -> unit
+(** Renders ["mean=… sd=… min=… max=… n=…"]. *)

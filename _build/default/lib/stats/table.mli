@@ -1,0 +1,34 @@
+(** Plain-text tables for the experiment harness.
+
+    Every bench prints one of these per paper claim, with a "paper"
+    column (the closed form) next to the measured columns, aligned for
+    terminals and greppable in the committed bench output. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create ~title columns] starts a table with the given header cells. *)
+
+val add_row : t -> string list -> unit
+(** Append one row; must have as many cells as there are columns. *)
+
+val add_rule : t -> unit
+(** Append a horizontal separator row. *)
+
+val render : t -> string
+(** Render with unicode-free ASCII borders. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)
+
+(** Cell formatting helpers. *)
+
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string
+val cell_bool : bool -> string
+(** ["yes"] / ["no"]. *)
+
+val cell_ratio : float -> string
+(** Fixed 4-decimal ratio, e.g. ["1.0000"]. *)

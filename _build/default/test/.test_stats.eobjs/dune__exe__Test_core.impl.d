@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Algo2 Algo3 Array Colring_core Colring_engine Colring_stats Election Fun Ids List Network Output Port Printf QCheck QCheck_alcotest Sampling Scheduler Topology

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Blocking Colring_core Colring_engine Colring_stats Diagram Explore List Metrics Network Output Port QCheck QCheck_alcotest Scheduler Topology Trace

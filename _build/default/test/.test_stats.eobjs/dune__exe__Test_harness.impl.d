@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Algo3 Array Colring_core Colring_engine Colring_harness Colring_stats Election Ids List Scheduler String Sweep Topology Workload

@@ -1,0 +1,1 @@
+test/test_lowerbound.ml: Alcotest Algo2 Analysis Colring_core Colring_lowerbound Formulas List Printf QCheck QCheck_alcotest Solitude

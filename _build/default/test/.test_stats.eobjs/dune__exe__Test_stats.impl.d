@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Colring_stats Fit Gen Histogram List QCheck QCheck_alcotest Rng String Summary Table

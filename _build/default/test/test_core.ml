@@ -1,0 +1,588 @@
+(* Tests for the paper's algorithms: correctness of the election, exact
+   message counts, quiescence, termination order, orientation — under
+   every scheduler, including randomized ones (qcheck). *)
+
+open Colring_engine
+open Colring_core
+module Rng = Colring_stats.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let schedulers () = Scheduler.all_deterministic ()
+
+let random_sched seed = Scheduler.random (Rng.create ~seed)
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm 1 *)
+
+let run_algo1 ~ids ~sched =
+  Election.run_report Election.Algo1
+    ~topo:(Topology.oriented (Array.length ids))
+    ~ids ~sched
+
+let test_algo1_basic () =
+  let ids = [| 3; 7; 5; 1 |] in
+  List.iter
+    (fun sched ->
+      let r = run_algo1 ~ids ~sched in
+      check (sched.Scheduler.name ^ " quiescent") true r.quiescent;
+      check (sched.Scheduler.name ^ " roles") true r.roles_ok;
+      check (sched.Scheduler.name ^ " max wins") true r.leader_is_max;
+      check_int (sched.Scheduler.name ^ " total = n*idmax") (4 * 7) r.sends)
+    (schedulers ())
+
+let test_algo1_single_node () =
+  let r = run_algo1 ~ids:[| 5 |] ~sched:Scheduler.fifo in
+  check "quiescent" true r.quiescent;
+  check "leader" true (r.leader = Some 0);
+  check_int "total" 5 r.sends
+
+let test_algo1_counters_stabilize () =
+  (* Lemma 11(3): at quiescence every node has rho = sigma = ID_max. *)
+  let ids = [| 2; 9; 4; 6; 1 |] in
+  let topo = Topology.oriented 5 in
+  let _, net = Election.run Election.Algo1 ~topo ~ids ~sched:Scheduler.lifo in
+  for v = 0 to 4 do
+    check_int "rho = idmax" 9 (Network.inspect_counter net v "rho_cw");
+    check_int "sigma = idmax" 9 (Network.inspect_counter net v "sigma_cw")
+  done
+
+let test_algo1_duplicate_ids () =
+  (* Lemma 16: with duplicated non-maximal ids, Algorithm 1 behaves the
+     same; with duplicated maxima, all maxima end in the Leader state. *)
+  let ids = [| 4; 9; 4; 9; 2 |] in
+  let topo = Topology.oriented 5 in
+  let _, net = Election.run Election.Algo1 ~topo ~ids ~sched:Scheduler.fifo in
+  check "quiescent" true (Network.is_quiescent net);
+  for v = 0 to 4 do
+    check_int "rho = idmax" 9 (Network.inspect_counter net v "rho_cw");
+    let role = (Network.output net v).Output.role in
+    let expect = if ids.(v) = 9 then Output.Leader else Output.Non_leader in
+    check "role" true (Output.equal_role role expect)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm 2 *)
+
+let run_algo2 ~ids ~sched =
+  Election.run_report Election.Algo2
+    ~topo:(Topology.oriented (Array.length ids))
+    ~ids ~sched
+
+let test_algo2_all_schedulers () =
+  let ids = [| 6; 2; 11; 5; 8; 3 |] in
+  List.iter
+    (fun sched ->
+      let r = run_algo2 ~ids ~sched in
+      check (sched.Scheduler.name ^ " ok") true (Election.ok r);
+      check_int
+        (sched.Scheduler.name ^ " exact count")
+        (6 * ((2 * 11) + 1))
+        r.sends)
+    (schedulers ())
+
+let test_algo2_termination_order () =
+  (* Leader at position 2; CCW order from the leader is 1,0,5,4,3,2. *)
+  let ids = [| 6; 2; 11; 5; 8; 3 |] in
+  let topo = Topology.oriented 6 in
+  let _, net = Election.run Election.Algo2 ~topo ~ids ~sched:Scheduler.fifo in
+  Alcotest.(check (list int))
+    "order" [ 1; 0; 5; 4; 3; 2 ]
+    (Network.termination_order net)
+
+let test_algo2_single_node () =
+  let r = run_algo2 ~ids:[| 4 |] ~sched:Scheduler.fifo in
+  check "ok" true (Election.ok r);
+  check_int "total" 9 r.sends
+
+let test_algo2_two_nodes () =
+  List.iter
+    (fun sched ->
+      let r = run_algo2 ~ids:[| 1; 2 |] ~sched in
+      check (sched.Scheduler.name ^ " ok") true (Election.ok r);
+      check_int (sched.Scheduler.name ^ " total") (2 * 5) r.sends)
+    (schedulers ())
+
+let test_algo2_directional_split () =
+  (* n*ID_max clockwise pulses, n*(ID_max+1) counterclockwise. *)
+  let ids = [| 5; 9; 1; 7 |] in
+  let r = run_algo2 ~ids ~sched:(random_sched 42) in
+  check_int "cw" (4 * 9) r.sends_cw;
+  check_int "ccw" (4 * 10) r.sends_ccw
+
+let test_algo2_large_gap_ids () =
+  (* ID_max >> n: the regime where the ID_max term dominates. *)
+  let ids = [| 3; 200; 50 |] in
+  let r = run_algo2 ~ids ~sched:(random_sched 7) in
+  check "ok" true (Election.ok r);
+  check_int "total" (3 * 401) r.sends
+
+(* Lemma 6 invariants checked at every reachable configuration. *)
+let test_algo2_invariants_probed () =
+  let ids = [| 4; 7; 2; 5 |] in
+  let topo = Topology.oriented 4 in
+  let net =
+    Network.create topo (fun v -> Algo2.program ~id:ids.(v))
+  in
+  let violations = ref 0 in
+  let probe ~step:_ =
+    for v = 0 to 3 do
+      if not (Network.terminated net v) then begin
+        let c name = Network.inspect_counter net v name in
+        let rho = c "rho_cw" and sigma = c "sigma_cw" and id = c "id" in
+        (* Lemma 6 for the CW instance. *)
+        if rho < id && sigma <> rho + 1 then incr violations;
+        if rho >= id && sigma <> rho then incr violations;
+        (* CCW instance: same invariants, but it only starts (first
+           send) when rho_cw >= id; before that everything is 0. *)
+        let rho' = c "rho_ccw" and sigma' = c "sigma_ccw" in
+        let initiated = c "term_initiated" = 1 in
+        if sigma' > 0 && not initiated then begin
+          if rho' < id && sigma' <> rho' + 1 then incr violations;
+          if rho' >= id && sigma' <> rho' then incr violations
+        end
+      end
+    done
+  in
+  let result = Network.run ~probe net Scheduler.fifo in
+  check "terminated" true result.all_terminated;
+  check_int "no invariant violations" 0 !violations
+
+(* Lemma 7: the node of maximal ID is the last to reach rho_cw >= id. *)
+let test_algo2_max_last_to_cross () =
+  let ids = [| 4; 7; 2; 5; 6 |] in
+  let topo = Topology.oriented 5 in
+  let net = Network.create topo (fun v -> Algo2.program ~id:ids.(v)) in
+  let crossed = Array.make 5 false in
+  let cross_order = ref [] in
+  let probe ~step:_ =
+    for v = 0 to 4 do
+      if (not crossed.(v)) && not (Network.terminated net v) then
+        if Network.inspect_counter net v "rho_cw" >= ids.(v) then begin
+          crossed.(v) <- true;
+          cross_order := v :: !cross_order
+        end
+    done
+  in
+  let _ = Network.run ~probe net (random_sched 3) in
+  match !cross_order with
+  | last :: _ -> check_int "max id crossed last" 1 last
+  | [] -> Alcotest.fail "nobody crossed"
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm 3 *)
+
+let test_algo3_doubled () =
+  let ids = [| 6; 2; 11; 5 |] in
+  let flips = [| false; true; true; false |] in
+  let topo = Topology.non_oriented ~flips in
+  List.iter
+    (fun sched ->
+      let r =
+        Election.run_report (Election.Algo3 Algo3.Doubled) ~topo ~ids ~sched
+      in
+      check (sched.Scheduler.name ^ " ok") true (Election.ok r);
+      check_int
+        (sched.Scheduler.name ^ " count")
+        (4 * ((4 * 11) - 1))
+        r.sends)
+    (schedulers ())
+
+let test_algo3_improved () =
+  let ids = [| 6; 2; 11; 5; 9 |] in
+  let flips = [| true; true; false; true; false |] in
+  let topo = Topology.non_oriented ~flips in
+  List.iter
+    (fun sched ->
+      let r =
+        Election.run_report (Election.Algo3 Algo3.Improved) ~topo ~ids ~sched
+      in
+      check (sched.Scheduler.name ^ " ok") true (Election.ok r);
+      check_int
+        (sched.Scheduler.name ^ " count")
+        (5 * ((2 * 11) + 1))
+        r.sends)
+    (schedulers ())
+
+let test_algo3_oriented_ring_too () =
+  (* A non-oriented-ring algorithm must also work when the ring happens
+     to be oriented. *)
+  let ids = [| 4; 1; 9 |] in
+  let topo = Topology.oriented 3 in
+  let r =
+    Election.run_report (Election.Algo3 Algo3.Improved) ~topo ~ids
+      ~sched:(random_sched 11)
+  in
+  check "ok" true (Election.ok r)
+
+let test_algo3_orientation_agrees_with_leader_port1 () =
+  (* Proof of Prop. 15: clockwise is defined as the direction out of the
+     max-ID node's Port_1. *)
+  let ids = [| 6; 2; 11; 5 |] in
+  let flips = [| true; false; true; false |] in
+  let topo = Topology.non_oriented ~flips in
+  let _, net =
+    Election.run (Election.Algo3 Algo3.Improved) ~topo ~ids
+      ~sched:Scheduler.fifo
+  in
+  let leader = 2 in
+  (match (Network.output net leader).Output.cw_port with
+  | Some p -> check "leader cw port is Port1" true (Port.equal p Port.P1)
+  | None -> Alcotest.fail "leader has no orientation");
+  check "consistent" true
+    (Election.orientation_consistent topo (Network.outputs net))
+
+(* ------------------------------------------------------------------ *)
+(* Sampling (Algorithm 4) and resampling (Proposition 19) *)
+
+let test_sampling_positive_and_deterministic () =
+  let rng = Rng.create ~seed:5 in
+  let ids = Sampling.sample_ring rng ~c:2.0 ~n:64 in
+  Array.iter (fun id -> check "positive" true (id >= 1)) ids;
+  let rng' = Rng.create ~seed:5 in
+  let ids' = Sampling.sample_ring rng' ~c:2.0 ~n:64 in
+  check "deterministic" true (ids = ids')
+
+let test_sampling_unique_max_rate () =
+  (* Lemma 18: unique max w.h.p.  With c=2 and n=32 the failure rate is
+     a few percent; over 200 seeds require at least 80% success. *)
+  let successes = ref 0 in
+  for seed = 1 to 200 do
+    let ids = Sampling.sample_ring (Rng.create ~seed) ~c:2.0 ~n:32 in
+    if Sampling.max_is_unique ids then incr successes
+  done;
+  check "unique max rate >= 80%" true (!successes >= 160)
+
+let test_anonymous_election_end_to_end () =
+  (* Theorem 3: sample ids, run Algorithm 3; success iff max unique.
+     Complexity is Θ(n * ID_max), so skip the rare astronomically-large
+     draws to keep the test fast — the skip does not bias correctness,
+     only which instances get exercised. *)
+  let seeds_ok = ref 0 and ran = ref 0 in
+  for seed = 1 to 60 do
+    let rng = Rng.create ~seed in
+    let n = 12 in
+    let ids = Sampling.sample_ring rng ~c:1.0 ~n in
+    let topo = Topology.random_non_oriented rng n in
+    if Sampling.max_is_unique ids && Ids.id_max ids <= 20_000 then begin
+      incr ran;
+      let r =
+        Election.run_report (Election.Algo3 Algo3.Improved) ~topo ~ids
+          ~sched:(random_sched seed)
+      in
+      check "roles" true r.roles_ok;
+      check "quiescent" true r.quiescent;
+      if Election.ok r then incr seeds_ok
+    end
+  done;
+  check "ran a good sample" true (!ran >= 20);
+  check "all sampled instances succeed" true (!seeds_ok = !ran)
+
+let test_resampling_distinct_ids () =
+  (* Proposition 19: after the run all ids are distinct (w.h.p.; large
+     ID_max makes collisions vanishingly rare), and the message count is
+     unchanged. *)
+  let rng = Rng.create ~seed:9 in
+  let n = 12 in
+  let ids = Ids.distinct rng ~n ~id_max:100_000 in
+  let topo = Topology.random_non_oriented rng n in
+  let r =
+    Election.run_report Election.Algo3_resample ~topo ~ids
+      ~sched:(random_sched 13)
+  in
+  check "count unchanged" true (r.sends = r.expected_sends);
+  check "roles" true r.roles_ok;
+  check "max kept" true r.leader_is_max;
+  let sorted = Array.copy r.final_ids in
+  Array.sort compare sorted;
+  let distinct = ref true in
+  for i = 0 to n - 2 do
+    if sorted.(i) = sorted.(i + 1) then distinct := false
+  done;
+  check "all distinct" true !distinct
+
+let test_resampling_on_sampled_ids () =
+  (* Proposition 19 as stated: the input IDs come from Algorithm 4, so
+     non-maximal duplicates are possible; after the run all IDs are
+     distinct (w.h.p. — the instances below are deterministic given the
+     seeds and all succeed). *)
+  let ran = ref 0 in
+  for seed = 1 to 40 do
+    let rng = Rng.create ~seed:(seed * 7) in
+    let n = 10 in
+    let ids = Sampling.sample_ring rng ~c:2.0 ~n in
+    (* Keep instances in the regime the proposition addresses: the
+       resampled IDs are drawn from ~[1, ID_max], so distinctness needs
+       ID_max >> n² (here >= 50 n²); the cap keeps runs cheap. *)
+    if
+      Sampling.max_is_unique ids
+      && Ids.id_max ids <= 60_000
+      && Ids.id_max ids >= 50 * n * n
+    then begin
+      incr ran;
+      let topo = Topology.random_non_oriented rng n in
+      let r =
+        Election.run_report Election.Algo3_resample ~topo ~ids
+          ~sched:(random_sched (seed + 3))
+      in
+      check "quiescent" true r.quiescent;
+      check "count" true (r.sends = r.expected_sends);
+      let sorted = Array.copy r.final_ids in
+      Array.sort compare sorted;
+      for i = 0 to n - 2 do
+        check "distinct" true (sorted.(i) <> sorted.(i + 1))
+      done
+    end
+  done;
+  check "exercised enough instances" true (!ran >= 4)
+
+(* ------------------------------------------------------------------ *)
+(* Causal span (asynchronous time) *)
+
+let test_algo1_causal_span_schedule_invariant () =
+  (* In a single-direction instance, node v's k-th receive is always
+     its predecessor's k-th send (FIFO), and per-channel depths are
+     monotone, so the dependency structure — hence the span — does not
+     depend on the schedule. *)
+  let ids = [| 6; 2; 11; 5; 8; 3 |] in
+  let topo = Topology.oriented 6 in
+  let spans =
+    List.map
+      (fun sched ->
+        let _, net = Election.run Election.Algo1 ~topo ~ids ~sched in
+        Network.causal_span net)
+      (schedulers () @ [ random_sched 1; random_sched 2 ])
+  in
+  match spans with
+  | s :: rest -> List.iter (fun s' -> check_int "same span" s s') rest
+  | [] -> ()
+
+let test_algo2_causal_span_bounds () =
+  (* Two chained directional instances plus the termination circle:
+     the span is at least 2*ID_max and at most the pulse total. *)
+  List.iter
+    (fun sched ->
+      let ids = [| 6; 2; 11; 5; 8; 3 |] in
+      let r =
+        Election.run_report Election.Algo2 ~topo:(Topology.oriented 6) ~ids
+          ~sched
+      in
+      check "lower" true (r.causal_span >= 2 * 11);
+      check "upper" true (r.causal_span <= r.sends))
+    (schedulers ())
+
+(* ------------------------------------------------------------------ *)
+(* Property-based tests *)
+
+let arb_instance =
+  QCheck.make
+    ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d" n seed)
+    QCheck.Gen.(pair (int_range 1 24) (int_range 0 10_000))
+
+let prop_algo2_ok =
+  QCheck.Test.make ~name:"algo2 correct on random instances" ~count:120
+    arb_instance (fun (n, seed) ->
+      let rng = Rng.create ~seed in
+      let ids = Ids.distinct rng ~n ~id_max:(n + Rng.int rng 40) in
+      let r =
+        Election.run_report Election.Algo2 ~topo:(Topology.oriented n) ~ids
+          ~sched:(Scheduler.random (Rng.split rng))
+      in
+      Election.ok r)
+
+let prop_algo1_quiescence_iff_all_reached =
+  QCheck.Test.make ~name:"algo1 stabilizes with rho=sigma=idmax" ~count:100
+    arb_instance (fun (n, seed) ->
+      let rng = Rng.create ~seed in
+      let ids = Ids.dense rng ~n in
+      let topo = Topology.oriented n in
+      let _, net =
+        Election.run Election.Algo1 ~topo ~ids
+          ~sched:(Scheduler.random (Rng.split rng))
+      in
+      let id_max = Ids.id_max ids in
+      Network.is_quiescent net
+      && Array.for_all
+           (fun v ->
+             Network.inspect_counter net v "rho_cw" = id_max
+             && Network.inspect_counter net v "sigma_cw" = id_max)
+           (Array.init n Fun.id))
+
+let prop_algo3_improved_ok =
+  QCheck.Test.make ~name:"algo3 improved on random non-oriented rings"
+    ~count:120 arb_instance (fun (n, seed) ->
+      let rng = Rng.create ~seed in
+      let ids = Ids.distinct rng ~n ~id_max:(n + Rng.int rng 30) in
+      let topo = Topology.random_non_oriented rng n in
+      let r =
+        Election.run_report (Election.Algo3 Algo3.Improved) ~topo ~ids
+          ~sched:(Scheduler.random (Rng.split rng))
+      in
+      Election.ok r)
+
+let prop_algo3_doubled_ok =
+  QCheck.Test.make ~name:"algo3 doubled on random non-oriented rings"
+    ~count:80 arb_instance (fun (n, seed) ->
+      let rng = Rng.create ~seed in
+      let ids = Ids.distinct rng ~n ~id_max:(n + Rng.int rng 30) in
+      let topo = Topology.random_non_oriented rng n in
+      let r =
+        Election.run_report (Election.Algo3 Algo3.Doubled) ~topo ~ids
+          ~sched:(Scheduler.random (Rng.split rng))
+      in
+      Election.ok r)
+
+let prop_algo3_duplicate_nonmax =
+  (* Lemma 16 applied to Algorithm 3 (the basis of the anonymous
+     setting): duplicated non-maximal ids are harmless as long as the
+     maximum is unique. *)
+  QCheck.Test.make ~name:"algo3 with duplicate non-max ids" ~count:80
+    arb_instance (fun (n, seed) ->
+      QCheck.assume (n >= 2);
+      let rng = Rng.create ~seed in
+      let id_max = n + 2 + Rng.int rng 20 in
+      let ids =
+        Array.init n (fun v ->
+            if v = Rng.int (Rng.create ~seed:(seed + 1)) n then id_max
+            else 1 + Rng.int rng (id_max - 1))
+      in
+      (* Force exactly one maximum. *)
+      let max_pos = ref (-1) in
+      Array.iteri (fun v id -> if id = id_max && !max_pos < 0 then max_pos := v) ids;
+      Array.iteri
+        (fun v id -> if id = id_max && v <> !max_pos then ids.(v) <- id_max - 1)
+        ids;
+      if !max_pos < 0 then ids.(0) <- id_max;
+      let topo = Topology.random_non_oriented rng n in
+      let r =
+        Election.run_report (Election.Algo3 Algo3.Improved) ~topo ~ids
+          ~sched:(Scheduler.random (Rng.split rng))
+      in
+      r.quiescent && r.roles_ok && r.leader_is_max
+      && r.sends = r.expected_sends
+      && r.orientation_ok = Some true)
+
+let prop_sampling_magnitude =
+  (* Lemma 18's magnitude statement, loosely: the maximum of n samples
+     grows with n (statistical smoke, generous margins). *)
+  QCheck.Test.make ~name:"sampling max grows with n" ~count:10
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let med n =
+        let s = Colring_stats.Summary.create () in
+        for i = 1 to 60 do
+          let ids =
+            Sampling.sample_ring
+              (Rng.create ~seed:((seed * 100) + i))
+              ~c:1.0 ~n
+          in
+          Colring_stats.Summary.add_int s (Ids.id_max ids)
+        done;
+        Colring_stats.Summary.median s
+      in
+      med 64 > med 4)
+
+let prop_algo2_outcome_schedule_independent =
+  (* Not just the totals: leader, role vector, per-node final counters
+     and even the termination order coincide across adversaries. *)
+  QCheck.Test.make ~name:"algo2 outcome schedule-independent" ~count:40
+    arb_instance (fun (n, seed) ->
+      let rng = Rng.create ~seed in
+      let ids = Ids.distinct rng ~n ~id_max:(n + Rng.int rng 20) in
+      let topo = Topology.oriented n in
+      let outcome sched =
+        let r, net = Election.run Election.Algo2 ~topo ~ids ~sched in
+        (r.leader, r.sends, r.sends_cw, Network.termination_order net)
+      in
+      let reference = outcome Scheduler.fifo in
+      List.for_all
+        (fun sched -> outcome sched = reference)
+        [ Scheduler.lifo; Scheduler.random (Rng.split rng) ])
+
+let prop_algo1_duplicates =
+  QCheck.Test.make ~name:"algo1 with duplicated ids (Lemma 16)" ~count:80
+    arb_instance (fun (n, seed) ->
+      let rng = Rng.create ~seed in
+      let id_max = 2 + Rng.int rng 20 in
+      let dup_max = 1 + Rng.int rng n in
+      let ids = Ids.duplicated rng ~n ~id_max ~dup_max in
+      let topo = Topology.oriented n in
+      let _, net =
+        Election.run Election.Algo1 ~topo ~ids
+          ~sched:(Scheduler.random (Rng.split rng))
+      in
+      Network.is_quiescent net
+      && Array.for_all
+           (fun v -> Network.inspect_counter net v "rho_cw" = id_max)
+           (Array.init n Fun.id))
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "colring-core"
+    [
+      ( "algo1",
+        [
+          Alcotest.test_case "basic all schedulers" `Quick test_algo1_basic;
+          Alcotest.test_case "single node" `Quick test_algo1_single_node;
+          Alcotest.test_case "counters stabilize" `Quick
+            test_algo1_counters_stabilize;
+          Alcotest.test_case "duplicate ids" `Quick test_algo1_duplicate_ids;
+        ] );
+      ( "algo2",
+        [
+          Alcotest.test_case "all schedulers" `Quick test_algo2_all_schedulers;
+          Alcotest.test_case "termination order" `Quick
+            test_algo2_termination_order;
+          Alcotest.test_case "single node" `Quick test_algo2_single_node;
+          Alcotest.test_case "two nodes" `Quick test_algo2_two_nodes;
+          Alcotest.test_case "directional split" `Quick
+            test_algo2_directional_split;
+          Alcotest.test_case "large id gap" `Quick test_algo2_large_gap_ids;
+          Alcotest.test_case "lemma 6 invariants" `Quick
+            test_algo2_invariants_probed;
+          Alcotest.test_case "lemma 7 max last" `Quick
+            test_algo2_max_last_to_cross;
+        ] );
+      ( "algo3",
+        [
+          Alcotest.test_case "doubled scheme" `Quick test_algo3_doubled;
+          Alcotest.test_case "improved scheme" `Quick test_algo3_improved;
+          Alcotest.test_case "works on oriented rings" `Quick
+            test_algo3_oriented_ring_too;
+          Alcotest.test_case "orientation from leader port1" `Quick
+            test_algo3_orientation_agrees_with_leader_port1;
+        ] );
+      ( "causal-time",
+        [
+          Alcotest.test_case "algo1 span schedule-invariant" `Quick
+            test_algo1_causal_span_schedule_invariant;
+          Alcotest.test_case "algo2 span bounds" `Quick
+            test_algo2_causal_span_bounds;
+        ] );
+      ( "anonymous",
+        [
+          Alcotest.test_case "sampling deterministic" `Quick
+            test_sampling_positive_and_deterministic;
+          Alcotest.test_case "unique max rate" `Quick
+            test_sampling_unique_max_rate;
+          Alcotest.test_case "end to end" `Quick
+            test_anonymous_election_end_to_end;
+          Alcotest.test_case "prop 19 resampling" `Quick
+            test_resampling_distinct_ids;
+          Alcotest.test_case "prop 19 on sampled ids" `Quick
+            test_resampling_on_sampled_ids;
+        ] );
+      ( "properties",
+        qsuite
+          [
+            prop_algo2_ok;
+            prop_algo1_quiescence_iff_all_reached;
+            prop_algo3_improved_ok;
+            prop_algo3_doubled_ok;
+            prop_algo1_duplicates;
+            prop_algo2_outcome_schedule_independent;
+            prop_algo3_duplicate_nonmax;
+            prop_sampling_magnitude;
+          ] );
+    ]

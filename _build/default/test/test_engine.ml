@@ -1,0 +1,550 @@
+(* Tests for the discrete-event simulator: topology invariants, FIFO
+   channel semantics, scheduler behaviour, mailboxes, termination
+   accounting, traces, and the effects-based blocking layer. *)
+
+open Colring_engine
+module Rng = Colring_stats.Rng
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Topology *)
+
+let test_topology_oriented () =
+  let t = Topology.oriented 5 in
+  Topology.check t;
+  checkb "oriented" true (Topology.is_oriented t);
+  checki "cw neighbor" 3 (Topology.cw_neighbor t 2);
+  checki "ccw neighbor" 1 (Topology.ccw_neighbor t 2);
+  checki "wraps" 0 (Topology.cw_neighbor t 4);
+  checki "distance" 3 (Topology.distance_cw t 4 2);
+  let w, p = Topology.peer t 1 Port.P1 in
+  checki "peer node" 2 w;
+  checkb "peer port" true (Port.equal p Port.P0)
+
+let test_topology_non_oriented () =
+  let t = Topology.non_oriented ~flips:[| false; true; false; true |] in
+  Topology.check t;
+  checkb "not oriented" false (Topology.is_oriented t);
+  checkb "flip ground truth" true (Topology.flipped t 1);
+  (* Flipping relabels ports but not the ring structure. *)
+  checki "cw neighbor" 2 (Topology.cw_neighbor t 1);
+  checki "ccw neighbor" 0 (Topology.ccw_neighbor t 1);
+  let w, p = Topology.peer t 1 Port.P0 in
+  (* Node 1 is flipped, so its clockwise port is P0; node 2 is not
+     flipped, so clockwise pulses arrive on its P0. *)
+  checki "peer node" 2 w;
+  checkb "peer port" true (Port.equal p Port.P0)
+
+let test_topology_self_ring () =
+  let t = Topology.oriented 1 in
+  Topology.check t;
+  checki "self cw" 0 (Topology.cw_neighbor t 0);
+  let w, p = Topology.peer t 0 Port.P1 in
+  checki "self peer" 0 w;
+  checkb "arrives other port" true (Port.equal p Port.P0)
+
+let test_topology_all_flip_patterns_are_rings () =
+  for n = 1 to 6 do
+    for mask = 0 to (1 lsl n) - 1 do
+      let flips = Array.init n (fun i -> mask land (1 lsl i) <> 0) in
+      Topology.check (Topology.non_oriented ~flips)
+    done
+  done;
+  checkb "all valid" true true
+
+let test_link_direction () =
+  let t = Topology.oriented 3 in
+  let cw_link = Topology.link_id t 0 Port.P1 in
+  let ccw_link = Topology.link_id t 0 Port.P0 in
+  checkb "cw" true (Topology.link_travels_cw t cw_link);
+  checkb "ccw" false (Topology.link_travels_cw t ccw_link)
+
+(* ------------------------------------------------------------------ *)
+(* Network semantics *)
+
+(* A relay that forwards everything from P0 to P1 with payloads. *)
+let relay_program () =
+  {
+    Network.start = (fun _ -> ());
+    wake =
+      (fun api ->
+        let continue = ref true in
+        while !continue do
+          match api.recv Port.P0 with
+          | Some m -> api.send Port.P1 m
+          | None -> continue := false
+        done);
+    inspect = (fun () -> []);
+  }
+
+(* Node 0 injects [k] numbered messages, everyone forwards, node 0
+   collects them back. *)
+let test_fifo_order_preserved () =
+  let collected = ref [] in
+  let injector k =
+    {
+      Network.start =
+        (fun api ->
+          for i = 1 to k do
+            api.send Port.P1 i
+          done);
+      wake =
+        (fun api ->
+          let continue = ref true in
+          while !continue do
+            match api.recv Port.P0 with
+            | Some m -> collected := m :: !collected
+            | None -> continue := false
+          done);
+      inspect = (fun () -> []);
+    }
+  in
+  let topo = Topology.oriented 4 in
+  List.iter
+    (fun sched ->
+      collected := [];
+      let net =
+        Network.create topo (fun v ->
+            if v = 0 then injector 5 else relay_program ())
+      in
+      let result = Network.run net sched in
+      checkb (sched.Scheduler.name ^ " quiescent") true result.quiescent;
+      Alcotest.(check (list int))
+        (sched.Scheduler.name ^ " fifo order")
+        [ 1; 2; 3; 4; 5 ] (List.rev !collected))
+    (Scheduler.all_deterministic ()
+    @ [ Scheduler.random (Rng.create ~seed:1) ])
+
+let test_send_counts_and_metrics () =
+  let topo = Topology.oriented 3 in
+  let net =
+    Network.create topo (fun v ->
+        if v = 0 then
+          {
+            Network.start = (fun api -> api.send Port.P1 ());
+            wake = (fun _ -> ());
+            inspect = (fun () -> []);
+          }
+        else Network.silent_program)
+  in
+  let result = Network.run net Scheduler.fifo in
+  checki "sends" 1 result.sends;
+  checki "deliveries" 1 result.deliveries;
+  checkb "not quiescent (mailbox backlog)" false result.quiescent;
+  checki "backlog" 1 (Network.mailbox_backlog net);
+  checki "cw sends" 1 (Metrics.sends_cw (Network.metrics net))
+
+let test_terminated_nodes_drop_pulses () =
+  let topo = Topology.oriented 2 in
+  (* Node 0 sends two pulses; node 1 terminates after consuming one. *)
+  let net =
+    Network.create topo (fun v ->
+        if v = 0 then
+          {
+            Network.start =
+              (fun api ->
+                api.send Port.P1 ();
+                api.send Port.P1 ());
+            wake = (fun _ -> ());
+            inspect = (fun () -> []);
+          }
+        else
+          {
+            Network.start = (fun _ -> ());
+            wake =
+              (fun api ->
+                match api.recv Port.P0 with
+                | Some () -> api.terminate ()
+                | None -> ());
+            inspect = (fun () -> []);
+          })
+  in
+  let result = Network.run net Scheduler.fifo in
+  checki "one dropped" 1
+    (Metrics.post_termination_deliveries (Network.metrics net));
+  checkb "quiescent" true result.quiescent;
+  Alcotest.(check (list int)) "termination order" [ 1 ] result.termination_order
+
+let test_send_after_terminate_rejected () =
+  let topo = Topology.oriented 1 in
+  Alcotest.check_raises "send after terminate"
+    (Failure "Network: send after terminate") (fun () ->
+      ignore
+        (Network.create topo (fun _ ->
+             {
+               Network.start =
+                 (fun api ->
+                   api.terminate ();
+                   api.send Port.P1 ());
+               wake = (fun _ -> ());
+               inspect = (fun () -> []);
+             })))
+
+let test_scheduler_determinism () =
+  (* Same seed => identical executions, different seed => (almost surely)
+     different delivery traces for a workload with interleaving. *)
+  let run seed =
+    let topo = Topology.oriented 6 in
+    let net =
+      Network.create ~record_trace:true topo (fun v ->
+          Colring_core.Algo2.program ~id:(v + 3))
+    in
+    let _ = Network.run net (Scheduler.random (Rng.create ~seed)) in
+    match Network.trace net with
+    | Some tr -> Trace.events tr
+    | None -> []
+  in
+  checkb "same seed same trace" true (run 5 = run 5);
+  checkb "different seed different trace" true (run 5 <> run 6)
+
+let test_trace_consume_sequence () =
+  let topo = Topology.oriented 1 in
+  let net =
+    Network.create ~record_trace:true topo (fun _ ->
+        Colring_core.Algo1.program ~id:3)
+  in
+  let _ = Network.run net Scheduler.fifo in
+  match Network.trace net with
+  | None -> Alcotest.fail "no trace"
+  | Some tr ->
+      (* Algorithm 1 with id 3 alone: the node consumes 3 CW pulses. *)
+      checki "consumes" 3 (List.length (Trace.consumed_ports tr ~node:0))
+
+let test_max_deliveries_exhaustion () =
+  (* A two-node pulse ping-pong never quiesces; the engine must stop and
+     flag exhaustion. *)
+  let forever =
+    {
+      Network.start = (fun api -> api.send Port.P1 ());
+      wake =
+        (fun api ->
+          let continue = ref true in
+          while !continue do
+            match api.recv Port.P0 with
+            | Some () -> api.send Port.P1 ()
+            | None -> continue := false
+          done);
+      inspect = (fun () -> []);
+    }
+  in
+  let net = Network.create (Topology.oriented 2) (fun _ -> forever) in
+  let result = Network.run ~max_deliveries:100 net Scheduler.fifo in
+  checkb "exhausted" true result.exhausted;
+  checki "stopped at bound" 100 result.deliveries
+
+let test_per_node_rng_streams_differ () =
+  let seen = ref [] in
+  let net =
+    Network.create ~seed:7 (Topology.oriented 4) (fun _ ->
+        {
+          Network.start =
+            (fun api -> seen := Rng.int api.rng 1_000_000 :: !seen);
+          wake = (fun _ -> ());
+          inspect = (fun () -> []);
+        })
+  in
+  ignore (Network.run net Scheduler.fifo);
+  let sorted = List.sort_uniq compare !seen in
+  checki "four distinct draws" 4 (List.length sorted)
+
+(* ------------------------------------------------------------------ *)
+(* Schedulers *)
+
+let mk_two_senders () =
+  (* Node 0 sends CW then CCW in one batch; a fifo scheduler with CW
+     priority must deliver the CW pulse first. *)
+  Network.create (Topology.oriented 2) (fun v ->
+      if v = 0 then
+        {
+          Network.start =
+            (fun api ->
+              api.send Port.P0 ();
+              (* CCW, sent first *)
+              api.send Port.P1 () (* CW, sent second *));
+          wake = (fun _ -> ());
+          inspect = (fun () -> []);
+        }
+      else Network.silent_program)
+
+let test_fifo_cw_priority () =
+  let net = mk_two_senders () in
+  let m = Network.metrics net in
+  ignore (Network.step net Scheduler.fifo);
+  (* The CW pulse from node 0 arrives at node 1's P0. *)
+  checki "cw delivered first" 1 (Metrics.delivered_to m ~node:1 ~port_index:0);
+  checki "ccw not yet" 0 (Metrics.delivered_to m ~node:1 ~port_index:1)
+
+let test_global_fifo_send_order () =
+  let net = mk_two_senders () in
+  let m = Network.metrics net in
+  ignore (Network.step net Scheduler.global_fifo);
+  (* Strict send order: the CCW pulse was sent first. *)
+  checki "ccw delivered first" 1 (Metrics.delivered_to m ~node:1 ~port_index:1)
+
+let test_starve_node_delays () =
+  (* With two pulses headed to different nodes, starve-node-1 must pick
+     the other node's delivery first. *)
+  let net =
+    Network.create (Topology.oriented 3) (fun v ->
+        if v = 0 then
+          {
+            Network.start =
+              (fun api ->
+                api.send Port.P1 ();
+                (* to node 1 *)
+                api.send Port.P0 () (* to node 2 *));
+            wake = (fun _ -> ());
+            inspect = (fun () -> []);
+          }
+        else Network.silent_program)
+  in
+  let m = Network.metrics net in
+  ignore (Network.step net (Scheduler.starve_node ~node:1));
+  checki "node 2 first" 1 (Metrics.delivered_to m ~node:2 ~port_index:1)
+
+(* ------------------------------------------------------------------ *)
+(* Blocking layer *)
+
+let test_blocking_ping_pong () =
+  (* Node 0: send CW, await reply CCW, terminate.  Node 1: await CW,
+     reply CCW, terminate.  Written in direct style. *)
+  let zero api =
+    api.Network.send Port.P1 ();
+    Blocking.recv Port.P1;
+    api.set_output (Output.with_value 1 Output.empty);
+    api.terminate ()
+  in
+  let one api =
+    Blocking.recv Port.P0;
+    api.Network.send Port.P0 ();
+    api.set_output (Output.with_value 2 Output.empty);
+    api.terminate ()
+  in
+  let net =
+    Network.create (Topology.oriented 2) (fun v ->
+        Blocking.make (if v = 0 then zero else one))
+  in
+  let result = Network.run net Scheduler.fifo in
+  checkb "all terminated" true result.all_terminated;
+  checkb "quiescent" true result.quiescent;
+  checki "sends" 2 result.sends;
+  Alcotest.(check (option int)) "node0 value" (Some 1)
+    (Network.output net 0).Output.value
+
+let test_blocking_recv_any () =
+  (* Node 0 sends on both ports; node 1 (blocking) consumes two pulses
+     with recv_any and records the ports. *)
+  let got = ref [] in
+  let one _api =
+    let p1 = Blocking.recv_any () in
+    let p2 = Blocking.recv_any () in
+    got := [ p1; p2 ]
+  in
+  let net =
+    Network.create (Topology.oriented 2) (fun v ->
+        if v = 0 then
+          {
+            Network.start =
+              (fun api ->
+                api.send Port.P1 ();
+                api.send Port.P0 ());
+            wake = (fun _ -> ());
+            inspect = (fun () -> []);
+          }
+        else Blocking.make one)
+  in
+  let result = Network.run net Scheduler.fifo in
+  checkb "quiescent" true result.quiescent;
+  checki "both consumed" 2 (List.length !got)
+
+let test_blocking_immediate_mailbox () =
+  (* A blocking recv must consume a pulse that is already waiting. *)
+  let order = ref [] in
+  let one _api =
+    Blocking.recv Port.P0;
+    order := 1 :: !order;
+    Blocking.recv Port.P0;
+    order := 2 :: !order
+  in
+  let net =
+    Network.create (Topology.oriented 2) (fun v ->
+        if v = 0 then
+          {
+            Network.start =
+              (fun api ->
+                api.send Port.P1 ();
+                api.send Port.P1 ());
+            wake = (fun _ -> ());
+            inspect = (fun () -> []);
+          }
+        else Blocking.make one)
+  in
+  let result = Network.run net Scheduler.fifo in
+  checkb "quiescent" true result.quiescent;
+  Alcotest.(check (list int)) "both recvs ran" [ 2; 1 ] !order
+
+(* ------------------------------------------------------------------ *)
+(* Forced stepping and state accessors (the explorer's toolkit) *)
+
+let test_force_step_and_accessors () =
+  let topo = Topology.oriented 3 in
+  let net =
+    Network.create topo (fun v -> Colring_core.Algo1.program ~id:(v + 1))
+  in
+  (* Three start-up pulses in flight, one per clockwise link. *)
+  checki "three active links" 3 (List.length (Network.active_links net));
+  checki "in flight" 3 (Network.in_flight net);
+  let link = Topology.link_id topo 0 Port.P1 in
+  checki "channel length" 1 (Network.channel_length net ~link);
+  Network.force_step net ~link;
+  checki "consumed from that link" 0 (Network.channel_length net ~link);
+  Alcotest.check_raises "empty link rejected"
+    (Invalid_argument "Network.force_step: empty link") (fun () ->
+      Network.force_step net ~link)
+
+let test_mailbox_length_tracks_guarded_pulses () =
+  (* A program that never consumes: deliveries pile up in the mailbox. *)
+  let net =
+    Network.create (Topology.oriented 2) (fun v ->
+        if v = 0 then
+          {
+            Network.start =
+              (fun api ->
+                api.send Port.P1 ();
+                api.send Port.P1 ());
+            wake = (fun _ -> ());
+            inspect = (fun () -> []);
+          }
+        else Network.silent_program)
+  in
+  let _ = Network.run net Scheduler.fifo in
+  checki "mailbox holds both" 2
+    (Network.mailbox_length net ~node:1 ~port:Port.P0);
+  checki "backlog" 2 (Network.mailbox_backlog net);
+  checkb "not quiescent" false (Network.is_quiescent net)
+
+let test_diagram_deterministic () =
+  let render () =
+    let net =
+      Network.create ~record_trace:true (Topology.oriented 2) (fun v ->
+          Colring_core.Algo2.program ~id:(v + 1))
+    in
+    let _ = Network.run net Scheduler.fifo in
+    match Network.trace net with
+    | Some tr -> Diagram.render tr ~n:2
+    | None -> ""
+  in
+  Alcotest.(check string) "stable" (render ()) (render ())
+
+let test_explore_trivial_instances () =
+  (* A network with no sends at all: one state, one terminal. *)
+  let stats =
+    Explore.exhaustive
+      ~make:(fun () ->
+        Network.create (Topology.oriented 2) (fun _ -> Network.silent_program))
+      ~check:(fun net -> Network.is_quiescent net)
+      ()
+  in
+  checki "one state" 1 stats.Explore.distinct_states;
+  checki "one terminal" 1 stats.Explore.terminal_states;
+  checki "no failures" 0 stats.Explore.failures
+
+let test_explore_respects_max_states () =
+  let stats =
+    Explore.exhaustive ~max_states:5
+      ~make:(fun () ->
+        Network.create (Topology.oriented 3) (fun v ->
+            Colring_core.Algo2.program ~id:(v + 2)))
+      ~check:(fun _ -> true)
+      ()
+  in
+  checkb "truncated" true stats.Explore.truncated;
+  checkb "bounded" true (stats.Explore.distinct_states <= 6)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_random_topologies_check =
+  QCheck.Test.make ~name:"random non-oriented topologies are rings" ~count:200
+    QCheck.(pair (QCheck.make QCheck.Gen.(int_range 1 64)) small_nat)
+    (fun (n, seed) ->
+      let t = Topology.random_non_oriented (Rng.create ~seed) n in
+      Topology.check t;
+      Topology.distance_cw t 0 0 = 0)
+
+let prop_conservation =
+  (* Sends = deliveries + in-flight at all times; after a full run of a
+     quiescent algorithm, sends = deliveries + drops. *)
+  QCheck.Test.make ~name:"pulse conservation" ~count:100
+    QCheck.(pair (QCheck.make QCheck.Gen.(int_range 1 16)) small_nat)
+    (fun (n, seed) ->
+      let rng = Rng.create ~seed in
+      let ids = Colring_core.Ids.dense rng ~n in
+      let net =
+        Network.create (Topology.oriented n) (fun v ->
+            Colring_core.Algo2.program ~id:ids.(v))
+      in
+      let result = Network.run net (Scheduler.random (Rng.split rng)) in
+      let m = Network.metrics net in
+      result.sends
+      = result.deliveries + Metrics.post_termination_deliveries m
+        + Network.in_flight net)
+
+let () =
+  Alcotest.run "colring-engine"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "oriented" `Quick test_topology_oriented;
+          Alcotest.test_case "non-oriented" `Quick test_topology_non_oriented;
+          Alcotest.test_case "self ring" `Quick test_topology_self_ring;
+          Alcotest.test_case "all flip patterns" `Quick
+            test_topology_all_flip_patterns_are_rings;
+          Alcotest.test_case "link direction" `Quick test_link_direction;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "fifo order" `Quick test_fifo_order_preserved;
+          Alcotest.test_case "metrics" `Quick test_send_counts_and_metrics;
+          Alcotest.test_case "terminated drop" `Quick
+            test_terminated_nodes_drop_pulses;
+          Alcotest.test_case "send after terminate" `Quick
+            test_send_after_terminate_rejected;
+          Alcotest.test_case "scheduler determinism" `Quick
+            test_scheduler_determinism;
+          Alcotest.test_case "trace consumes" `Quick test_trace_consume_sequence;
+          Alcotest.test_case "exhaustion" `Quick test_max_deliveries_exhaustion;
+          Alcotest.test_case "per-node rng" `Quick
+            test_per_node_rng_streams_differ;
+        ] );
+      ( "schedulers",
+        [
+          Alcotest.test_case "fifo cw priority" `Quick test_fifo_cw_priority;
+          Alcotest.test_case "global fifo" `Quick test_global_fifo_send_order;
+          Alcotest.test_case "starve node" `Quick test_starve_node_delays;
+        ] );
+      ( "blocking",
+        [
+          Alcotest.test_case "ping pong" `Quick test_blocking_ping_pong;
+          Alcotest.test_case "recv_any" `Quick test_blocking_recv_any;
+          Alcotest.test_case "immediate mailbox" `Quick
+            test_blocking_immediate_mailbox;
+        ] );
+      ( "exploration-toolkit",
+        [
+          Alcotest.test_case "force step" `Quick test_force_step_and_accessors;
+          Alcotest.test_case "mailbox length" `Quick
+            test_mailbox_length_tracks_guarded_pulses;
+          Alcotest.test_case "diagram deterministic" `Quick
+            test_diagram_deterministic;
+          Alcotest.test_case "explore trivial" `Quick
+            test_explore_trivial_instances;
+          Alcotest.test_case "explore max states" `Quick
+            test_explore_respects_max_states;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_random_topologies_check; prop_conservation ] );
+    ]

@@ -1,0 +1,299 @@
+(* Tests for the general-graph substrate: topology builders, bridge
+   finding / 2-edge-connectivity, cross-validation of the ring
+   algorithms on the independent graph simulator, and regression
+   observations for the exploratory rotor circulation. *)
+
+open Colring_engine
+open Colring_core
+open Colring_graph
+module Rng = Colring_stats.Rng
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Topology *)
+
+let test_ring_graph_shape () =
+  let g = Gtopology.ring 5 in
+  checki "n" 5 (Gtopology.n g);
+  checki "links" 10 (Gtopology.num_links g);
+  for v = 0 to 4 do
+    checki "degree" 2 (Gtopology.degree g v)
+  done;
+  (* Wiring is symmetric. *)
+  for id = 0 to Gtopology.num_links g - 1 do
+    let v, p = Gtopology.link_src g id in
+    let w, q = Gtopology.peer g ~node:v ~port:p in
+    let v', p' = Gtopology.peer g ~node:w ~port:q in
+    checkb "symmetric" true (v' = v && p' = p)
+  done
+
+let test_theta_shape () =
+  let g = Gtopology.theta 1 2 3 in
+  checki "n" 8 (Gtopology.n g);
+  checki "hub degree" 3 (Gtopology.degree g 0);
+  checki "hub degree" 3 (Gtopology.degree g 1);
+  for v = 2 to 7 do
+    checki "inner degree" 2 (Gtopology.degree g v)
+  done;
+  checkb "2ec" true (Gtopology.is_two_edge_connected g)
+
+let test_complete_shape () =
+  let g = Gtopology.complete 5 in
+  checki "links" (5 * 4) (Gtopology.num_links g);
+  checkb "2ec" true (Gtopology.is_two_edge_connected g)
+
+let test_bridges () =
+  (* A path: every edge is a bridge. *)
+  let path = Gtopology.of_edges ~n:4 [ (0, 1); (1, 2); (2, 3) ] in
+  checki "path bridges" 3 (List.length (Gtopology.bridges path));
+  checkb "path not 2ec" false (Gtopology.is_two_edge_connected path);
+  (* A cycle: none. *)
+  checki "cycle bridges" 0 (List.length (Gtopology.bridges (Gtopology.ring 6)));
+  (* Barbell: two triangles joined by one edge — exactly one bridge. *)
+  let barbell =
+    Gtopology.of_edges ~n:6
+      [ (0, 1); (1, 2); (2, 0); (3, 4); (4, 5); (5, 3); (2, 3) ]
+  in
+  Alcotest.(check (list (pair int int)))
+    "barbell bridge" [ (2, 3) ] (Gtopology.bridges barbell);
+  (* Two parallel edges are never a bridge. *)
+  let digon = Gtopology.of_edges ~n:2 [ (0, 1); (0, 1) ] in
+  checki "digon bridges" 0 (List.length (Gtopology.bridges digon));
+  checkb "digon 2ec" true (Gtopology.is_two_edge_connected digon)
+
+let test_disconnected () =
+  let g = Gtopology.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  checkb "not connected" false (Gtopology.is_connected g);
+  checkb "not 2ec" false (Gtopology.is_two_edge_connected g)
+
+let test_of_edges_validation () =
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Gtopology.of_edges: self-loop") (fun () ->
+      ignore (Gtopology.of_edges ~n:2 [ (0, 0) ]));
+  Alcotest.check_raises "range"
+    (Invalid_argument "Gtopology.of_edges: endpoint out of range") (fun () ->
+      ignore (Gtopology.of_edges ~n:2 [ (0, 5) ]))
+
+let prop_cycle_with_chords_2ec =
+  QCheck.Test.make ~name:"cycle+chords always 2-edge-connected" ~count:100
+    QCheck.(pair (QCheck.make QCheck.Gen.(int_range 4 24)) small_nat)
+    (fun (n, seed) ->
+      let g =
+        Gtopology.cycle_with_chords (Rng.create ~seed) ~n ~chords:(seed mod 4)
+      in
+      Gtopology.is_two_edge_connected g)
+
+(* ------------------------------------------------------------------ *)
+(* Gnetwork semantics *)
+
+let test_gnetwork_fifo_and_drop () =
+  (* Node 0 sends 3 numbered messages along a path-like route on K3;
+     node 1 collects them in order then terminates; a late message is
+     dropped and counted. *)
+  let g = Gtopology.of_edges ~n:2 [ (0, 1); (0, 1) ] in
+  let got = ref [] in
+  let net =
+    Gnetwork.create g (fun v ->
+        if v = 0 then
+          {
+            Gnetwork.start =
+              (fun api ->
+                api.send 0 1;
+                api.send 0 2;
+                api.send 1 3);
+            wake = (fun _ -> ());
+            inspect = (fun () -> []);
+          }
+        else
+          {
+            Gnetwork.start = (fun _ -> ());
+            wake =
+              (fun api ->
+                let continue = ref true in
+                while !continue do
+                  match api.recv 0 with
+                  | Some m ->
+                      got := m :: !got;
+                      if m = 2 then api.terminate ()
+                  | None -> (
+                      match api.recv 1 with
+                      | Some m -> got := m :: !got
+                      | None -> continue := false)
+                done);
+            inspect = (fun () -> []);
+          })
+  in
+  let r = Gnetwork.run net Scheduler.global_fifo in
+  checkb "receiver terminated, sender not" false r.Gnetwork.all_terminated;
+  Alcotest.(check (list int)) "fifo per channel" [ 2; 1 ] !got;
+  checki "late message dropped" 1 (Gnetwork.post_termination_deliveries net)
+
+let test_gnetwork_per_node_rng () =
+  let g = Gtopology.ring 4 in
+  let seen = ref [] in
+  let net =
+    Gnetwork.create ~seed:5 g (fun _ ->
+        {
+          Gnetwork.start =
+            (fun api -> seen := Rng.int api.rng 1_000_000 :: !seen);
+          wake = (fun _ -> ());
+          inspect = (fun () -> []);
+        })
+  in
+  ignore (Gnetwork.run net Scheduler.fifo);
+  checki "distinct streams" 4 (List.length (List.sort_uniq compare !seen))
+
+(* ------------------------------------------------------------------ *)
+(* Cross-validation: the ring algorithms on the graph simulator *)
+
+let prop_algo3_cross_simulator =
+  QCheck.Test.make
+    ~name:"algo3 on Gnetwork ring = algo3 on ring engine" ~count:80
+    (QCheck.make
+       ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d" n seed)
+       QCheck.Gen.(pair (int_range 2 16) (int_range 0 10_000)))
+    (fun (n, seed) ->
+      let rng = Rng.create ~seed in
+      let ids = Ids.distinct rng ~n ~id_max:(n + Rng.int rng 30) in
+      (* Graph simulator on the ring-as-graph. *)
+      let g = Gtopology.ring n in
+      let gnet =
+        Gnetwork.create g (fun v ->
+            Circulate.algo3_deg2 ~scheme:Algo3.Improved ~id:ids.(v))
+      in
+      let gres = Gnetwork.run gnet (Scheduler.random (Rng.split rng)) in
+      (* Ring engine on an oriented ring (the graph builder wires node
+         v's port 1 toward v+1 except at the wrap nodes; roles and
+         totals are topology-labeling-independent). *)
+      let r =
+        Election.run_report (Election.Algo3 Algo3.Improved)
+          ~topo:(Topology.oriented n) ~ids
+          ~sched:(Scheduler.random (Rng.split rng))
+      in
+      gres.Gnetwork.quiescent
+      && gres.Gnetwork.sends = r.sends
+      && Array.for_all
+           (fun v ->
+             Output.equal_role
+               (Gnetwork.output gnet v).Output.role
+               (if v = Ids.argmax ids then Output.Leader else Output.Non_leader))
+           (Array.init n Fun.id))
+
+let test_cross_simulator_counters () =
+  let ids = [| 6; 2; 11; 5 |] in
+  let g = Gtopology.ring 4 in
+  let gnet =
+    Gnetwork.create g (fun v ->
+        Circulate.algo3_deg2 ~scheme:Algo3.Improved ~id:ids.(v))
+  in
+  let _ = Gnetwork.run gnet Scheduler.lifo in
+  (* At quiescence each node received ID_max+1 pulses in one direction
+     and ID_max in the other (Theorem 2's analysis). *)
+  for v = 0 to 3 do
+    let r0 = Gnetwork.inspect_counter gnet v "rho0" in
+    let r1 = Gnetwork.inspect_counter gnet v "rho1" in
+    Alcotest.(check (list int))
+      (Printf.sprintf "counts at %d" v)
+      [ 11; 12 ]
+      (List.sort compare [ r0; r1 ])
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Exploratory rotor: recorded observations, not claims. *)
+
+let rotor_run g ~seed =
+  let n = Gtopology.n g in
+  let ids = Ids.distinct (Rng.create ~seed) ~n ~id_max:(3 * n) in
+  let net = Gnetwork.create g (fun v -> Circulate.rotor ~id:ids.(v)) in
+  let r =
+    Gnetwork.run ~max_deliveries:200_000 net
+      (Scheduler.random (Rng.create ~seed:(seed + 50)))
+  in
+  (r, net, ids)
+
+let test_rotor_observations () =
+  (* Exploratory, so the assertions are deliberately weak: every run
+     either reaches quiescence or exhausts the budget (no crash, no
+     livelock detection needed beyond the cap), and at least one run
+     of each kind exists across the sample — i.e. the naive rotor
+     generalization is NOT a quiescently-stabilizing algorithm on
+     general graphs. *)
+  let quiesced = ref 0 and exhausted = ref 0 in
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun seed ->
+          let r, _, _ = rotor_run g ~seed in
+          checkb
+            (Printf.sprintf "%s seed %d sane" name seed)
+            true
+            (r.Gnetwork.quiescent || r.Gnetwork.exhausted);
+          if r.Gnetwork.quiescent then incr quiesced else incr exhausted)
+        [ 1; 2; 3 ])
+    [
+      ("theta", Gtopology.theta 1 2 3);
+      ("K4", Gtopology.complete 4);
+      ("K5", Gtopology.complete 5);
+      ( "cycle+chords",
+        Gtopology.cycle_with_chords (Rng.create ~seed:9) ~n:8 ~chords:2 );
+    ];
+  checkb "some runs quiesce" true (!quiesced > 0)
+
+let test_rotor_does_not_solve_election () =
+  (* The naive generalization is NOT a leader election: some run ends
+     without the max-ID node as unique leader — evidence (not proof)
+     that the open question needs new ideas, as the paper suggests. *)
+  let g = Gtopology.theta 1 2 3 in
+  let bad = ref false in
+  for seed = 1 to 6 do
+    let r, net, ids = rotor_run g ~seed in
+    if r.Gnetwork.quiescent then begin
+      let leaders =
+        Array.fold_left
+          (fun acc (o : Output.t) ->
+            if Output.equal_role o.role Output.Leader then acc + 1 else acc)
+          0 (Gnetwork.outputs net)
+      in
+      let max_is_leader =
+        Output.equal_role
+          (Gnetwork.output net (Ids.argmax ids)).Output.role
+          Output.Leader
+      in
+      if leaders <> 1 || not max_is_leader then bad := true
+    end
+    else bad := true
+  done;
+  checkb "rotor fails somewhere" true !bad
+
+let () =
+  Alcotest.run "colring-graph"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "ring" `Quick test_ring_graph_shape;
+          Alcotest.test_case "theta" `Quick test_theta_shape;
+          Alcotest.test_case "complete" `Quick test_complete_shape;
+          Alcotest.test_case "bridges" `Quick test_bridges;
+          Alcotest.test_case "disconnected" `Quick test_disconnected;
+          Alcotest.test_case "validation" `Quick test_of_edges_validation;
+          QCheck_alcotest.to_alcotest prop_cycle_with_chords_2ec;
+        ] );
+      ( "gnetwork",
+        [
+          Alcotest.test_case "fifo and drop" `Quick test_gnetwork_fifo_and_drop;
+          Alcotest.test_case "per-node rng" `Quick test_gnetwork_per_node_rng;
+        ] );
+      ( "cross-validation",
+        [
+          QCheck_alcotest.to_alcotest prop_algo3_cross_simulator;
+          Alcotest.test_case "counters" `Quick test_cross_simulator_counters;
+        ] );
+      ( "rotor (exploratory)",
+        [
+          Alcotest.test_case "observations" `Quick test_rotor_observations;
+          Alcotest.test_case "does not solve election" `Quick
+            test_rotor_does_not_solve_election;
+        ] );
+    ]

@@ -1,0 +1,137 @@
+(* Tests for the sweep harness: workload generators produce valid
+   instances, the grid covers what it should, CSV round-trips shape,
+   and summaries aggregate correctly. *)
+
+open Colring_engine
+open Colring_core
+open Colring_harness
+module Rng = Colring_stats.Rng
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let test_workload_shapes () =
+  List.iter
+    (fun (w : Workload.t) ->
+      List.iter
+        (fun n ->
+          let ids, topo = w.generate (Rng.create ~seed:n) ~n in
+          checki (w.name ^ " n") n (Array.length ids);
+          Topology.check topo;
+          Array.iter
+            (fun id -> checkb (w.name ^ " positive") true (id >= 1))
+            ids;
+          if w.oriented then
+            checkb (w.name ^ " oriented") true (Topology.is_oriented topo))
+        [ 1; 2; 5; 16 ])
+    (Workload.all_for_election
+    @ [
+        Workload.dense_scrambled;
+        Workload.sparse_scrambled ~factor:4;
+        Workload.duplicated_max ~copies:3;
+        Workload.anonymous ~c:1.0;
+      ])
+
+let test_workload_determinism () =
+  let w = Workload.sparse ~factor:8 in
+  let a, _ = w.generate (Rng.create ~seed:3) ~n:10 in
+  let b, _ = w.generate (Rng.create ~seed:3) ~n:10 in
+  checkb "same" true (a = b)
+
+let test_decreasing_is_cr_worst () =
+  let ids, _ = Workload.decreasing.generate (Rng.create ~seed:1) ~n:5 in
+  Alcotest.(check (array int)) "ids" [| 5; 4; 3; 2; 1 |] ids
+
+let test_duplicated_max_has_copies () =
+  let w = Workload.duplicated_max ~copies:3 in
+  let ids, _ = w.generate (Rng.create ~seed:2) ~n:8 in
+  let id_max = Ids.id_max ids in
+  checki "copies" 3
+    (Array.fold_left (fun acc x -> if x = id_max then acc + 1 else acc) 0 ids)
+
+let small_grid () =
+  Sweep.election
+    ~algorithms:[ Election.Algo2; Election.Algo3 Algo3.Improved ]
+    ~workloads:[ Workload.dense; Workload.dense_scrambled ]
+    ~ns:[ 2; 5 ] ~seeds:[ 1; 2 ]
+    ~schedulers:[ (fun s -> Scheduler.random (Rng.create ~seed:s)) ]
+    ()
+
+let test_sweep_grid_coverage () =
+  let ms = small_grid () in
+  (* algo2 runs only on the oriented workload (1), algo3 on both (2):
+     3 combos x 2 ns x 2 seeds x 1 scheduler = 12. *)
+  checki "cells" 12 (List.length ms);
+  checkb "all ok" true (List.for_all (fun m -> m.Sweep.ok) ms);
+  checkb "exact counts" true
+    (List.for_all (fun m -> m.Sweep.sends = m.Sweep.expected) ms)
+
+let test_sweep_skips_incompatible () =
+  let ms =
+    Sweep.election ~algorithms:[ Election.Algo1 ]
+      ~workloads:[ Workload.dense_scrambled ]
+      ~ns:[ 4 ] ~seeds:[ 1 ]
+      ~schedulers:[ (fun _ -> Scheduler.fifo) ]
+      ()
+  in
+  checki "skipped" 0 (List.length ms)
+
+let test_sweep_id_cap () =
+  let ms =
+    Sweep.election ~id_max_cap:10
+      ~algorithms:[ Election.Algo2 ]
+      ~workloads:[ Workload.sparse ~factor:100 ]
+      ~ns:[ 4 ] ~seeds:[ 1 ]
+      ~schedulers:[ (fun _ -> Scheduler.fifo) ]
+      ()
+  in
+  checki "capped out" 0 (List.length ms)
+
+let test_csv_shape () =
+  let ms = small_grid () in
+  let csv = Sweep.to_csv ms in
+  let lines =
+    String.split_on_char '\n' csv |> List.filter (fun l -> l <> "")
+  in
+  checki "lines" (1 + List.length ms) (List.length lines);
+  checkb "header" true
+    (List.hd lines
+    = "algorithm,workload,n,id_max,seed,scheduler,sends,expected,deliveries,ok");
+  List.iter
+    (fun line ->
+      checki "fields" 10 (List.length (String.split_on_char ',' line)))
+    lines
+
+let test_summary_groups () =
+  let ms = small_grid () in
+  let rows = Sweep.summarize ms in
+  (* 3 combos x 2 ns = 6 groups. *)
+  checki "groups" 6 (List.length rows);
+  List.iter
+    (fun (r : Sweep.summary_row) ->
+      checki (r.group ^ " runs") 2 r.runs;
+      checki (r.group ^ " all ok") 2 r.ok_runs;
+      checkb (r.group ^ " exact") true (r.max_rel_err_vs_expected < 1e-9))
+    rows
+
+let () =
+  Alcotest.run "colring-harness"
+    [
+      ( "workloads",
+        [
+          Alcotest.test_case "shapes" `Quick test_workload_shapes;
+          Alcotest.test_case "determinism" `Quick test_workload_determinism;
+          Alcotest.test_case "decreasing" `Quick test_decreasing_is_cr_worst;
+          Alcotest.test_case "duplicated max" `Quick
+            test_duplicated_max_has_copies;
+        ] );
+      ( "sweeps",
+        [
+          Alcotest.test_case "grid coverage" `Quick test_sweep_grid_coverage;
+          Alcotest.test_case "incompatible skipped" `Quick
+            test_sweep_skips_incompatible;
+          Alcotest.test_case "id cap" `Quick test_sweep_id_cap;
+          Alcotest.test_case "csv" `Quick test_csv_shape;
+          Alcotest.test_case "summary" `Quick test_summary_groups;
+        ] );
+    ]

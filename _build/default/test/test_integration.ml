@@ -1,0 +1,185 @@
+(* Cross-library integration tests: harness grids over every algorithm,
+   invariants attached to live election runs, fast-simulator cross
+   checks inside sweeps, blocking Algorithm 2 composed with the tape,
+   and the diagram/trace machinery on real executions. *)
+
+open Colring_engine
+open Colring_core
+module Rng = Colring_stats.Rng
+module Harness = Colring_harness
+module Compose = Colring_compose
+module Fast = Colring_fastsim.Fast
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let test_full_grid_all_algorithms () =
+  (* Every algorithm x every compatible workload x two sizes x two
+     seeds x two schedulers: everything must be exactly on the paper's
+     formula. *)
+  let ms =
+    Harness.Sweep.election
+      ~algorithms:
+        [
+          Election.Algo1;
+          Election.Algo2;
+          Election.Algo3 Algo3.Doubled;
+          Election.Algo3 Algo3.Improved;
+          Election.Algo3_resample;
+        ]
+      ~workloads:
+        (Harness.Workload.all_for_election
+        @ [
+            Harness.Workload.dense_scrambled;
+            Harness.Workload.sparse_scrambled ~factor:4;
+          ])
+      ~ns:[ 3; 9 ] ~seeds:[ 11; 12 ]
+      ~schedulers:
+        [
+          (fun s -> Scheduler.random (Rng.create ~seed:s));
+          (fun _ -> Scheduler.lifo);
+        ]
+      ()
+  in
+  checkb "grid non-trivial" true (List.length ms > 100);
+  List.iter
+    (fun (m : Harness.Sweep.measurement) ->
+      checkb
+        (Printf.sprintf "%s/%s n=%d seed=%d %s ok" m.algorithm m.workload m.n
+           m.seed m.scheduler)
+        true m.ok;
+      checki "exact" m.expected m.sends)
+    ms
+
+let test_sweep_agrees_with_fastsim () =
+  (* The sweep's measured counts must equal the analytical simulator's
+     on the same instances. *)
+  let seeds = [ 21; 22; 23 ] in
+  List.iter
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let n = 3 + Rng.int rng 10 in
+      let ids = Ids.distinct (Rng.split rng) ~n ~id_max:(4 * n) in
+      let engine =
+        Election.run_report Election.Algo2 ~topo:(Topology.oriented n) ~ids
+          ~sched:(Scheduler.random (Rng.split rng))
+      in
+      let fast = Fast.algo2 ~ids in
+      checki "totals" fast.Fast.total engine.sends;
+      checki "cw" fast.Fast.cw engine.sends_cw)
+    seeds
+
+let test_invariants_during_harness_runs () =
+  (* Attach the Lemma 6/7 checker to a run from the harness's dense
+     workload at a non-trivial size. *)
+  let ids, topo =
+    Harness.Workload.dense.generate (Rng.create ~seed:31) ~n:20
+  in
+  let net = Network.create topo (fun v -> Algo2.program ~id:ids.(v)) in
+  let checker = Invariants.attach net ~ids in
+  let result =
+    Network.run
+      ~probe:(fun ~step -> Invariants.probe checker ~step)
+      net (Scheduler.random (Rng.create ~seed:32))
+  in
+  checkb "terminated" true result.all_terminated;
+  checkb "no violations" true (Invariants.ok checker)
+
+let test_blocking_algo2_composes_with_tape () =
+  (* The chain combinator + tape must work equally with the blocking
+     implementation of Algorithm 2 as phase one. *)
+  let ids = [| 6; 2; 9; 4 |] in
+  let n = Array.length ids in
+  let net =
+    Network.create (Topology.oriented n) (fun v ->
+        Compose.Chain.chain
+          (Algo2_blocking.program ~id:ids.(v))
+          (fun (out : Output.t) ->
+            Blocking.make (fun api ->
+                let s =
+                  Compose.Tape.establish api
+                    ~is_root:(Output.equal_role out.role Output.Leader)
+                in
+                let gathered = Compose.Tape.all_gather s ~value:ids.(v) in
+                api.set_output
+                  (Output.with_values (Array.to_list gathered) Output.empty);
+                api.terminate ())))
+  in
+  let result = Network.run net (Scheduler.random (Rng.create ~seed:5)) in
+  checkb "quiescent termination" true
+    (result.quiescent && result.all_terminated
+    && Metrics.post_termination_deliveries (Network.metrics net) = 0);
+  (* Leader is node 2 (id 9); clockwise gather order from it. *)
+  Array.iter
+    (fun (o : Output.t) ->
+      Alcotest.(check (list int)) "gathered" [ 9; 4; 6; 2 ] o.values)
+    (Network.outputs net)
+
+let test_trace_diagram_on_composed_run () =
+  let ids = [| 3; 5 |] in
+  let net =
+    Network.create ~record_trace:true (Topology.oriented 2) (fun v ->
+        Compose.Corollary5.program ~id:ids.(v)
+          ~app:Compose.Corollary5.app_ring_discovery)
+  in
+  let result = Network.run net Scheduler.fifo in
+  checkb "done" true (result.quiescent && result.all_terminated);
+  match Network.trace net with
+  | None -> Alcotest.fail "no trace"
+  | Some tr ->
+      let s = Diagram.render tr ~n:2 in
+      checkb "diagram renders composed run" true (String.length s > 100);
+      (* Trace consume counts must match engine metrics. *)
+      let consumes =
+        List.length (Trace.consumed_ports tr ~node:0)
+        + List.length (Trace.consumed_ports tr ~node:1)
+      in
+      checki "consumes agree" (Metrics.consumes (Network.metrics net)) consumes
+
+let test_csv_of_real_grid_parses_back () =
+  let ms =
+    Harness.Sweep.election ~algorithms:[ Election.Algo2 ]
+      ~workloads:[ Harness.Workload.dense ] ~ns:[ 4 ] ~seeds:[ 1 ]
+      ~schedulers:[ (fun _ -> Scheduler.fifo) ]
+      ()
+  in
+  let csv = Harness.Sweep.to_csv ms in
+  let lines = String.split_on_char '\n' csv |> List.filter (( <> ) "") in
+  let data = List.tl lines in
+  List.iter2
+    (fun line (m : Harness.Sweep.measurement) ->
+      match String.split_on_char ',' line with
+      | [ algo; wl; n; id_max; seed; _sched; sends; expected; _deliv; ok ] ->
+          checkb "algo" true (algo = m.algorithm);
+          checkb "wl" true (wl = m.workload);
+          checki "n" m.n (int_of_string n);
+          checki "id_max" m.id_max (int_of_string id_max);
+          checki "seed" m.seed (int_of_string seed);
+          checki "sends" m.sends (int_of_string sends);
+          checki "expected" m.expected (int_of_string expected);
+          checkb "ok" m.ok (bool_of_string ok)
+      | _ -> Alcotest.fail "bad csv row")
+    data ms
+
+let () =
+  Alcotest.run "colring-integration"
+    [
+      ( "grids",
+        [
+          Alcotest.test_case "all algorithms all workloads" `Quick
+            test_full_grid_all_algorithms;
+          Alcotest.test_case "sweep vs fastsim" `Quick
+            test_sweep_agrees_with_fastsim;
+          Alcotest.test_case "csv round trip" `Quick
+            test_csv_of_real_grid_parses_back;
+        ] );
+      ( "cross-library",
+        [
+          Alcotest.test_case "invariants during runs" `Quick
+            test_invariants_during_harness_runs;
+          Alcotest.test_case "blocking algo2 + tape" `Quick
+            test_blocking_algo2_composes_with_tape;
+          Alcotest.test_case "trace/diagram on composed run" `Quick
+            test_trace_diagram_on_composed_run;
+        ] );
+    ]

@@ -1,0 +1,120 @@
+(* Tests for the lower-bound machinery: solitude patterns of
+   Algorithm 2, Lemma 22 uniqueness, Lemma 23 / Corollary 24 prefix
+   combinatorics, and the Theorem 20 bound against the measured
+   complexity of Algorithm 2. *)
+
+open Colring_core
+open Colring_lowerbound
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let algo2 = fun ~id -> Algo2.program ~id
+
+let test_pattern_closed_form () =
+  for id = 1 to 40 do
+    Alcotest.(check string)
+      (Printf.sprintf "id %d" id)
+      (Solitude.algo2_expected ~id)
+      (Solitude.extract algo2 ~id)
+  done
+
+let test_pattern_length_matches_complexity () =
+  (* On the one-node ring the pattern length equals the total number of
+     pulses, which Theorem 1 pins to 2*id + 1. *)
+  List.iter
+    (fun id ->
+      checki
+        (Printf.sprintf "id %d" id)
+        ((2 * id) + 1)
+        (Solitude.length (Solitude.extract algo2 ~id)))
+    [ 1; 2; 5; 17; 64 ]
+
+let test_lemma22_uniqueness () =
+  let tagged = Solitude.extract_range algo2 ~lo:1 ~hi:256 in
+  checkb "all unique" true (Analysis.all_unique (List.map snd tagged));
+  checkb "no collision" true (Analysis.first_collision tagged = None)
+
+let test_prefix_helpers () =
+  checki "common prefix" 3 (Analysis.common_prefix_length "0010" "0011");
+  checki "disjoint" 0 (Analysis.common_prefix_length "10" "01");
+  let pats = [ "0000"; "0001"; "0111"; "10" ] in
+  checki "group len2" 2 (Analysis.max_group_sharing pats ~prefix_len:3);
+  checki "group len1" 3 (Analysis.max_group_sharing pats ~prefix_len:1);
+  checki "best for 3" 1 (Analysis.best_shared_prefix pats ~group:3);
+  checki "best for 2" 3 (Analysis.best_shared_prefix pats ~group:2)
+
+let test_corollary24_on_algo2_patterns () =
+  (* Any k distinct binary strings contain n sharing a prefix of length
+     floor(log2 (k/n)); check on the actual pattern sets. *)
+  let k = 128 in
+  let patterns = List.map snd (Solitude.extract_range algo2 ~lo:1 ~hi:k) in
+  List.iter
+    (fun n ->
+      let s = Analysis.best_shared_prefix patterns ~group:n in
+      let promised = Formulas.lower_bound ~n ~k / n in
+      checkb
+        (Printf.sprintf "n=%d: %d >= %d" n s promised)
+        true (s >= promised))
+    [ 1; 2; 4; 8; 16; 32 ]
+
+let test_theorem20_bound_below_algo2_cost () =
+  (* The adversary's bound must of course not exceed what Algorithm 2
+     actually sends on the worst assignment: for ids drawn from [1..k],
+     ID_max <= k, so Algorithm 2 sends at most n(2k+1) — and the bound
+     n * floor(log2(k/n)) is far below it.  Also sanity-check the bound
+     is positive once k/n >= 2. *)
+  let k = 256 in
+  let patterns = List.map snd (Solitude.extract_range algo2 ~lo:1 ~hi:k) in
+  List.iter
+    (fun n ->
+      let bound = Analysis.implied_message_bound patterns ~n in
+      checkb "positive" true (bound >= n * Formulas.floor_log2 (k / n));
+      checkb "below algorithm cost" true
+        (bound <= Formulas.algo2_total ~n ~id_max:k))
+    [ 2; 4; 8 ]
+
+let test_lower_bound_formula () =
+  checki "k=n" 0 (Formulas.lower_bound ~n:4 ~k:4);
+  checki "k=2n" 4 (Formulas.lower_bound ~n:4 ~k:8);
+  checki "k=1024,n=4" (4 * 8) (Formulas.lower_bound ~n:4 ~k:1024);
+  checki "n=1" 10 (Formulas.lower_bound ~n:1 ~k:1024)
+
+let prop_pattern_deterministic =
+  QCheck.Test.make ~name:"patterns deterministic" ~count:30
+    QCheck.(int_range 1 64)
+    (fun id -> Solitude.extract algo2 ~id = Solitude.extract algo2 ~id)
+
+let prop_unbounded_growth =
+  (* Theorem 20's parting remark: message count grows without bound in
+     the ID, even on a single-node ring. *)
+  QCheck.Test.make ~name:"solitude cost grows with id" ~count:30
+    QCheck.(int_range 1 100)
+    (fun id ->
+      Solitude.length (Solitude.extract algo2 ~id)
+      < Solitude.length (Solitude.extract algo2 ~id:(id + 7)))
+
+let () =
+  Alcotest.run "colring-lowerbound"
+    [
+      ( "solitude",
+        [
+          Alcotest.test_case "closed form" `Quick test_pattern_closed_form;
+          Alcotest.test_case "length = complexity" `Quick
+            test_pattern_length_matches_complexity;
+        ] );
+      ( "lemma22",
+        [ Alcotest.test_case "uniqueness" `Quick test_lemma22_uniqueness ] );
+      ( "prefixes",
+        [
+          Alcotest.test_case "helpers" `Quick test_prefix_helpers;
+          Alcotest.test_case "corollary 24" `Quick
+            test_corollary24_on_algo2_patterns;
+          Alcotest.test_case "theorem 20 vs algo2" `Quick
+            test_theorem20_bound_below_algo2_cost;
+          Alcotest.test_case "formula" `Quick test_lower_bound_formula;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_pattern_deterministic; prop_unbounded_growth ] );
+    ]
