@@ -1,10 +1,12 @@
 (* Bench entry point.
 
    Usage:
-     dune exec bench/main.exe            -- all experiments + timings
-     dune exec bench/main.exe -- quick   -- reduced sweeps
-     dune exec bench/main.exe -- e2 e6   -- selected experiments
-     dune exec bench/main.exe -- timing  -- bechamel timings only *)
+     dune exec bench/main.exe                -- all experiments + timings
+     dune exec bench/main.exe -- quick       -- reduced sweeps
+     dune exec bench/main.exe -- e2 e6       -- selected experiments
+     dune exec bench/main.exe -- timing      -- bechamel + engine throughput
+     dune exec bench/main.exe -- throughput  -- engine throughput only;
+                                                writes BENCH_engine.json *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -30,3 +32,4 @@ let () =
   if want "e13" then Experiments.e13 ~quick;
   if want "e14" then Experiments.e14 ~quick;
   if want "timing" then Timing.run ()
+  else if want "throughput" then Timing.throughput ~quick ()

@@ -70,6 +70,176 @@ let tests =
     Test.make ~name:"corollary5 discovery n=16" (Staged.stage (run_compose 16));
   ]
 
+(* {2 Engine throughput}
+
+   Bechamel's OLS above answers "ns per whole run"; the section below
+   measures the engine's steady-state delivery rate and allocation
+   behaviour directly, and persists the numbers to [BENCH_engine.json]
+   so any commit's engine can be compared against any other's. *)
+
+type throughput_case = {
+  case_name : string;
+  algo : string;
+  case_n : int;
+  sched_name : string;
+  run_once : unit -> int; (* returns deliveries performed *)
+}
+
+let tp_algo1 n =
+  {
+    case_name = Printf.sprintf "algo1 n=%d fifo" n;
+    algo = "algo1";
+    case_n = n;
+    sched_name = "fifo";
+    run_once =
+      (fun () ->
+        let ids = Ids.dense (Rng.create ~seed:n) ~n in
+        let r =
+          Election.run_report Election.Algo1 ~topo:(Topology.oriented n) ~ids
+            ~sched:Scheduler.fifo
+        in
+        assert (not r.exhausted);
+        r.deliveries);
+  }
+
+let tp_algo2 n =
+  {
+    case_name = Printf.sprintf "algo2 n=%d random" n;
+    algo = "algo2";
+    case_n = n;
+    sched_name = "random";
+    run_once =
+      (fun () ->
+        let ids = Ids.dense (Rng.create ~seed:n) ~n in
+        let r =
+          Election.run_report Election.Algo2 ~topo:(Topology.oriented n) ~ids
+            ~sched:(Scheduler.random (Rng.create ~seed:n))
+        in
+        assert (not r.exhausted);
+        r.deliveries);
+  }
+
+let tp_algo3 n =
+  {
+    case_name = Printf.sprintf "algo3 n=%d random" n;
+    algo = "algo3";
+    case_n = n;
+    sched_name = "random";
+    run_once =
+      (fun () ->
+        let rng = Rng.create ~seed:n in
+        let ids = Ids.dense rng ~n in
+        let r =
+          Election.run_report (Election.Algo3 Algo3.Improved)
+            ~topo:(Topology.random_non_oriented rng n)
+            ~ids
+            ~sched:(Scheduler.random (Rng.split rng))
+        in
+        assert (not r.exhausted);
+        r.deliveries);
+  }
+
+let tp_lelann n =
+  {
+    case_name = Printf.sprintf "lelann n=%d fifo" n;
+    algo = "lelann";
+    case_n = n;
+    sched_name = "fifo";
+    run_once =
+      (fun () ->
+        let ids = Ids.dense (Rng.create ~seed:n) ~n in
+        let r =
+          Classic.Driver.run ~name:"lelann" ~expect_max:ids
+            (fun v -> Classic.Lelann.program ~id:ids.(v))
+            ~topo:(Topology.oriented n) ~sched:Scheduler.fifo
+        in
+        r.Classic.Driver.deliveries);
+  }
+
+let throughput_cases ~quick =
+  if quick then [ tp_algo2 64 ]
+  else [ tp_algo1 256; tp_algo2 64; tp_algo2 256; tp_algo3 256; tp_lelann 64 ]
+
+type throughput_result = {
+  case : throughput_case;
+  runs : int;
+  deliveries : int;
+  wall_s : float;
+  del_per_sec : float;
+  minor_words_per_delivery : float;
+  top_heap_words : int;
+}
+
+(* Repeat whole runs until [min_time] elapses; report aggregate
+   throughput and the minor-allocation rate over everything the harness
+   did (network construction included, so a steady-state-zero engine
+   shows a small positive constant that shrinks as runs grow). *)
+let measure ?(min_time = 0.5) case =
+  ignore (case.run_once ());
+  (* warm-up *)
+  Gc.full_major ();
+  let s0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  let rec go runs deliveries =
+    let d = case.run_once () in
+    let runs = runs + 1 and deliveries = deliveries + d in
+    if Unix.gettimeofday () -. t0 < min_time then go runs deliveries
+    else (runs, deliveries)
+  in
+  let runs, deliveries = go 0 0 in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let s1 = Gc.quick_stat () in
+  {
+    case;
+    runs;
+    deliveries;
+    wall_s;
+    del_per_sec = float_of_int deliveries /. wall_s;
+    minor_words_per_delivery =
+      (s1.Gc.minor_words -. s0.Gc.minor_words) /. float_of_int deliveries;
+    top_heap_words = s1.Gc.top_heap_words;
+  }
+
+let json_of_result r =
+  Bench_io.Obj
+    [
+      ("name", Bench_io.String r.case.case_name);
+      ("algo", Bench_io.String r.case.algo);
+      ("n", Bench_io.Int r.case.case_n);
+      ("scheduler", Bench_io.String r.case.sched_name);
+      ("runs", Bench_io.Int r.runs);
+      ("deliveries_total", Bench_io.Int r.deliveries);
+      ("wall_seconds", Bench_io.Float r.wall_s);
+      ("deliveries_per_sec", Bench_io.Float r.del_per_sec);
+      ("minor_words_per_delivery", Bench_io.Float r.minor_words_per_delivery);
+      ("top_heap_words", Bench_io.Int r.top_heap_words);
+    ]
+
+let throughput ?(quick = false) ?(json_path = "BENCH_engine.json") () =
+  Printf.printf
+    "\n================================================================\n";
+  Printf.printf "Engine throughput (whole-run repeats, wall clock)\n";
+  Printf.printf
+    "================================================================\n\n";
+  Printf.printf "%-24s %6s %12s %14s %12s\n" "case" "runs" "deliveries"
+    "deliveries/s" "minorw/del";
+  let results = List.map measure (throughput_cases ~quick) in
+  List.iter
+    (fun r ->
+      Printf.printf "%-24s %6d %12d %14.0f %12.2f\n" r.case.case_name r.runs
+        r.deliveries r.del_per_sec r.minor_words_per_delivery)
+    results;
+  Bench_io.write_file json_path
+    (Bench_io.Obj
+       [
+         ("schema_version", Bench_io.Int 1);
+         ("suite", Bench_io.String "colring-engine");
+         ("ocaml_version", Bench_io.String Sys.ocaml_version);
+         ("word_size_bits", Bench_io.Int Sys.word_size);
+         ("experiments", Bench_io.List (List.map json_of_result results));
+       ]);
+  Printf.printf "\nwrote %s\n" json_path
+
 let run () =
   Printf.printf
     "\n================================================================\n";
@@ -96,4 +266,5 @@ let run () =
           | Some _ | None -> Printf.printf "%-40s (no estimate)\n" name)
         analysed)
     tests;
-  print_newline ()
+  print_newline ();
+  throughput ()

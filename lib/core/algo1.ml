@@ -12,11 +12,11 @@ let send_cw (api : _ Network.api) st =
   st.sigma_cw <- st.sigma_cw + 1
 
 let recv_cw (api : _ Network.api) st =
-  match api.recv cw_in with
-  | Some () ->
-      st.rho_cw <- st.rho_cw + 1;
-      true
-  | None -> false
+  api.recv_pulse cw_in
+  && begin
+       st.rho_cw <- st.rho_cw + 1;
+       true
+     end
 
 let program ~id =
   if id < 1 then invalid_arg "Algo1.program: id must be positive";

@@ -14,6 +14,7 @@ type state = {
   mutable rho_ccw : int;
   mutable sigma_ccw : int;
   mutable role : Output.role;
+  mutable out_role : Output.role; (* role last published via set_output *)
   mutable term_initiated : bool;
   mutable finished : bool;
 }
@@ -27,23 +28,91 @@ let send_ccw (api : _ Network.api) st =
   st.sigma_ccw <- st.sigma_ccw + 1
 
 let recv_cw (api : _ Network.api) st =
-  match api.recv cw_in with
-  | Some () ->
-      st.rho_cw <- st.rho_cw + 1;
-      true
-  | None -> false
+  api.recv_pulse cw_in
+  && begin
+       st.rho_cw <- st.rho_cw + 1;
+       true
+     end
 
 let recv_ccw (api : _ Network.api) st =
-  match api.recv ccw_in with
-  | Some () ->
-      st.rho_ccw <- st.rho_ccw + 1;
-      true
-  | None -> false
+  api.recv_pulse ccw_in
+  && begin
+       st.rho_ccw <- st.rho_ccw + 1;
+       true
+     end
+
+(* The simulator deduplicates equal outputs, so publishing only on a
+   role change is observationally identical to republishing after every
+   pulse — it just skips allocating the [Output.t]. *)
+let publish_role (api : _ Network.api) st =
+  if st.role <> st.out_role then begin
+    st.out_role <- st.role;
+    api.set_output (Output.with_role st.role Output.empty)
+  end
 
 let finish (api : _ Network.api) st =
   st.finished <- true;
-  api.set_output (Output.with_role st.role Output.empty);
+  publish_role api st;
   api.terminate ()
+
+(* One call re-runs the repeat-loop body (lines 3-18) to a fixpoint,
+   mirroring the paper's continuously polling loop.  A top-level tail
+   recursion over immediate booleans, so a wake allocates nothing. *)
+let rec wake_loop (api : _ Network.api) st =
+  if st.finished then ()
+  else if st.term_initiated then begin
+    (* Line 16: busy-wait for the returning termination pulse; it is
+       consumed here (not by line 11) and hence never forwarded. *)
+    if recv_ccw api st then finish api st
+  end
+  else begin
+    (* Lines 3-8: Algorithm 1 over the CW channel. *)
+    let progress_cw = recv_cw api st in
+    if progress_cw then begin
+      if st.rho_cw = st.id then st.role <- Output.Leader
+      else begin
+        st.role <- Output.Non_leader;
+        send_cw api st
+      end;
+      publish_role api st
+    end;
+    (* Lines 9-13: Algorithm 1 over the CCW channel, lagging. *)
+    let progress_ccw =
+      st.rho_cw >= st.id
+      && begin
+           let initiated =
+             st.sigma_ccw = 0
+             && begin
+                  send_ccw api st;
+                  true
+                end
+           in
+           let received =
+             recv_ccw api st
+             && begin
+                  if st.rho_ccw <> st.id then send_ccw api st;
+                  true
+                end
+           in
+           initiated || received
+         end
+    in
+    (* Lines 14-15: the election-complete event, unique to the
+       node of maximal ID. *)
+    let progress_term =
+      (not st.term_initiated)
+      && st.rho_cw = st.id
+      && st.rho_ccw = st.id
+      && begin
+           send_ccw api st;
+           st.term_initiated <- true;
+           true
+         end
+    in
+    (* Line 18: the exit condition. *)
+    if st.rho_ccw > st.rho_cw then finish api st
+    else if progress_cw || progress_ccw || progress_term then wake_loop api st
+  end
 
 let program ~id =
   if id < 1 then invalid_arg "Algo2.program: id must be positive";
@@ -55,58 +124,13 @@ let program ~id =
       rho_ccw = 0;
       sigma_ccw = 0;
       role = Output.Undecided;
+      out_role = Output.Undecided;
       term_initiated = false;
       finished = false;
     }
   in
   let start api = send_cw api st in
-  let wake (api : _ Network.api) =
-    (* One call re-runs the repeat-loop body (lines 3-18) to a fixpoint,
-       mirroring the paper's continuously polling loop. *)
-    let continue = ref true in
-    while !continue && not st.finished do
-      if st.term_initiated then begin
-        (* Line 16: busy-wait for the returning termination pulse; it is
-           consumed here (not by line 11) and hence never forwarded. *)
-        if recv_ccw api st then finish api st else continue := false
-      end
-      else begin
-        let progress = ref false in
-        (* Lines 3-8: Algorithm 1 over the CW channel. *)
-        if recv_cw api st then begin
-          progress := true;
-          if st.rho_cw = st.id then st.role <- Output.Leader
-          else begin
-            st.role <- Output.Non_leader;
-            send_cw api st
-          end;
-          api.set_output (Output.with_role st.role Output.empty)
-        end;
-        (* Lines 9-13: Algorithm 1 over the CCW channel, lagging. *)
-        if st.rho_cw >= st.id then begin
-          if st.sigma_ccw = 0 then begin
-            send_ccw api st;
-            progress := true
-          end;
-          if recv_ccw api st then begin
-            progress := true;
-            if st.rho_ccw <> st.id then send_ccw api st
-          end
-        end;
-        (* Lines 14-15: the election-complete event, unique to the
-           node of maximal ID. *)
-        if (not st.term_initiated) && st.rho_cw = st.id && st.rho_ccw = st.id
-        then begin
-          send_ccw api st;
-          st.term_initiated <- true;
-          progress := true
-        end;
-        (* Line 18: the exit condition. *)
-        if st.rho_ccw > st.rho_cw then finish api st
-        else if not !progress then continue := false
-      end
-    done
-  in
+  let wake api = wake_loop api st in
   let inspect () =
     [
       ("id", st.id);

@@ -9,6 +9,10 @@ type state = {
   rho : int array; (* received per local port *)
   sigma : int array; (* sent per local port *)
   mutable resamples : int;
+  (* Output last published via set_output, so [decide] only allocates a
+     fresh [Output.t] when the decision actually changed. *)
+  mutable out_role : Output.role;
+  mutable out_cw_port : Port.t option;
 }
 
 (* ID^(i) governs forwarding *out of* port i (= absorbing pulses that
@@ -23,11 +27,11 @@ let send (api : _ Network.api) st i =
   st.sigma.(i) <- st.sigma.(i) + 1
 
 let recv (api : _ Network.api) st i =
-  match api.recv (Port.of_index i) with
-  | Some () ->
-      st.rho.(i) <- st.rho.(i) + 1;
-      true
-  | None -> false
+  api.recv_pulse (Port.of_index i)
+  && begin
+       st.rho.(i) <- st.rho.(i) + 1;
+       true
+     end
 
 (* Lines 8-16: recompute the (revisable) output from the counters. *)
 let decide (api : _ Network.api) st =
@@ -40,7 +44,17 @@ let decide (api : _ Network.api) st =
     (* More arrivals on a port means the larger-ID direction comes in
        there; clockwise pulses arrive at counterclockwise ports. *)
     let cw_port = if st.rho.(0) > st.rho.(1) then Port.P1 else Port.P0 in
-    api.set_output (Output.with_cw_port cw_port (Output.with_role role Output.empty))
+    let changed =
+      match st.out_cw_port with
+      | Some p -> st.out_role <> role || not (Port.equal p cw_port)
+      | None -> true
+    in
+    if changed then begin
+      st.out_role <- role;
+      st.out_cw_port <- Some cw_port;
+      api.set_output
+        (Output.with_cw_port cw_port (Output.with_role role Output.empty))
+    end
   end
 
 (* Proposition 19: resample upon receipt while min(ρ0,ρ1) > ID.  By the
@@ -54,30 +68,41 @@ let maybe_resample (api : _ Network.api) st =
     st.resamples <- st.resamples + 1
   end
 
+(* Line 6: pulses received at port 1-i are forwarded at port i unless
+   the count matches ID^(i).  Top-level so a wake allocates nothing. *)
+let poll api st ~resample i =
+  recv api st (1 - i)
+  && begin
+       if st.rho.(1 - i) <> virtual_id st i then send api st i;
+       if resample then maybe_resample api st;
+       true
+     end
+
+let rec wake_loop api st ~resample =
+  let progress0 = poll api st ~resample 0 in
+  let progress1 = poll api st ~resample 1 in
+  decide api st;
+  if progress0 || progress1 then wake_loop api st ~resample
+
 let make ~resample ~scheme ~id =
   if id < 1 then invalid_arg "Algo3.program: id must be positive";
-  let st = { id; scheme; rho = [| 0; 0 |]; sigma = [| 0; 0 |]; resamples = 0 } in
+  let st =
+    {
+      id;
+      scheme;
+      rho = [| 0; 0 |];
+      sigma = [| 0; 0 |];
+      resamples = 0;
+      out_role = Output.Undecided;
+      out_cw_port = None;
+    }
+  in
   let start api =
     for i = 0 to 1 do
       send api st i
     done
   in
-  let wake (api : _ Network.api) =
-    let progress = ref true in
-    while !progress do
-      progress := false;
-      for i = 0 to 1 do
-        (* Line 6: pulses received at port 1-i are forwarded at port i
-           unless the count matches ID^(i). *)
-        if recv api st (1 - i) then begin
-          progress := true;
-          if st.rho.(1 - i) <> virtual_id st i then send api st i;
-          if resample then maybe_resample api st
-        end
-      done;
-      decide api st
-    done
-  in
+  let wake api = wake_loop api st ~resample in
   let inspect () =
     [
       ("id", st.id);

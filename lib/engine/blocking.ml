@@ -27,17 +27,15 @@ let make ?(inspect = fun () -> []) body =
           | Recv p ->
               Some
                 (fun (k : (a, unit) Effect.Deep.continuation) ->
-                  match api.Network.recv p with
-                  | Some () -> Effect.Deep.continue k ()
-                  | None -> state := On_port (p, k))
+                  if api.Network.recv_pulse p then Effect.Deep.continue k ()
+                  else state := On_port (p, k))
           | Recv_any ->
               Some
                 (fun (k : (a, unit) Effect.Deep.continuation) ->
                   match first_available api with
                   | Some p ->
-                      (match api.Network.recv p with
-                      | Some () -> Effect.Deep.continue k p
-                      | None -> assert false)
+                      if api.Network.recv_pulse p then Effect.Deep.continue k p
+                      else assert false
                   | None -> state := On_any k)
           | _ -> None);
     }
@@ -46,20 +44,19 @@ let make ?(inspect = fun () -> []) body =
   let wake (api : Network.pulse Network.api) =
     match !state with
     | Idle | Finished -> ()
-    | On_port (p, k) -> (
-        match api.recv p with
-        | Some () ->
-            state := Idle;
-            Effect.Deep.continue k ()
-        | None -> ())
+    | On_port (p, k) ->
+        if api.recv_pulse p then begin
+          state := Idle;
+          Effect.Deep.continue k ()
+        end
     | On_any k -> (
         match first_available api with
-        | Some p -> (
-            match api.recv p with
-            | Some () ->
-                state := Idle;
-                Effect.Deep.continue k p
-            | None -> assert false)
+        | Some p ->
+            if api.recv_pulse p then begin
+              state := Idle;
+              Effect.Deep.continue k p
+            end
+            else assert false
         | None -> ())
   in
   { Network.start; wake; inspect }

@@ -1,0 +1,54 @@
+type 'm t = {
+  mutable payloads : 'm array; (* length is 0 or a power of two *)
+  mutable meta : int array; (* stride 3 per slot: seq, batch, depth *)
+  mutable head : int;
+  mutable len : int;
+}
+
+let create () = { payloads = [||]; meta = [||]; head = 0; len = 0 }
+let length t = t.len
+let is_empty t = t.len = 0
+
+let grow t x =
+  let cap = Array.length t.payloads in
+  let ncap = if cap = 0 then 8 else cap * 2 in
+  let payloads = Array.make ncap x in
+  let meta = Array.make (3 * ncap) 0 in
+  for i = 0 to t.len - 1 do
+    let s = (t.head + i) land (cap - 1) in
+    payloads.(i) <- t.payloads.(s);
+    meta.(3 * i) <- t.meta.(3 * s);
+    meta.((3 * i) + 1) <- t.meta.((3 * s) + 1);
+    meta.((3 * i) + 2) <- t.meta.((3 * s) + 2)
+  done;
+  t.payloads <- payloads;
+  t.meta <- meta;
+  t.head <- 0
+
+let push t x ~seq ~batch ~depth =
+  if t.len = Array.length t.payloads then grow t x;
+  let s = (t.head + t.len) land (Array.length t.payloads - 1) in
+  t.payloads.(s) <- x;
+  t.meta.(3 * s) <- seq;
+  t.meta.((3 * s) + 1) <- batch;
+  t.meta.((3 * s) + 2) <- depth;
+  t.len <- t.len + 1
+
+let head_seq t =
+  if t.len = 0 then invalid_arg "Envq.head_seq: empty";
+  t.meta.(3 * t.head)
+
+let head_batch t =
+  if t.len = 0 then invalid_arg "Envq.head_batch: empty";
+  t.meta.((3 * t.head) + 1)
+
+let head_depth t =
+  if t.len = 0 then invalid_arg "Envq.head_depth: empty";
+  t.meta.((3 * t.head) + 2)
+
+let pop t =
+  if t.len = 0 then invalid_arg "Envq.pop: empty";
+  let x = t.payloads.(t.head) in
+  t.head <- (t.head + 1) land (Array.length t.payloads - 1);
+  t.len <- t.len - 1;
+  x

@@ -1,0 +1,35 @@
+(** Per-link envelope queues, struct-of-arrays.
+
+    The seed engine boxed every in-flight pulse in an
+    [{ payload; seq; batch; depth }] record inside a [Queue.t] — two
+    heap blocks per send.  An [Envq.t] keeps the payloads in one
+    circular array and the three integer stamps in a parallel flat
+    [int array] (stride 3), so steady-state sends and deliveries
+    allocate nothing and the stamps of the head envelope can be read
+    without materialising it.
+
+    Capacity grows by doubling; like {!Ring}, popped payload slots are
+    not cleared. *)
+
+type 'm t
+
+val create : unit -> 'm t
+(** An empty queue; no storage is allocated until the first push. *)
+
+val length : 'm t -> int
+val is_empty : 'm t -> bool
+
+val push : 'm t -> 'm -> seq:int -> batch:int -> depth:int -> unit
+(** Append an envelope at the tail.  O(1) amortised, allocation-free
+    when the buffer does not grow. *)
+
+val head_seq : 'm t -> int
+val head_batch : 'm t -> int
+val head_depth : 'm t -> int
+(** Stamps of the oldest envelope.  Raise [Invalid_argument] when
+    empty. *)
+
+val pop : 'm t -> 'm
+(** Remove the oldest envelope and return its payload.  Read the
+    [head_*] stamps first if they are needed.  Raises
+    [Invalid_argument] when empty. *)

@@ -56,6 +56,17 @@ let delivered_to t ~node ~port_index = t.delivered.((node * 2) + port_index)
 let consumed_by t ~node ~port_index = t.consumed.((node * 2) + port_index)
 let post_termination_deliveries t = t.post_term
 
+let to_assoc t =
+  [
+    ("sends", t.sends);
+    ("sends_cw", t.sends_cw);
+    ("sends_ccw", sends_ccw t);
+    ("deliveries", t.deliveries);
+    ("consumes", t.consumes);
+    ("wakes", t.wakes);
+    ("post_termination_deliveries", t.post_term);
+  ]
+
 let pp ppf t =
   Format.fprintf ppf "sends=%d (cw=%d ccw=%d) deliveries=%d consumes=%d wakes=%d post-term=%d"
     t.sends t.sends_cw (sends_ccw t) t.deliveries t.consumes t.wakes t.post_term

@@ -36,4 +36,8 @@ val post_termination_deliveries : t -> int
 (** Number of pulses delivered to already-terminated nodes.  Zero iff
     termination was quiescent in the paper's sense. *)
 
+val to_assoc : t -> (string * int) list
+(** All scalar counters by name, for machine-readable reports and for
+    whole-run equality checks in determinism tests. *)
+
 val pp : Format.formatter -> t -> unit

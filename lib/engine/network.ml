@@ -3,6 +3,7 @@ module Rng = Colring_stats.Rng
 type 'm api = {
   node : int;
   recv : Port.t -> 'm option;
+  recv_pulse : Port.t -> bool;
   peek : Port.t -> 'm option;
   pending : Port.t -> int;
   send : Port.t -> 'm -> unit;
@@ -20,14 +21,12 @@ type 'm program = {
 let silent_program =
   { start = (fun _ -> ()); wake = (fun _ -> ()); inspect = (fun () -> []) }
 
-type 'm envelope = { payload : 'm; seq : int; batch : int; depth : int }
-
 type 'm t = {
   topo : Topology.t;
   programs : 'm program array;
   mutable apis : 'm api array;
-  channels : 'm envelope Queue.t array; (* by link id *)
-  mailboxes : 'm Queue.t array; (* node * 2 + port *)
+  channels : 'm Envq.t array; (* by link id *)
+  mailboxes : 'm Ring.t array; (* node * 2 + port *)
   outputs : Output.t array;
   term : bool array;
   mutable term_order_rev : int list;
@@ -44,42 +43,90 @@ type 'm t = {
      one time unit). *)
   local_clock : int array;
   mutable causal_span : int;
-  nonempty_buf : int array; (* scratch for scheduler views *)
+  (* The non-empty-link set, maintained incrementally on send/deliver:
+     the first [nonempty_count] entries of [nonempty] are the links
+     with pulses in flight (unordered), and [link_pos] is the inverse
+     permutation (-1 when absent).  [nonempty] doubles as the scratch
+     buffer of the reusable scheduler [view], so refreshing a view
+     copies nothing. *)
+  nonempty : int array;
+  link_pos : int array;
+  mutable nonempty_count : int;
+  mutable view : Scheduler.view;
 }
+
+(* Trace events are only materialised when a trace is attached; the
+   steady-state hot path must not allocate them. *)
+let tracing t = t.trace <> None
 
 let record t e = match t.trace with None -> () | Some tr -> Trace.record tr e
 
 let slot v p = (v * 2) + Port.index p
 
+let mark_nonempty t link =
+  if t.link_pos.(link) < 0 then begin
+    t.nonempty.(t.nonempty_count) <- link;
+    t.link_pos.(link) <- t.nonempty_count;
+    t.nonempty_count <- t.nonempty_count + 1
+  end
+
+let unmark_if_empty t link =
+  if Envq.is_empty t.channels.(link) then begin
+    let pos = t.link_pos.(link) in
+    let last = t.nonempty_count - 1 in
+    let moved = t.nonempty.(last) in
+    t.nonempty.(pos) <- moved;
+    t.link_pos.(moved) <- pos;
+    t.link_pos.(link) <- -1;
+    t.nonempty_count <- last
+  end
+
+(* The one enqueue path: [send] and [inject] share it, so both stamp
+   envelopes with the batch convention of the current activation
+   ([t.next_batch] is bumped at activation boundaries only). *)
+let enqueue t ~link ~node ~port m =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  mark_nonempty t link;
+  Envq.push t.channels.(link) m ~seq ~batch:t.next_batch
+    ~depth:(t.local_clock.(node) + 1);
+  t.in_flight <- t.in_flight + 1;
+  Metrics.on_send t.metrics ~link ~node
+    ~cw:(Topology.link_travels_cw t.topo link);
+  if tracing t then record t (Trace.Send { node; port; seq })
+
 let make_api t v rng =
-  let recv p =
-    match Queue.take_opt t.mailboxes.(slot v p) with
-    | None -> None
-    | Some m ->
-        t.mailbox_backlog <- t.mailbox_backlog - 1;
-        Metrics.on_consume t.metrics ~node:v ~port_index:(Port.index p);
-        record t (Trace.Consume { node = v; port = p });
-        Some m
+  let consume v p =
+    t.mailbox_backlog <- t.mailbox_backlog - 1;
+    Metrics.on_consume t.metrics ~node:v ~port_index:(Port.index p);
+    if tracing t then record t (Trace.Consume { node = v; port = p })
   in
-  let peek p = Queue.peek_opt t.mailboxes.(slot v p) in
-  let pending p = Queue.length t.mailboxes.(slot v p) in
+  let recv p =
+    let mb = t.mailboxes.(slot v p) in
+    if Ring.is_empty mb then None
+    else begin
+      let m = Ring.pop mb in
+      consume v p;
+      Some m
+    end
+  in
+  let recv_pulse p =
+    let mb = t.mailboxes.(slot v p) in
+    if Ring.is_empty mb then false
+    else begin
+      ignore (Ring.pop mb);
+      consume v p;
+      true
+    end
+  in
+  let peek p =
+    let mb = t.mailboxes.(slot v p) in
+    if Ring.is_empty mb then None else Some (Ring.peek mb)
+  in
+  let pending p = Ring.length t.mailboxes.(slot v p) in
   let send p m =
     if t.term.(v) then failwith "Network: send after terminate";
-    let link = Topology.link_id t.topo v p in
-    let seq = t.next_seq in
-    t.next_seq <- seq + 1;
-    Queue.add
-      {
-        payload = m;
-        seq;
-        batch = t.next_batch;
-        depth = t.local_clock.(v) + 1;
-      }
-      t.channels.(link);
-    t.in_flight <- t.in_flight + 1;
-    Metrics.on_send t.metrics ~link ~node:v
-      ~cw:(Topology.link_travels_cw t.topo link);
-    record t (Trace.Send { node = v; port = p; seq })
+    enqueue t ~link:(Topology.link_id t.topo v p) ~node:v ~port:p m
   in
   let set_output o =
     if t.outputs.(v) <> o then begin
@@ -94,23 +141,24 @@ let make_api t v rng =
       record t (Trace.Terminate { node = v })
     end
   in
-  { node = v; recv; peek; pending; send; set_output; terminate; rng }
+  { node = v; recv; recv_pulse; peek; pending; send; set_output; terminate; rng }
 
 let create ?(record_trace = false) ?(seed = 0) topo make_program =
   Topology.check topo;
   let n = Topology.n topo in
+  let num_links = Topology.num_links topo in
   let programs = Array.init n make_program in
   let t =
     {
       topo;
       programs;
       apis = [||];
-      channels = Array.init (Topology.num_links topo) (fun _ -> Queue.create ());
-      mailboxes = Array.init (n * 2) (fun _ -> Queue.create ());
+      channels = Array.init num_links (fun _ -> Envq.create ());
+      mailboxes = Array.init (n * 2) (fun _ -> Ring.create ());
       outputs = Array.make n Output.empty;
       term = Array.make n false;
       term_order_rev = [];
-      metrics = Metrics.create ~n_nodes:n ~n_links:(Topology.num_links topo);
+      metrics = Metrics.create ~n_nodes:n ~n_links:num_links;
       trace = (if record_trace then Some (Trace.create ()) else None);
       next_seq = 0;
       next_batch = 0;
@@ -118,9 +166,34 @@ let create ?(record_trace = false) ?(seed = 0) topo make_program =
       mailbox_backlog = 0;
       local_clock = Array.make n 0;
       causal_span = 0;
-      nonempty_buf = Array.make (Topology.num_links topo) 0;
+      nonempty = Array.make num_links 0;
+      link_pos = Array.make num_links (-1);
+      nonempty_count = 0;
+      view =
+        {
+          Scheduler.nonempty = [||];
+          count = 0;
+          head_seq = (fun _ -> 0);
+          head_batch = (fun _ -> 0);
+          travels_cw = (fun _ -> false);
+          dst_node = (fun _ -> 0);
+          step = 0;
+        };
     }
   in
+  (* The reusable scheduler view: closures are built once here, and
+     [nonempty] aliases the incrementally-maintained set, so refreshing
+     a view per step is two integer stores. *)
+  t.view <-
+    {
+      Scheduler.nonempty = t.nonempty;
+      count = 0;
+      head_seq = (fun link -> Envq.head_seq t.channels.(link));
+      head_batch = (fun link -> Envq.head_batch t.channels.(link));
+      travels_cw = (fun link -> Topology.link_travels_cw t.topo link);
+      dst_node = (fun link -> fst (Topology.link_dst t.topo link));
+      step = 0;
+    };
   let root_rng = Rng.create ~seed in
   t.apis <- Array.init n (fun v -> make_api t v (Rng.split_at root_rng v));
   for v = 0 to n - 1 do
@@ -131,26 +204,17 @@ let create ?(record_trace = false) ?(seed = 0) topo make_program =
   t
 
 let view t =
-  let k = ref 0 in
-  Array.iteri
-    (fun link q ->
-      if not (Queue.is_empty q) then begin
-        t.nonempty_buf.(!k) <- link;
-        incr k
-      end)
-    t.channels;
-  let nonempty = Array.sub t.nonempty_buf 0 !k in
-  {
-    Scheduler.nonempty;
-    head_seq = (fun link -> (Queue.peek t.channels.(link)).seq);
-    head_batch = (fun link -> (Queue.peek t.channels.(link)).batch);
-    travels_cw = (fun link -> Topology.link_travels_cw t.topo link);
-    dst_node = (fun link -> fst (Topology.link_dst t.topo link));
-    step = Metrics.deliveries t.metrics;
-  }
+  let v = t.view in
+  v.Scheduler.count <- t.nonempty_count;
+  v.Scheduler.step <- Metrics.deliveries t.metrics;
+  v
 
 let deliver_from t link =
-  let env = Queue.take t.channels.(link) in
+  let q = t.channels.(link) in
+  let seq = Envq.head_seq q in
+  let depth = Envq.head_depth q in
+  let payload = Envq.pop q in
+  unmark_if_empty t link;
   t.in_flight <- t.in_flight - 1;
   let dst, dst_port = Topology.link_dst t.topo link in
   if t.term.(dst) then
@@ -159,11 +223,12 @@ let deliver_from t link =
     Metrics.on_post_termination_delivery t.metrics
   else begin
     Metrics.on_deliver t.metrics ~node:dst ~port_index:(Port.index dst_port);
-    record t (Trace.Deliver { node = dst; port = dst_port; seq = env.seq });
-    Queue.add env.payload t.mailboxes.(slot dst dst_port);
+    if tracing t then
+      record t (Trace.Deliver { node = dst; port = dst_port; seq });
+    Ring.push t.mailboxes.(slot dst dst_port) payload;
     t.mailbox_backlog <- t.mailbox_backlog + 1;
-    if env.depth > t.local_clock.(dst) then t.local_clock.(dst) <- env.depth;
-    if env.depth > t.causal_span then t.causal_span <- env.depth;
+    if depth > t.local_clock.(dst) then t.local_clock.(dst) <- depth;
+    if depth > t.causal_span then t.causal_span <- depth;
     t.next_batch <- t.next_batch + 1;
     Metrics.on_wake t.metrics;
     t.programs.(dst).wake t.apis.(dst)
@@ -179,30 +244,20 @@ let step t (sched : Scheduler.t) =
 let active_links t =
   let acc = ref [] in
   for link = Array.length t.channels - 1 downto 0 do
-    if not (Queue.is_empty t.channels.(link)) then acc := link :: !acc
+    if not (Envq.is_empty t.channels.(link)) then acc := link :: !acc
   done;
   !acc
 
 let force_step t ~link =
-  if Queue.is_empty t.channels.(link) then
+  if Envq.is_empty t.channels.(link) then
     invalid_arg "Network.force_step: empty link";
   deliver_from t link
 
-let channel_length t ~link = Queue.length t.channels.(link)
-let mailbox_length t ~node ~port = Queue.length t.mailboxes.(slot node port)
+let channel_length t ~link = Envq.length t.channels.(link)
+let mailbox_length t ~node ~port = Ring.length t.mailboxes.(slot node port)
 
 let inject t ~node ~port m =
-  let link = Topology.link_id t.topo node port in
-  let seq = t.next_seq in
-  t.next_seq <- seq + 1;
-  t.next_batch <- t.next_batch + 1;
-  Queue.add
-    { payload = m; seq; batch = t.next_batch; depth = t.local_clock.(node) + 1 }
-    t.channels.(link);
-  t.in_flight <- t.in_flight + 1;
-  Metrics.on_send t.metrics ~link ~node
-    ~cw:(Topology.link_travels_cw t.topo link);
-  record t (Trace.Send { node; port; seq })
+  enqueue t ~link:(Topology.link_id t.topo node port) ~node ~port m
 
 type run_result = {
   sends : int;

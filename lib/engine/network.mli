@@ -23,6 +23,11 @@ type 'm api = {
   recv : Port.t -> 'm option;
       (** Consume the oldest mailbox entry of a local port, if any —
           the paper's [recv*()] (returns 0/1 there). *)
+  recv_pulse : Port.t -> bool;
+      (** Like {!field-recv} but discards the payload, returning only
+          whether a pulse was consumed.  This is the whole [recv*()]
+          observable for content-oblivious algorithms ([pulse = unit]),
+          and unlike [recv] it allocates nothing. *)
   peek : Port.t -> 'm option;  (** Look without consuming. *)
   pending : Port.t -> int;  (** Mailbox length. *)
   send : Port.t -> 'm -> unit;
@@ -103,8 +108,10 @@ val inject : 'm t -> node:int -> port:Port.t -> 'm -> unit
     (Section 2: "pulses cannot be dropped or injected by the channel").
     Exists only so tests and benches can demonstrate that the
     no-injection assumption is load-bearing: a single spurious pulse
-    breaks Algorithm 2's counting.  Injected messages are counted in
-    {!Metrics.sends}. *)
+    breaks Algorithm 2's counting.  Injected messages go through the
+    same enqueue path as {!field-send}: they are counted in
+    {!Metrics.sends} and stamped with the current batch number, exactly
+    as if sent by the most recent activation. *)
 
 (** {2 Observation} *)
 

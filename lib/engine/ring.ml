@@ -1,0 +1,37 @@
+type 'a t = {
+  mutable elems : 'a array; (* length is 0 or a power of two *)
+  mutable head : int;
+  mutable len : int;
+}
+
+let create () = { elems = [||]; head = 0; len = 0 }
+let length t = t.len
+let is_empty t = t.len = 0
+
+(* [x] doubles as the fill element for the fresh array, so growth works
+   for any element type without a dummy value. *)
+let grow t x =
+  let cap = Array.length t.elems in
+  let ncap = if cap = 0 then 8 else cap * 2 in
+  let elems = Array.make ncap x in
+  for i = 0 to t.len - 1 do
+    elems.(i) <- t.elems.((t.head + i) land (cap - 1))
+  done;
+  t.elems <- elems;
+  t.head <- 0
+
+let push t x =
+  if t.len = Array.length t.elems then grow t x;
+  t.elems.((t.head + t.len) land (Array.length t.elems - 1)) <- x;
+  t.len <- t.len + 1
+
+let peek t =
+  if t.len = 0 then invalid_arg "Ring.peek: empty";
+  t.elems.(t.head)
+
+let pop t =
+  if t.len = 0 then invalid_arg "Ring.pop: empty";
+  let x = t.elems.(t.head) in
+  t.head <- (t.head + 1) land (Array.length t.elems - 1);
+  t.len <- t.len - 1;
+  x

@@ -1,0 +1,31 @@
+(** Resizable circular buffers — the engine's allocation-free queues.
+
+    [Queue.t] allocates a cons cell per [add]; on the simulator's hot
+    path (tens of millions of deliveries per sweep) that dominates the
+    GC load.  A [Ring.t] stores its elements in a flat array that grows
+    by doubling, so pushes and pops allocate nothing once the buffer
+    has reached its steady-state capacity.
+
+    Popped slots are not cleared (the type gives no dummy element to
+    overwrite them with), so a popped boxed value is retained until its
+    slot is reused.  The simulator's payloads are almost always [unit]
+    pulses, making this a non-issue in practice. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** An empty ring; no storage is allocated until the first push. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Append at the tail.  O(1) amortised, allocation-free when the
+    buffer does not grow. *)
+
+val peek : 'a t -> 'a
+(** The oldest element.  Raises [Invalid_argument] when empty. *)
+
+val pop : 'a t -> 'a
+(** Remove and return the oldest element.  Raises [Invalid_argument]
+    when empty. *)

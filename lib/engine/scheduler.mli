@@ -10,10 +10,20 @@
     A scheduler sees a {!view} of the in-flight state — which directed
     links are non-empty, the age of each link's oldest pulse — and
     returns the link to deliver from.  It never sees pulse contents
-    (there are none) nor node states. *)
+    (there are none) nor node states.
+
+    The view is a single mutable record the simulator refreshes in
+    place before every pick, so the steady-state hot path allocates
+    nothing.  Schedulers must treat it as read-only and must not retain
+    it across picks. *)
 
 type view = {
-  nonempty : int array;  (** Link ids with pulses in flight, ascending. *)
+  nonempty : int array;
+      (** Scratch buffer owned by the simulator.  The first {!count}
+          entries are the link ids with pulses in flight, in
+          unspecified (but deterministic) order; entries beyond
+          [count] are garbage.  Do not mutate. *)
+  mutable count : int;  (** Number of valid entries in {!nonempty}. *)
   head_seq : int -> int;
       (** Global send-sequence number of a link's oldest pulse. *)
   head_batch : int -> int;
@@ -21,7 +31,7 @@ type view = {
           pulse; pulses of one batch were sent "at the same time". *)
   travels_cw : int -> bool;  (** Ground-truth direction of a link. *)
   dst_node : int -> int;  (** Receiving node of a link. *)
-  step : int;  (** Deliveries performed so far. *)
+  mutable step : int;  (** Deliveries performed so far. *)
 }
 
 type t = { name : string; pick : view -> int }
@@ -38,7 +48,10 @@ val lifo : t
     aggressive reordering adversary. *)
 
 val round_robin : unit -> t
-(** Rotates over links; stateful, create one per run. *)
+(** Rotates over link ids with an in-place modular cursor: the smallest
+    non-empty link at or after the cursor is picked, wrapping to the
+    smallest non-empty link when none remains.  Stateful, create one
+    per run. *)
 
 val random : Colring_stats.Rng.t -> t
 (** Uniform choice among non-empty links. *)

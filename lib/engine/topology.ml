@@ -2,6 +2,7 @@ type t = {
   size : int;
   peers : (int * Port.t) array; (* index: node * 2 + port *)
   cw_ports : Port.t array; (* ground-truth clockwise sending port per node *)
+  cw_links : bool array; (* per link id: does it travel clockwise? *)
 }
 
 let n t = t.size
@@ -28,7 +29,11 @@ let non_oriented ~flips =
     peers.(slot v vp) <- (w, wp);
     peers.(slot w wp) <- (v, vp)
   done;
-  { size; peers; cw_ports }
+  let cw_links =
+    Array.init (size * 2) (fun id ->
+        Port.equal (Port.of_index (id mod 2)) cw_ports.(id / 2))
+  in
+  { size; peers; cw_ports; cw_links }
 
 let oriented size =
   if size < 1 then invalid_arg "Topology.oriented: n must be >= 1";
@@ -54,9 +59,7 @@ let link_id _t v p = slot v p
 let link_src _t id = (id / 2, Port.of_index (id mod 2))
 let link_dst t id = t.peers.(id)
 
-let link_travels_cw t id =
-  let v, p = link_src t id in
-  Port.equal p t.cw_ports.(v)
+let link_travels_cw t id = t.cw_links.(id)
 
 let check t =
   (* Wiring symmetry: the peer relation is an involution on endpoints. *)

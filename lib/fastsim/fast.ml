@@ -13,11 +13,11 @@ type algo1_report = {
 let algo1 ~ids =
   let r = Driver.run ~ids in
   let id_max = Ids.id_max ids in
-  let leaders =
-    Array.to_list ids
-    |> List.mapi (fun v id -> (v, id))
-    |> List.filter_map (fun (v, id) -> if id = id_max then Some v else None)
-  in
+  let leaders = ref [] in
+  for v = Array.length ids - 1 downto 0 do
+    if ids.(v) = id_max then leaders := v :: !leaders
+  done;
+  let leaders = !leaders in
   let last_absorber_is_max =
     match List.rev r.Driver.absorb_order with
     | last :: _ -> ids.(last) = id_max
@@ -111,12 +111,12 @@ let algo3 ~scheme ~ids ~flips =
         let cw_port = if rho0 > rho1 then Port.P1 else Port.P0 in
         Output.with_cw_port cw_port (Output.with_role role Output.empty))
   in
-  let leaders =
-    Array.to_list outputs
-    |> List.mapi (fun v (o : Output.t) -> (v, o.role))
-    |> List.filter_map (fun (v, role) ->
-           if Output.equal_role role Output.Leader then Some v else None)
-  in
+  let leaders = ref [] in
+  for v = n - 1 downto 0 do
+    if Output.equal_role outputs.(v).Output.role Output.Leader then
+      leaders := v :: !leaders
+  done;
+  let leaders = !leaders in
   let topo = Topology.non_oriented ~flips in
   {
     total = cw_run.Driver.deliveries + ccw_run.Driver.deliveries;

@@ -36,6 +36,7 @@ type 'm t = {
   mutable in_flight : int;
   mutable backlog : int;
   nonempty_buf : int array;
+  mutable view : Scheduler.view;
 }
 
 let make_api t v rng =
@@ -91,8 +92,28 @@ let create ?(seed = 0) topo make_program =
       in_flight = 0;
       backlog = 0;
       nonempty_buf = Array.make links 0;
+      view =
+        {
+          Scheduler.nonempty = [||];
+          count = 0;
+          head_seq = (fun _ -> 0);
+          head_batch = (fun _ -> 0);
+          travels_cw = (fun _ -> false);
+          dst_node = (fun _ -> 0);
+          step = 0;
+        };
     }
   in
+  t.view <-
+    {
+      Scheduler.nonempty = t.nonempty_buf;
+      count = 0;
+      head_seq = (fun link -> (Queue.peek t.channels.(link)).seq);
+      head_batch = (fun link -> (Queue.peek t.channels.(link)).batch);
+      travels_cw = (fun _ -> false);
+      dst_node = (fun link -> fst (Gtopology.link_dst t.topo link));
+      step = 0;
+    };
   let root_rng = Rng.create ~seed in
   t.apis <- Array.init n (fun v -> make_api t v (Rng.split_at root_rng v));
   for v = 0 to n - 1 do
@@ -101,6 +122,9 @@ let create ?(seed = 0) topo make_program =
   done;
   t
 
+(* The graph simulator is not a hot path: it refreshes the reusable
+   view by rescanning channels rather than maintaining the non-empty
+   set incrementally. *)
 let view t =
   let k = ref 0 in
   Array.iteri
@@ -110,15 +134,10 @@ let view t =
         incr k
       end)
     t.channels;
-  let nonempty = Array.sub t.nonempty_buf 0 !k in
-  {
-    Scheduler.nonempty;
-    head_seq = (fun link -> (Queue.peek t.channels.(link)).seq);
-    head_batch = (fun link -> (Queue.peek t.channels.(link)).batch);
-    travels_cw = (fun _ -> false);
-    dst_node = (fun link -> fst (Gtopology.link_dst t.topo link));
-    step = t.deliveries;
-  }
+  let v = t.view in
+  v.Scheduler.count <- !k;
+  v.Scheduler.step <- t.deliveries;
+  v
 
 let step t (sched : Scheduler.t) =
   if t.in_flight = 0 then false

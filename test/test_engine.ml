@@ -464,6 +464,127 @@ let test_explore_respects_max_states () =
   checkb "bounded" true (stats.Explore.distinct_states <= 6)
 
 (* ------------------------------------------------------------------ *)
+(* Round-robin over synthetic views *)
+
+(* A view over a fixed link set with trivial metadata, as the network
+   would present it — the buffer is deliberately unordered. *)
+let synthetic_view links =
+  {
+    Scheduler.nonempty = Array.copy links;
+    count = Array.length links;
+    head_seq = (fun l -> l);
+    head_batch = (fun _ -> 0);
+    travels_cw = (fun _ -> false);
+    dst_node = (fun _ -> 0);
+    step = 0;
+  }
+
+let test_round_robin_fairness () =
+  (* Over a static link set every link must be picked equally often,
+     regardless of buffer order. *)
+  let v = synthetic_view [| 9; 1; 6 |] in
+  let rr = Scheduler.round_robin () in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to 3_000 do
+    let l = rr.Scheduler.pick v in
+    Hashtbl.replace counts l (1 + Option.value ~default:0 (Hashtbl.find_opt counts l))
+  done;
+  checki "link 1" 1_000 (Hashtbl.find counts 1);
+  checki "link 6" 1_000 (Hashtbl.find counts 6);
+  checki "link 9" 1_000 (Hashtbl.find counts 9)
+
+let test_round_robin_wrap () =
+  (* After picking the largest link the cursor passes every link id;
+     the next pick must wrap to the smallest non-empty link. *)
+  let v = synthetic_view [| 9; 1; 6 |] in
+  let rr = Scheduler.round_robin () in
+  checki "first" 1 (rr.Scheduler.pick v);
+  checki "second" 6 (rr.Scheduler.pick v);
+  checki "third" 9 (rr.Scheduler.pick v);
+  checki "wraps to smallest" 1 (rr.Scheduler.pick v)
+
+(* ------------------------------------------------------------------ *)
+(* Every scheduler picks a member of the non-empty prefix *)
+
+let assert_member (s : Scheduler.t) =
+  {
+    Scheduler.name = s.Scheduler.name ^ "+member";
+    pick =
+      (fun v ->
+        let l = s.Scheduler.pick v in
+        let ok = ref false in
+        for i = 0 to v.Scheduler.count - 1 do
+          if v.Scheduler.nonempty.(i) = l then ok := true
+        done;
+        if not !ok then
+          Alcotest.failf "%s picked link %d outside the non-empty prefix"
+            s.Scheduler.name l;
+        l);
+  }
+
+let test_all_schedulers_pick_members () =
+  let schedulers =
+    Scheduler.all_deterministic () @ [ Scheduler.random (Rng.create ~seed:3) ]
+  in
+  List.iter
+    (fun s ->
+      let n = 8 in
+      let net =
+        Network.create ~seed:1 (Topology.oriented n) (fun v ->
+            Colring_core.Algo2.program ~id:(v + 1))
+      in
+      let r = Network.run ~max_deliveries:20_000 net (assert_member s) in
+      checkb
+        (Printf.sprintf "%s made progress" s.Scheduler.name)
+        true (r.deliveries > 0))
+    schedulers
+
+(* ------------------------------------------------------------------ *)
+(* Whole-run determinism *)
+
+let run_fingerprint ~seed ~sched_seed n =
+  let net =
+    Network.create ~seed (Topology.oriented n) (fun v ->
+        Colring_core.Algo2.program ~id:(v + 1))
+  in
+  let r = Network.run net (Scheduler.random (Rng.create ~seed:sched_seed)) in
+  (r, Metrics.to_assoc (Network.metrics net), Network.causal_span net)
+
+let test_determinism_same_seed () =
+  (* The reusable mutable view and the unordered non-empty buffer must
+     not leak nondeterminism: equal seeds give bit-equal runs. *)
+  let r1, m1, c1 = run_fingerprint ~seed:5 ~sched_seed:11 9 in
+  let r2, m2, c2 = run_fingerprint ~seed:5 ~sched_seed:11 9 in
+  checkb "run_result equal" true (r1 = r2);
+  checkb "metrics equal" true (m1 = m2);
+  checki "causal span equal" c1 c2
+
+(* ------------------------------------------------------------------ *)
+(* Injection uses the send path's batch convention *)
+
+let test_inject_batch_stamp () =
+  let net =
+    Network.create (Topology.oriented 2) (fun _ -> Network.silent_program)
+  in
+  (* Two start activations have run, so the current batch is 2; an
+     injected pulse must be stamped with it, exactly as a send from the
+     most recent activation would be. *)
+  Network.inject net ~node:0 ~port:Port.P1 ();
+  let seen = ref (-1) in
+  let probe =
+    {
+      Scheduler.name = "probe";
+      pick =
+        (fun v ->
+          let l = v.Scheduler.nonempty.(0) in
+          seen := v.Scheduler.head_batch l;
+          l);
+    }
+  in
+  checkb "stepped" true (Network.step net probe);
+  checki "inject stamps current batch" 2 !seen
+
+(* ------------------------------------------------------------------ *)
 (* Properties *)
 
 let prop_random_topologies_check =
@@ -524,6 +645,15 @@ let () =
           Alcotest.test_case "fifo cw priority" `Quick test_fifo_cw_priority;
           Alcotest.test_case "global fifo" `Quick test_global_fifo_send_order;
           Alcotest.test_case "starve node" `Quick test_starve_node_delays;
+          Alcotest.test_case "round-robin fairness" `Quick
+            test_round_robin_fairness;
+          Alcotest.test_case "round-robin wrap" `Quick test_round_robin_wrap;
+          Alcotest.test_case "picks are members" `Quick
+            test_all_schedulers_pick_members;
+          Alcotest.test_case "same seed, same run" `Quick
+            test_determinism_same_seed;
+          Alcotest.test_case "inject batch stamp" `Quick
+            test_inject_batch_stamp;
         ] );
       ( "blocking",
         [
