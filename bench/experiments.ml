@@ -19,10 +19,20 @@ let sched_of_seed seed = Scheduler.random (Rng.create ~seed)
 
 let yes_no = Table.cell_bool
 
+module Pool = Colring_runtime.Pool
+
+(* Independent table rows (or trials) are computed on the domain pool,
+   then appended in case order, so a table is bit-identical for every
+   domain count; only row *computations* run in parallel — nothing in a
+   parallel closure may print. *)
+let par_rows ~jobs cases f =
+  let a = Array.of_list cases in
+  Array.to_list (Pool.map ~jobs (Array.length a) (fun i -> f a.(i)))
+
 (* ------------------------------------------------------------------ *)
 (* E1: Algorithm 1 — n * ID_max pulses, stabilization (Cor. 13). *)
 
-let e1 ~quick =
+let e1 ~jobs ~quick =
   section
     "E1  Algorithm 1 (warm-up, oriented, stabilizing)  --  paper: total = n*ID_max\n\
      [Section 3.1, Lemmas 6-14, Corollary 13]";
@@ -40,7 +50,6 @@ let e1 ~quick =
         ("rho=sig=IDmax", Table.Left);
       ]
   in
-  let pairs = ref [] in
   let row ~ids ~label seed =
     let n = Array.length ids in
     let topo = Topology.oriented n in
@@ -55,9 +64,7 @@ let e1 ~quick =
           && Network.inspect_counter net v "sigma_cw" = id_max)
         (Array.init n Fun.id)
     in
-    pairs := (float_of_int report.expected_sends, float_of_int report.sends) :: !pairs;
-    Table.add_row t
-      [
+    ( [
         Table.cell_int n;
         Table.cell_int id_max;
         label;
@@ -68,26 +75,30 @@ let e1 ~quick =
         yes_no report.quiescent;
         yes_no (report.leader_is_max && report.roles_ok);
         yes_no counters_ok;
-      ]
+      ],
+      (float_of_int report.expected_sends, float_of_int report.sends) )
   in
   let ns = if quick then [ 2; 8; 32 ] else [ 2; 4; 8; 16; 32; 64; 128 ] in
-  List.iter
-    (fun n -> row ~ids:(Ids.dense (Rng.create ~seed:n) ~n) ~label:"dense 1..n" n)
-    ns;
-  Table.add_rule t;
+  let dense_rows =
+    par_rows ~jobs ns (fun n ->
+        row ~ids:(Ids.dense (Rng.create ~seed:n) ~n) ~label:"dense 1..n" n)
+  in
   let idmaxes = if quick then [ 64; 1024 ] else [ 16; 64; 256; 1024; 4096 ] in
-  List.iter
-    (fun id_max ->
-      row
-        ~ids:(Ids.distinct (Rng.create ~seed:id_max) ~n:16 ~id_max)
-        ~label:"sparse n=16" id_max)
-    idmaxes;
+  let sparse_rows =
+    par_rows ~jobs idmaxes (fun id_max ->
+        row
+          ~ids:(Ids.distinct (Rng.create ~seed:id_max) ~n:16 ~id_max)
+          ~label:"sparse n=16" id_max)
+  in
+  List.iter (fun (cells, _) -> Table.add_row t cells) dense_rows;
+  Table.add_rule t;
+  List.iter (fun (cells, _) -> Table.add_row t cells) sparse_rows;
   Table.print t;
   Printf.printf "max relative error vs paper formula: %.6f\n"
-    (Fit.max_rel_err !pairs)
+    (Fit.max_rel_err (List.map snd (dense_rows @ sparse_rows)))
 
 (* Lemma 16/17: duplicated IDs, including several copies of the max. *)
-let e1_dup ~quick =
+let e1_dup ~jobs ~quick =
   section
     "E1b Algorithm 1 with non-unique IDs  --  paper: Lemma 16/17 (same totals;\n\
      every max-ID node ends Leader)";
@@ -104,8 +115,7 @@ let e1_dup ~quick =
       ]
   in
   let cases = if quick then [ (8, 12, 2) ] else [ (8, 12, 2); (16, 40, 4); (32, 32, 8); (24, 100, 1) ] in
-  List.iter
-    (fun (n, id_max, dup_max) ->
+  par_rows ~jobs cases (fun (n, id_max, dup_max) ->
       let ids = Ids.duplicated (Rng.create ~seed:n) ~n ~id_max ~dup_max in
       let topo = Topology.oriented n in
       let _, net =
@@ -117,23 +127,22 @@ let e1_dup ~quick =
             if Output.equal_role o.role Output.Leader then acc + 1 else acc)
           0 (Network.outputs net)
       in
-      Table.add_row t
-        [
-          Table.cell_int n;
-          Table.cell_int id_max;
-          Table.cell_int dup_max;
-          Table.cell_int (n * id_max);
-          Table.cell_int (Metrics.sends (Network.metrics net));
-          yes_no (leaders = dup_max);
-          yes_no (Network.is_quiescent net);
-        ])
-    cases;
+      [
+        Table.cell_int n;
+        Table.cell_int id_max;
+        Table.cell_int dup_max;
+        Table.cell_int (n * id_max);
+        Table.cell_int (Metrics.sends (Network.metrics net));
+        yes_no (leaders = dup_max);
+        yes_no (Network.is_quiescent net);
+      ])
+  |> List.iter (Table.add_row t);
   Table.print t
 
 (* ------------------------------------------------------------------ *)
 (* E2: Algorithm 2 — n(2 ID_max + 1), quiescent termination (Thm 1). *)
 
-let e2 ~quick =
+let e2 ~jobs ~quick =
   section
     "E2  Algorithm 2 (oriented, quiescently terminating)  --  paper:\n\
      total = n(2*ID_max+1), split n*ID_max cw / n*(ID_max+1) ccw,\n\
@@ -170,37 +179,40 @@ let e2 ~quick =
     let r =
       Election.run_report Election.Algo2 ~topo:(Topology.oriented n) ~ids ~sched
     in
-    Table.add_row t
-      [
-        Table.cell_int n;
-        Table.cell_int id_max;
-        sched.Scheduler.name;
-        Table.cell_int r.expected_sends;
-        Table.cell_int r.sends;
-        Table.cell_int r.sends_cw;
-        Table.cell_int r.sends_ccw;
-        verdict r;
-      ]
+    [
+      Table.cell_int n;
+      Table.cell_int id_max;
+      sched.Scheduler.name;
+      Table.cell_int r.expected_sends;
+      Table.cell_int r.sends;
+      Table.cell_int r.sends_cw;
+      Table.cell_int r.sends_ccw;
+      verdict r;
+    ]
   in
   let ns = if quick then [ 4; 16 ] else [ 2; 4; 8; 16; 32; 64; 128 ] in
-  List.iter (fun n -> row ~n ~id_max:(2 * n) ~sched:(sched_of_seed n) ~seed:n) ns;
+  par_rows ~jobs ns (fun n ->
+      row ~n ~id_max:(2 * n) ~sched:(sched_of_seed n) ~seed:n)
+  |> List.iter (Table.add_row t);
   Table.add_rule t;
-  (* The count is schedule-independent: same instance, many adversaries. *)
-  List.iter
+  (* The count is schedule-independent: same instance, many adversaries.
+     Stateful schedulers are created once per case, used by one row. *)
+  par_rows ~jobs
+    (Scheduler.all_deterministic () @ [ sched_of_seed 123 ])
     (fun sched -> row ~n:12 ~id_max:48 ~sched ~seed:99)
-    (Scheduler.all_deterministic () @ [ sched_of_seed 123 ]);
+  |> List.iter (Table.add_row t);
   Table.add_rule t;
   (* ID_max scaling at fixed n: the term the lower bound says is needed. *)
   let idmaxes = if quick then [ 256; 4096 ] else [ 16; 64; 256; 1024; 4096; 16384 ] in
-  List.iter
-    (fun id_max -> row ~n:8 ~id_max ~sched:(sched_of_seed id_max) ~seed:id_max)
-    idmaxes;
+  par_rows ~jobs idmaxes (fun id_max ->
+      row ~n:8 ~id_max ~sched:(sched_of_seed id_max) ~seed:id_max)
+  |> List.iter (Table.add_row t);
   Table.print t
 
 (* ------------------------------------------------------------------ *)
 (* E3/E4: Algorithm 3 on non-oriented rings. *)
 
-let e3_e4 ~quick =
+let e3_e4 ~jobs ~quick =
   section
     "E3/E4  Algorithm 3 (non-oriented, stabilizing; elects leader AND\n\
      orients the ring)  --  paper: doubled IDs n(4*ID_max-1) (Prop. 15),\n\
@@ -234,32 +246,33 @@ let e3_e4 ~quick =
       Election.run_report (Election.Algo3 scheme) ~topo ~ids
         ~sched:(Scheduler.random (Rng.split rng))
     in
-    Table.add_row t
-      [
-        (match scheme with
-        | Algo3.Doubled -> "doubled (Prop15)"
-        | Algo3.Improved -> "improved (Thm2)");
-        Table.cell_int n;
-        Table.cell_int r.id_max;
-        Table.cell_int flips;
-        Table.cell_int r.expected_sends;
-        Table.cell_int r.sends;
-        Table.cell_ratio (float_of_int r.sends /. float_of_int r.expected_sends);
-        yes_no (r.orientation_ok = Some true);
-        yes_no (r.leader_is_max && r.roles_ok);
-        yes_no r.quiescent;
-      ]
+    [
+      (match scheme with
+      | Algo3.Doubled -> "doubled (Prop15)"
+      | Algo3.Improved -> "improved (Thm2)");
+      Table.cell_int n;
+      Table.cell_int r.id_max;
+      Table.cell_int flips;
+      Table.cell_int r.expected_sends;
+      Table.cell_int r.sends;
+      Table.cell_ratio (float_of_int r.sends /. float_of_int r.expected_sends);
+      yes_no (r.orientation_ok = Some true);
+      yes_no (r.leader_is_max && r.roles_ok);
+      yes_no r.quiescent;
+    ]
   in
   let ns = if quick then [ 4; 16 ] else [ 2; 4; 8; 16; 32; 64 ] in
-  List.iter (fun n -> row Algo3.Doubled ~n ~seed:n) ns;
+  par_rows ~jobs ns (fun n -> row Algo3.Doubled ~n ~seed:n)
+  |> List.iter (Table.add_row t);
   Table.add_rule t;
-  List.iter (fun n -> row Algo3.Improved ~n ~seed:(n + 7)) ns;
+  par_rows ~jobs ns (fun n -> row Algo3.Improved ~n ~seed:(n + 7))
+  |> List.iter (Table.add_row t);
   Table.print t
 
 (* ------------------------------------------------------------------ *)
 (* E5: anonymous rings (Algorithm 4 + Algorithm 3; Theorem 3). *)
 
-let e5 ~quick =
+let e5 ~jobs ~quick =
   section
     "E5  Anonymous rings (Theorem 3, Lemma 18)  --  paper: sampled IDs have\n\
      a unique maximum w.h.p., of magnitude n^Theta(c); election succeeds\n\
@@ -279,37 +292,30 @@ let e5 ~quick =
   in
   let ns = if quick then [ 8; 32 ] else [ 8; 16; 32; 64; 128 ] in
   let cs = [ 1.0; 2.0; 3.0 ] in
-  List.iter
-    (fun n ->
-      List.iter
-        (fun c ->
-          let unique = ref 0 in
-          let idmaxes = Summary.create () in
-          let exponents = Summary.create () in
-          for seed = 1 to trials do
-            let ids =
-              Sampling.sample_ring
-                (Rng.create ~seed:(seed + (n * 100_000)))
-                ~c ~n
-            in
-            if Sampling.max_is_unique ids then incr unique;
-            let m = Ids.id_max ids in
-            Summary.add_int idmaxes m;
-            Summary.add exponents
-              (log (float_of_int m) /. log (float_of_int n))
-          done;
-          Table.add_row t
-            [
-              Table.cell_int n;
-              Table.cell_float ~decimals:1 c;
-              Table.cell_int trials;
-              Table.cell_ratio (float_of_int !unique /. float_of_int trials);
-              Table.cell_float ~decimals:0 (Summary.median idmaxes);
-              Table.cell_float ~decimals:0 (Summary.quantile idmaxes 0.9);
-              Table.cell_float ~decimals:2 (Summary.mean exponents);
-            ])
-        cs)
-    ns;
+  let grid = List.concat_map (fun n -> List.map (fun c -> (n, c)) cs) ns in
+  par_rows ~jobs grid (fun (n, c) ->
+      let unique = ref 0 in
+      let idmaxes = Summary.create () in
+      let exponents = Summary.create () in
+      for seed = 1 to trials do
+        let ids =
+          Sampling.sample_ring (Rng.create ~seed:(seed + (n * 100_000))) ~c ~n
+        in
+        if Sampling.max_is_unique ids then incr unique;
+        let m = Ids.id_max ids in
+        Summary.add_int idmaxes m;
+        Summary.add exponents (log (float_of_int m) /. log (float_of_int n))
+      done;
+      [
+        Table.cell_int n;
+        Table.cell_float ~decimals:1 c;
+        Table.cell_int trials;
+        Table.cell_ratio (float_of_int !unique /. float_of_int trials);
+        Table.cell_float ~decimals:0 (Summary.median idmaxes);
+        Table.cell_float ~decimals:0 (Summary.quantile idmaxes 0.9);
+        Table.cell_float ~decimals:2 (Summary.mean exponents);
+      ])
+  |> List.iter (Table.add_row t);
   Table.print t;
   (* End-to-end elections on the feasible draws (pulse count is
      Theta(n * ID_max), so skip astronomically-large samples). *)
@@ -330,31 +336,47 @@ let e5 ~quick =
       ]
   in
   let trials2 = if quick then 30 else 100 in
+  (* Per-trial engine runs are the heavy part here: fan the seeds out on
+     the pool and fold the per-seed verdicts in seed order. *)
   List.iter
     (fun n ->
       List.iter
         (fun c ->
+          let outcomes =
+            par_rows ~jobs
+              (List.init trials2 (fun i -> i + 1))
+              (fun seed ->
+                let rng = Rng.create ~seed:(seed + (n * 7919)) in
+                let ids = Sampling.sample_ring rng ~c ~n in
+                if Ids.id_max ids > 20_000 then `Skipped
+                else begin
+                  let topo = Topology.random_non_oriented rng n in
+                  let r =
+                    Election.run_report (Election.Algo3 Algo3.Improved) ~topo
+                      ~ids
+                      ~sched:(Scheduler.random (Rng.split rng))
+                  in
+                  `Ran
+                    ( r.sends,
+                      r.expected_sends,
+                      Sampling.max_is_unique ids,
+                      Election.ok r )
+                end)
+          in
           let ran = ref 0 and skipped = ref 0 and okc = ref 0 and ties = ref 0 in
           let pulses = Summary.create () and expected = Summary.create () in
-          for seed = 1 to trials2 do
-            let rng = Rng.create ~seed:(seed + (n * 7919)) in
-            let ids = Sampling.sample_ring rng ~c ~n in
-            if Ids.id_max ids > 20_000 then incr skipped
-            else begin
-              incr ran;
-              let topo = Topology.random_non_oriented rng n in
-              let r =
-                Election.run_report (Election.Algo3 Algo3.Improved) ~topo ~ids
-                  ~sched:(Scheduler.random (Rng.split rng))
-              in
-              Summary.add_int pulses r.sends;
-              Summary.add_int expected r.expected_sends;
-              if Sampling.max_is_unique ids then begin
-                if Election.ok r then incr okc
-              end
-              else incr ties
-            end
-          done;
+          List.iter
+            (function
+              | `Skipped -> incr skipped
+              | `Ran (sends, expected_sends, unique_max, ok) ->
+                  incr ran;
+                  Summary.add_int pulses sends;
+                  Summary.add_int expected expected_sends;
+                  if unique_max then begin
+                    if ok then incr okc
+                  end
+                  else incr ties)
+            outcomes;
           Table.add_row t2
             [
               Table.cell_int n;
@@ -373,7 +395,7 @@ let e5 ~quick =
 (* ------------------------------------------------------------------ *)
 (* E9: Proposition 19 resampling. *)
 
-let e9 ~quick =
+let e9 ~jobs ~quick =
   section
     "E9  Proposition 19 (ID resampling during Algorithm 3)  --  paper:\n\
      at quiescence all IDs are distinct w.h.p.; pulse dynamics unchanged";
@@ -391,25 +413,34 @@ let e9 ~quick =
   in
   List.iter
     (fun (n, id_max) ->
+      (* Per-trial resampling runs fan out on the pool; the verdicts
+         fold associatively, so the reduce is order-insensitive. *)
+      let verdicts =
+        par_rows ~jobs
+          (List.init trials (fun i -> i + 1))
+          (fun seed ->
+            let rng = Rng.create ~seed:(seed * 31) in
+            let ids = Ids.distinct rng ~n ~id_max in
+            let topo = Topology.random_non_oriented rng n in
+            let r =
+              Election.run_report Election.Algo3_resample ~topo ~ids
+                ~sched:(Scheduler.random (Rng.split rng))
+            in
+            let sorted = Array.copy r.final_ids in
+            Array.sort compare sorted;
+            let dup = ref false in
+            for i = 0 to n - 2 do
+              if sorted.(i) = sorted.(i + 1) then dup := true
+            done;
+            (not !dup, r.sends = r.expected_sends, r.leader_is_max))
+      in
       let distinct = ref 0 and counts_ok = ref true and max_ok = ref true in
-      for seed = 1 to trials do
-        let rng = Rng.create ~seed:(seed * 31) in
-        let ids = Ids.distinct rng ~n ~id_max in
-        let topo = Topology.random_non_oriented rng n in
-        let r =
-          Election.run_report Election.Algo3_resample ~topo ~ids
-            ~sched:(Scheduler.random (Rng.split rng))
-        in
-        if r.sends <> r.expected_sends then counts_ok := false;
-        if not r.leader_is_max then max_ok := false;
-        let sorted = Array.copy r.final_ids in
-        Array.sort compare sorted;
-        let dup = ref false in
-        for i = 0 to n - 2 do
-          if sorted.(i) = sorted.(i + 1) then dup := true
-        done;
-        if not !dup then incr distinct
-      done;
+      List.iter
+        (fun (is_distinct, count_ok, is_max) ->
+          if is_distinct then incr distinct;
+          if not count_ok then counts_ok := false;
+          if not is_max then max_ok := false)
+        verdicts;
       Table.add_row t
         [
           Table.cell_int n;
@@ -631,7 +662,7 @@ let e10 ~quick =
 (* ------------------------------------------------------------------ *)
 (* E7: baseline landscape. *)
 
-let e7 ~quick =
+let e7 ~jobs ~quick =
   section
     "E7  Related-work landscape (Section 1.2)  --  message counts of the\n\
      classic content-carrying algorithms vs the content-oblivious ones.\n\
@@ -654,8 +685,7 @@ let e7 ~quick =
   in
   let seeds = if quick then [ 1; 2 ] else [ 1; 2; 3; 4; 5 ] in
   let ns = if quick then [ 8; 32 ] else [ 4; 8; 16; 32; 64; 128 ] in
-  let cr_pts = ref [] and hs_pts = ref [] and a2_pts = ref [] in
-  List.iter
+  let rows = par_rows ~jobs ns
     (fun n ->
       let avg f =
         let s = Summary.create () in
@@ -719,11 +749,7 @@ let e7 ~quick =
       in
       let a2_dense = Formulas.algo2_total ~n ~id_max:n in
       let a2_sparse = Formulas.algo2_total ~n ~id_max:(n * n) in
-      cr_pts := (float_of_int n, cr) :: !cr_pts;
-      hs_pts := (float_of_int n, hs) :: !hs_pts;
-      a2_pts := (float_of_int n, float_of_int a2_dense) :: !a2_pts;
-      Table.add_row t
-        [
+      ( [
           Table.cell_int n;
           Table.cell_float ~decimals:0 cr;
           Table.cell_int cr_worst;
@@ -734,17 +760,23 @@ let e7 ~quick =
           Table.cell_float ~decimals:0 ir;
           Table.cell_int a2_dense;
           Table.cell_int a2_sparse;
-        ])
-    ns;
+        ],
+        ( (float_of_int n, cr),
+          (float_of_int n, hs),
+          (float_of_int n, float_of_int a2_dense) ) ))
+  in
+  List.iter (fun (cells, _) -> Table.add_row t cells) rows;
   Table.print t;
   if not quick then begin
+    let pts = List.map snd rows in
     Printf.printf
       "log-log slopes in n:  chang-roberts avg %.2f  (expected ~1.5 to 2 on\n\
        random inputs is ~n log n => ~1.2; worst 2),  hirschberg-sinclair %.2f\n\
        (~1.2 = n log n),  algo2 dense %.2f (= 2, quadratic because\n\
        ID_max >= n makes n*ID_max at least n^2)\n"
-      (Fit.loglog_slope !cr_pts) (Fit.loglog_slope !hs_pts)
-      (Fit.loglog_slope !a2_pts)
+      (Fit.loglog_slope (List.map (fun (p, _, _) -> p) pts))
+      (Fit.loglog_slope (List.map (fun (_, p, _) -> p) pts))
+      (Fit.loglog_slope (List.map (fun (_, _, p) -> p) pts))
   end
 
 (* ------------------------------------------------------------------ *)
@@ -990,7 +1022,7 @@ let e11 ~quick =
 
 (* E12: scale — the analytical simulator runs the dynamics exactly at
    ID magnitudes far beyond event-level simulation. *)
-let e12 ~quick =
+let e12 ~jobs ~quick =
   section
     "E12 Scale (fast analytical simulator)  --  the same dynamics, driven\n\
      pulse-by-pulse with closed-form lap arithmetic (O(n^2), exact).  The\n\
@@ -1024,8 +1056,7 @@ let e12 ~quick =
         (2, 1_000_000_000_000);
       ]
   in
-  List.iter
-    (fun (n, id_max) ->
+  par_rows ~jobs cases (fun (n, id_max) ->
       let rng = Rng.create ~seed:(n + 13) in
       let ids = Ids.distinct rng ~n ~id_max in
       let flips = Array.init n (fun _ -> Rng.bool rng) in
@@ -1034,25 +1065,24 @@ let e12 ~quick =
       let a3 =
         Colring_fastsim.Fast.algo3 ~scheme:Algo3.Improved ~ids ~flips
       in
-      Table.add_row t
-        [
-          Table.cell_int n;
-          Table.cell_int id_max;
-          Table.cell_int a1.total;
-          yes_no (a1.total = Formulas.algo1_total ~n ~id_max);
-          Table.cell_int a2.total;
-          yes_no (a2.total = Formulas.algo2_total ~n ~id_max);
-          Table.cell_int a3.total;
-          yes_no
-            (a3.total = Formulas.algo3_improved_total ~n ~id_max
-            && a3.leader_unique && a3.orientation_consistent);
-        ])
-    cases;
+      [
+        Table.cell_int n;
+        Table.cell_int id_max;
+        Table.cell_int a1.total;
+        yes_no (a1.total = Formulas.algo1_total ~n ~id_max);
+        Table.cell_int a2.total;
+        yes_no (a2.total = Formulas.algo2_total ~n ~id_max);
+        Table.cell_int a3.total;
+        yes_no
+          (a3.total = Formulas.algo3_improved_total ~n ~id_max
+          && a3.leader_unique && a3.orientation_consistent);
+      ])
+  |> List.iter (Table.add_row t);
   Table.print t
 
 (* E13: asynchronous time (causal span) — a dimension the paper leaves
    implicit. *)
-let e13 ~quick =
+let e13 ~jobs ~quick =
   section
     "E13 Asynchronous time (causal span)  --  longest chain of causally\n\
      dependent deliveries, each message = one time unit.  Not a paper\n\
@@ -1074,7 +1104,7 @@ let e13 ~quick =
       ]
   in
   let ns = if quick then [ 8; 32 ] else [ 4; 8; 16; 32; 64 ] in
-  List.iter
+  par_rows ~jobs ns
     (fun n ->
       let rng = Rng.create ~seed:(n + 77) in
       let ids = Ids.distinct rng ~n ~id_max:(2 * n) in
@@ -1104,26 +1134,25 @@ let e13 ~quick =
       let hs =
         classic "hs" (fun v -> Classic.Hirschberg_sinclair.program ~id:ids.(v))
       in
-      Table.add_row t
-        [
-          Table.cell_int n;
-          Table.cell_int id_max;
-          Table.cell_int a1;
-          Table.cell_int a2;
-          Table.cell_int a3;
-          Table.cell_int ll;
-          Table.cell_int cr;
-          Table.cell_int hs;
-          Table.cell_int (Formulas.algo2_total ~n ~id_max);
-        ])
-    ns;
+      [
+        Table.cell_int n;
+        Table.cell_int id_max;
+        Table.cell_int a1;
+        Table.cell_int a2;
+        Table.cell_int a3;
+        Table.cell_int ll;
+        Table.cell_int cr;
+        Table.cell_int hs;
+        Table.cell_int (Formulas.algo2_total ~n ~id_max);
+      ])
+  |> List.iter (Table.add_row t);
   Table.print t;
   Printf.printf
     "The content-oblivious spans grow with ID_max (here ID_max = 2n, so\n\
      ~linearly in n on this table); the classic spans stay near 2n.\n"
 
 (* E14: general graphs — the paper's closing open question, explored. *)
-let e14 ~quick =
+let e14 ~jobs ~quick =
   section
     "E14 General 2-edge-connected graphs (Section 7's open question) --\n\
      exploratory, no claim in the paper and none here.  First the ring\n\
@@ -1173,7 +1202,7 @@ let e14 ~quick =
           ~chords:2 );
     ]
   in
-  List.iter
+  par_rows ~jobs graphs
     (fun (name, g) ->
       let n = Colring_graph.Gtopology.n g in
       let quiesced = ref 0 and exhausted = ref 0 and elected = ref 0 in
@@ -1212,35 +1241,34 @@ let e14 ~quick =
         List.sort_uniq compare
           (List.init n (fun v -> Colring_graph.Gtopology.degree g v))
       in
-      Table.add_row t
-        [
-          name;
-          Table.cell_int n;
-          String.concat "/" (List.map string_of_int degs);
-          yes_no (Colring_graph.Gtopology.is_two_edge_connected g);
-          Table.cell_int (List.length seeds);
-          Table.cell_int !quiesced;
-          Table.cell_int !exhausted;
-          Table.cell_int !elected;
-          (if Summary.count pulses = 0 then "-"
-           else Table.cell_float ~decimals:0 (Summary.mean pulses));
-        ])
-    graphs;
+      [
+        name;
+        Table.cell_int n;
+        String.concat "/" (List.map string_of_int degs);
+        yes_no (Colring_graph.Gtopology.is_two_edge_connected g);
+        Table.cell_int (List.length seeds);
+        Table.cell_int !quiesced;
+        Table.cell_int !exhausted;
+        Table.cell_int !elected;
+        (if Summary.count pulses = 0 then "-"
+         else Table.cell_float ~decimals:0 (Summary.mean pulses));
+      ])
+  |> List.iter (Table.add_row t);
   Table.print t
 
-let all ~quick =
-  e1 ~quick;
-  e1_dup ~quick;
-  e2 ~quick;
-  e3_e4 ~quick;
-  e5 ~quick;
+let all ~jobs ~quick =
+  e1 ~jobs ~quick;
+  e1_dup ~jobs ~quick;
+  e2 ~jobs ~quick;
+  e3_e4 ~jobs ~quick;
+  e5 ~jobs ~quick;
   e6 ~quick;
   e6b ~quick;
-  e7 ~quick;
+  e7 ~jobs ~quick;
   e8 ~quick;
-  e9 ~quick;
+  e9 ~jobs ~quick;
   e10 ~quick;
   e11 ~quick;
-  e12 ~quick;
-  e13 ~quick;
-  e14 ~quick
+  e12 ~jobs ~quick;
+  e13 ~jobs ~quick;
+  e14 ~jobs ~quick

@@ -6,30 +6,55 @@
      dune exec bench/main.exe -- e2 e6       -- selected experiments
      dune exec bench/main.exe -- timing      -- bechamel + engine throughput
      dune exec bench/main.exe -- throughput  -- engine throughput only;
-                                                writes BENCH_engine.json *)
+                                                writes BENCH_engine.json
+     dune exec bench/main.exe -- -j 4 e2     -- sweep tables on 4 domains
+
+   The experiment tables run their independent rows/trials on the
+   lib/runtime domain pool; -j N (or COLRING_JOBS) picks the domain
+   count.  Tables are bit-identical for every N. *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let rec extract_jobs acc jobs = function
+    | [] -> (jobs, List.rev acc)
+    | ("-j" | "--jobs") :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some j when j >= 1 -> extract_jobs acc (Some j) rest
+        | _ ->
+            prerr_endline ("bench: invalid -j value " ^ v);
+            exit 2)
+    | ("-j" | "--jobs") :: [] ->
+        prerr_endline "bench: -j expects a value";
+        exit 2
+    | x :: rest -> extract_jobs (x :: acc) jobs rest
+  in
+  let jobs_opt, args = extract_jobs [] None args in
+  let jobs =
+    match jobs_opt with
+    | Some j -> j
+    | None -> Colring_runtime.Pool.default_jobs ()
+  in
   let quick = List.mem "quick" args in
   let selected = List.filter (fun a -> a <> "quick") args in
   let want name = selected = [] || List.mem name selected in
   Printf.printf
     "colring bench — Content-Oblivious Leader Election on Rings\n\
      (Frei, Gelles, Ghazy, Nolin; DISC 2024)\n\
-     mode: %s\n"
-    (if quick then "quick" else "full");
-  if want "e1" then (Experiments.e1 ~quick; Experiments.e1_dup ~quick);
-  if want "e2" then Experiments.e2 ~quick;
-  if want "e3" || want "e4" then Experiments.e3_e4 ~quick;
-  if want "e5" then Experiments.e5 ~quick;
+     mode: %s, domains: %d\n"
+    (if quick then "quick" else "full")
+    jobs;
+  if want "e1" then (Experiments.e1 ~jobs ~quick; Experiments.e1_dup ~jobs ~quick);
+  if want "e2" then Experiments.e2 ~jobs ~quick;
+  if want "e3" || want "e4" then Experiments.e3_e4 ~jobs ~quick;
+  if want "e5" then Experiments.e5 ~jobs ~quick;
   if want "e6" then (Experiments.e6 ~quick; Experiments.e6b ~quick);
-  if want "e7" then Experiments.e7 ~quick;
+  if want "e7" then Experiments.e7 ~jobs ~quick;
   if want "e8" then Experiments.e8 ~quick;
-  if want "e9" then Experiments.e9 ~quick;
+  if want "e9" then Experiments.e9 ~jobs ~quick;
   if want "e10" then Experiments.e10 ~quick;
   if want "e11" then Experiments.e11 ~quick;
-  if want "e12" then Experiments.e12 ~quick;
-  if want "e13" then Experiments.e13 ~quick;
-  if want "e14" then Experiments.e14 ~quick;
+  if want "e12" then Experiments.e12 ~jobs ~quick;
+  if want "e13" then Experiments.e13 ~jobs ~quick;
+  if want "e14" then Experiments.e14 ~jobs ~quick;
   if want "timing" then Timing.run ()
   else if want "throughput" then Timing.throughput ~quick ()

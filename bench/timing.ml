@@ -200,6 +200,150 @@ let measure ?(min_time = 0.5) case =
     top_heap_words = s1.Gc.top_heap_words;
   }
 
+(* {2 Sweep throughput}
+
+   The harness-level counterpart of the engine section: one E2-style
+   grid (Algorithm 2 across oriented workloads, random adversary) swept
+   with the lib/runtime domain pool at several domain counts.  Sweep
+   results are bit-identical for every domain count (asserted below on
+   every measurement), so the only thing that may vary is the wall
+   clock — which is exactly what this section records. *)
+
+module Harness = Colring_harness
+module Pool = Colring_runtime.Pool
+
+let sweep_jobs_ladder = [ 1; 2; 4 ]
+
+let sweep_grid ~quick ~jobs () =
+  Harness.Sweep.election ~jobs
+    ~algorithms:[ Election.Algo2 ]
+    ~workloads:[ Harness.Workload.dense; Harness.Workload.sparse ~factor:8 ]
+    ~ns:(if quick then [ 2; 4; 8; 16 ] else [ 2; 4; 8; 16; 32; 64 ])
+    ~seeds:(List.init (if quick then 3 else 6) (fun i -> i + 1))
+    ~schedulers:[ (fun s -> Scheduler.random (Rng.create ~seed:s)) ]
+    ()
+
+type sweep_point = {
+  sw_domains : int;
+  sw_runs : int; (* whole-grid sweeps performed *)
+  sw_cells : int; (* cells per sweep *)
+  sw_wall : float;
+  sw_cells_per_sec : float;
+  sw_deterministic : bool; (* measurements = the jobs=1 reference *)
+}
+
+let measure_sweep ?(min_time = 0.5) ~quick ~reference ~jobs () =
+  ignore (sweep_grid ~quick ~jobs ()) (* warm-up *);
+  let t0 = Unix.gettimeofday () in
+  let rec go runs cells deterministic =
+    let ms = sweep_grid ~quick ~jobs () in
+    let runs = runs + 1 and cells = cells + List.length ms in
+    let deterministic = deterministic && ms = reference in
+    if Unix.gettimeofday () -. t0 < min_time then go runs cells deterministic
+    else (runs, cells, deterministic)
+  in
+  let runs, cells, deterministic = go 0 0 true in
+  let wall = Unix.gettimeofday () -. t0 in
+  {
+    sw_domains = jobs;
+    sw_runs = runs;
+    sw_cells = cells / runs;
+    sw_wall = wall;
+    sw_cells_per_sec = float_of_int cells /. wall;
+    sw_deterministic = deterministic;
+  }
+
+let sweep_section ~quick () =
+  Printf.printf
+    "\n================================================================\n";
+  Printf.printf "Sweep throughput (E2-style grid on the domain pool)\n";
+  Printf.printf
+    "================================================================\n\n";
+  Printf.printf "%-8s %6s %7s %12s %14s %14s\n" "domains" "runs" "cells"
+    "wall s" "cells/s" "deterministic";
+  let reference = sweep_grid ~quick ~jobs:1 () in
+  let points =
+    List.map (fun jobs -> measure_sweep ~quick ~reference ~jobs ())
+      sweep_jobs_ladder
+  in
+  List.iter
+    (fun p ->
+      Printf.printf "%-8d %6d %7d %12.3f %14.0f %14b\n" p.sw_domains p.sw_runs
+        p.sw_cells p.sw_wall p.sw_cells_per_sec p.sw_deterministic)
+    points;
+  let cps_at domains =
+    match List.find_opt (fun p -> p.sw_domains = domains) points with
+    | Some p -> p.sw_cells_per_sec
+    | None -> nan
+  in
+  let speedup = cps_at 4 /. cps_at 1 in
+  Printf.printf "\nspeedup at 4 domains vs 1: %.2fx (machine recommends %d)\n"
+    speedup
+    (Domain.recommended_domain_count ());
+  let json_of_point p =
+    Bench_io.Obj
+      [
+        ("domains", Bench_io.Int p.sw_domains);
+        ("runs", Bench_io.Int p.sw_runs);
+        ("cells", Bench_io.Int p.sw_cells);
+        ("wall_seconds", Bench_io.Float p.sw_wall);
+        ("cells_per_sec", Bench_io.Float p.sw_cells_per_sec);
+        ("deterministic_vs_jobs1", Bench_io.Bool p.sw_deterministic);
+      ]
+  in
+  Bench_io.Obj
+    [
+      ( "grid",
+        Bench_io.String
+          "algo2 x {dense, sparse-x8} x ns x seeds, random adversary" );
+      ("cells_per_sweep", Bench_io.Int (List.length reference));
+      ("results", Bench_io.List (List.map json_of_point points));
+      ("speedup_4_vs_1", Bench_io.Float speedup);
+      ( "deterministic_across_jobs",
+        Bench_io.Bool (List.for_all (fun p -> p.sw_deterministic) points) );
+    ]
+
+(* The shape downstream tooling relies on; called on the file just
+   written, so `bench/main.exe -- throughput` fails loudly if the
+   schema regresses. *)
+let validate_report path =
+  let fail msg =
+    failwith (Printf.sprintf "%s: schema_version 2 check failed: %s" path msg)
+  in
+  let j = try Bench_io.read_file path with
+    | Bench_io.Parse_error e -> fail ("unparsable JSON: " ^ e)
+  in
+  let require cond msg = if not cond then fail msg in
+  let int_field obj k = Option.bind (Bench_io.member k obj) Bench_io.get_int in
+  let float_field obj k =
+    Option.bind (Bench_io.member k obj) Bench_io.get_float
+  in
+  require (int_field j "schema_version" = Some 2) "schema_version must be 2";
+  require (int_field j "domains_recommended" <> None)
+    "missing domains_recommended";
+  (match Option.bind (Bench_io.member "experiments" j) Bench_io.get_list with
+  | Some (_ :: _ as cases) ->
+      List.iter
+        (fun c ->
+          require (float_field c "deliveries_per_sec" <> None)
+            "experiment entry missing deliveries_per_sec")
+        cases
+  | _ -> fail "missing or empty experiments list");
+  match Bench_io.member "sweep" j with
+  | None -> fail "missing sweep section"
+  | Some sweep -> (
+      require (float_field sweep "speedup_4_vs_1" <> None)
+        "sweep missing speedup_4_vs_1";
+      match Option.bind (Bench_io.member "results" sweep) Bench_io.get_list with
+      | Some (_ :: _ as points) ->
+          List.iter
+            (fun p ->
+              require (int_field p "domains" <> None) "sweep point missing domains";
+              require (float_field p "cells_per_sec" <> None)
+                "sweep point missing cells_per_sec")
+            points
+      | _ -> fail "sweep missing results list")
+
 let json_of_result r =
   Bench_io.Obj
     [
@@ -229,16 +373,20 @@ let throughput ?(quick = false) ?(json_path = "BENCH_engine.json") () =
       Printf.printf "%-24s %6d %12d %14.0f %12.2f\n" r.case.case_name r.runs
         r.deliveries r.del_per_sec r.minor_words_per_delivery)
     results;
+  let sweep = sweep_section ~quick () in
   Bench_io.write_file json_path
     (Bench_io.Obj
        [
-         ("schema_version", Bench_io.Int 1);
+         ("schema_version", Bench_io.Int 2);
          ("suite", Bench_io.String "colring-engine");
          ("ocaml_version", Bench_io.String Sys.ocaml_version);
          ("word_size_bits", Bench_io.Int Sys.word_size);
+         ("domains_recommended", Bench_io.Int (Domain.recommended_domain_count ()));
          ("experiments", Bench_io.List (List.map json_of_result results));
+         ("sweep", sweep);
        ]);
-  Printf.printf "\nwrote %s\n" json_path
+  validate_report json_path;
+  Printf.printf "\nwrote %s (schema_version 2, shape validated)\n" json_path
 
 let run () =
   Printf.printf

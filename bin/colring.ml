@@ -361,9 +361,26 @@ let baseline_cmd =
 let csv_arg =
   Arg.(value & flag & info [ "csv" ] ~doc:"Emit raw per-run CSV instead of a summary.")
 
-let sweep seed sched_name algo csv =
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the sweep. Defaults to $(b,COLRING_JOBS) if \
+           set, else the machine's recommended domain count. The results \
+           are bit-identical for every N.")
+
+let resolve_jobs = function
+  | Some j when j >= 1 -> j
+  | Some j -> failwith (Printf.sprintf "invalid --jobs %d (must be >= 1)" j)
+  | None -> Colring_runtime.Pool.default_jobs ()
+
+let sweep seed sched_name algo csv jobs =
   let measurements =
-    Harness.Sweep.election ~algorithms:[ algo ]
+    Harness.Sweep.election
+      ~jobs:(resolve_jobs jobs)
+      ~algorithms:[ algo ]
       ~workloads:
         (match algo with
         | Election.Algo1 | Election.Algo2 -> Harness.Workload.all_for_election
@@ -387,7 +404,7 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Sweep message counts over workloads and ring sizes (summary or CSV).")
-    Term.(const sweep $ seed_arg $ sched_arg $ algo_arg $ csv_arg)
+    Term.(const sweep $ seed_arg $ sched_arg $ algo_arg $ csv_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* adversary *)

@@ -2,7 +2,7 @@ open Colring_engine
 open Colring_core
 module Rng = Colring_stats.Rng
 module Summary = Colring_stats.Summary
-module Fit = Colring_stats.Fit
+module Pool = Colring_runtime.Pool
 
 type measurement = {
   algorithm : string;
@@ -22,47 +22,97 @@ let compatible algorithm (workload : Workload.t) =
   | Election.Algo1 | Election.Algo2 -> workload.oriented
   | Election.Algo3 _ | Election.Algo3_resample -> true
 
-let election ?(id_max_cap = 100_000) ~algorithms ~workloads ~ns ~seeds
-    ~schedulers () =
-  let out = ref [] in
-  List.iter
-    (fun algorithm ->
+(* One grid cell, fully described by its coordinates: a cell
+   regenerates its own instance from the (seed, n) stream, so cells are
+   self-contained jobs that can run on any domain in any order. *)
+type cell = {
+  c_algorithm : Election.algorithm;
+  c_workload : Workload.t;
+  c_n : int;
+  c_seed : int;
+  c_algo_ix : int;
+  c_sched_ix : int;
+}
+
+let run_cell ~id_max_cap ~shared_adversary ~schedulers cell =
+  let { c_algorithm; c_workload; c_n = n; c_seed = seed; c_algo_ix; c_sched_ix }
+      =
+    cell
+  in
+  let rng = Rng.create ~seed:(seed + (n * 65_537)) in
+  let ids, topo = c_workload.generate rng ~n in
+  if Ids.id_max ids > id_max_cap then None
+  else begin
+    let sched_seed =
+      if shared_adversary then seed
+      else
+        (* After [generate] the stream state encodes (workload, n,
+           seed); folding the (algorithm, scheduler) coordinates in via
+           [split_at] gives every cell its own adversary stream — a
+           random scheduler no longer replays one delivery sequence
+           across the whole grid (the trial seed alone used to decide
+           it). *)
+        Rng.bits
+          (Rng.split_at rng ((c_algo_ix * Array.length schedulers) + c_sched_ix))
+          62
+    in
+    let sched = schedulers.(c_sched_ix) sched_seed in
+    let r = Election.run_report c_algorithm ~topo ~ids ~sched in
+    Some
+      {
+        algorithm = Election.algorithm_name c_algorithm;
+        workload = c_workload.name;
+        n;
+        id_max = r.id_max;
+        seed;
+        scheduler = sched.Scheduler.name;
+        sends = r.sends;
+        expected = r.expected_sends;
+        deliveries = r.deliveries;
+        ok = Election.ok r;
+      }
+  end
+
+let election ?(id_max_cap = 100_000) ?(jobs = 1) ?(shared_adversary = false)
+    ~algorithms ~workloads ~ns ~seeds ~schedulers () =
+  let schedulers = Array.of_list schedulers in
+  let n_sched = Array.length schedulers in
+  (* Materialize the grid in the canonical nested order; the result
+     array is indexed by this enumeration, so the output order (and
+     content — every cell owns its RNG streams) is independent of the
+     domain count. *)
+  let cells = ref [] in
+  List.iteri
+    (fun c_algo_ix c_algorithm ->
       List.iter
-        (fun (workload : Workload.t) ->
-          if compatible algorithm workload then
+        (fun (c_workload : Workload.t) ->
+          if compatible c_algorithm c_workload then
             List.iter
-              (fun n ->
+              (fun c_n ->
                 List.iter
-                  (fun seed ->
-                    let rng = Rng.create ~seed:(seed + (n * 65_537)) in
-                    let ids, topo = workload.generate rng ~n in
-                    if Ids.id_max ids <= id_max_cap then
-                      List.iter
-                        (fun mk_sched ->
-                          let sched = mk_sched seed in
-                          let r =
-                            Election.run_report algorithm ~topo ~ids ~sched
-                          in
-                          out :=
-                            {
-                              algorithm = Election.algorithm_name algorithm;
-                              workload = workload.name;
-                              n;
-                              id_max = r.id_max;
-                              seed;
-                              scheduler = sched.Scheduler.name;
-                              sends = r.sends;
-                              expected = r.expected_sends;
-                              deliveries = r.deliveries;
-                              ok = Election.ok r;
-                            }
-                            :: !out)
-                        schedulers)
+                  (fun c_seed ->
+                    for c_sched_ix = 0 to n_sched - 1 do
+                      cells :=
+                        {
+                          c_algorithm;
+                          c_workload;
+                          c_n;
+                          c_seed;
+                          c_algo_ix;
+                          c_sched_ix;
+                        }
+                        :: !cells
+                    done)
                   seeds)
               ns)
         workloads)
     algorithms;
-  List.rev !out
+  let cells = Array.of_list (List.rev !cells) in
+  let out =
+    Pool.map ~jobs (Array.length cells) (fun i ->
+        run_cell ~id_max_cap ~shared_adversary ~schedulers cells.(i))
+  in
+  List.filter_map Fun.id (Array.to_list out)
 
 let to_csv ms =
   let buf = Buffer.create 1024 in
@@ -86,31 +136,55 @@ type summary_row = {
   max_rel_err_vs_expected : float;
 }
 
+(* Per-group accumulator for the single-pass scan below. *)
+type group_acc = {
+  mutable g_runs : int;
+  mutable g_ok : int;
+  g_sends : Summary.t;
+  mutable g_max_rel_err : float;
+}
+
 let summarize ms =
   let tbl = Hashtbl.create 32 in
   List.iter
     (fun m ->
       let key = (m.algorithm ^ "/" ^ m.workload, m.n) in
-      let group = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
-      Hashtbl.replace tbl key (m :: group))
+      let acc =
+        match Hashtbl.find_opt tbl key with
+        | Some acc -> acc
+        | None ->
+            let acc =
+              {
+                g_runs = 0;
+                g_ok = 0;
+                g_sends = Summary.create ();
+                g_max_rel_err = 0.;
+              }
+            in
+            Hashtbl.add tbl key acc;
+            acc
+      in
+      acc.g_runs <- acc.g_runs + 1;
+      if m.ok then acc.g_ok <- acc.g_ok + 1;
+      Summary.add_int acc.g_sends m.sends;
+      let expected = float_of_int m.expected in
+      let rel =
+        Float.abs (float_of_int m.sends -. expected)
+        /. Float.max 1. (Float.abs expected)
+      in
+      if rel > acc.g_max_rel_err then acc.g_max_rel_err <- rel)
     ms;
   Hashtbl.fold
-    (fun (group, group_n) group_ms acc ->
-      let sends = Summary.create () in
-      List.iter (fun m -> Summary.add_int sends m.sends) group_ms;
+    (fun (group, group_n) acc rows ->
       {
         group;
         group_n;
-        runs = List.length group_ms;
-        ok_runs = List.length (List.filter (fun m -> m.ok) group_ms);
-        mean_sends = Summary.mean sends;
-        max_rel_err_vs_expected =
-          Fit.max_rel_err
-            (List.map
-               (fun m -> (float_of_int m.expected, float_of_int m.sends))
-               group_ms);
+        runs = acc.g_runs;
+        ok_runs = acc.g_ok;
+        mean_sends = Summary.mean acc.g_sends;
+        max_rel_err_vs_expected = acc.g_max_rel_err;
       }
-      :: acc)
+      :: rows)
     tbl []
   |> List.sort (fun a b -> compare (a.group, a.group_n) (b.group, b.group_n))
 

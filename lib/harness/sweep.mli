@@ -22,6 +22,8 @@ type measurement = {
 
 val election :
   ?id_max_cap:int ->
+  ?jobs:int ->
+  ?shared_adversary:bool ->
   algorithms:Colring_core.Election.algorithm list ->
   workloads:Workload.t list ->
   ns:int list ->
@@ -29,9 +31,22 @@ val election :
   schedulers:(int -> Colring_engine.Scheduler.t) list ->
   unit ->
   measurement list
-(** Run the full grid ([schedulers] are built per seed so stateful ones
-    are fresh); [id_max_cap] (default 100_000) skips over-sized
-    instances. *)
+(** Run the full grid.  Each cell of
+    algorithm × workload × n × seed × scheduler is an independent job:
+    it regenerates its instance from the (seed, n) stream and derives
+    its scheduler seed from a per-cell {!Colring_stats.Rng.split_at}
+    stream, so the measurement list (order included) is bit-identical
+    for every [jobs] value — [jobs] (default 1; see
+    {!Colring_runtime.Pool.default_jobs} for the [COLRING_JOBS]
+    convention) only chooses how many domains sweep the grid.
+
+    [schedulers] receive the per-cell scheduler seed (stateful ones are
+    built fresh per cell).  [shared_adversary] (default [false])
+    instead passes every cell its raw trial seed, making a seeded
+    random scheduler replay the identical delivery sequence across
+    cells that share a trial seed — the "same instance, many
+    adversaries" comparison of bench E2.  [id_max_cap] (default
+    100_000) skips over-sized instances. *)
 
 val to_csv : measurement list -> string
 (** Header plus one line per measurement. *)

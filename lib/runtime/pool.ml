@@ -1,0 +1,60 @@
+let default_jobs () =
+  match Sys.getenv_opt "COLRING_JOBS" with
+  | None | Some "" -> Domain.recommended_domain_count ()
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> j
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "COLRING_JOBS must be a positive integer, got %S" s))
+
+(* One worker body shared by every domain (the caller included).  The
+   cursor hands out [chunk]-sized index ranges; a failed job parks its
+   exception in [failure] (first writer wins) and makes every worker
+   stop claiming, so all domains reach their join quickly. *)
+let worker_loop ~n ~chunk ~cursor ~failure f =
+  let rec go () =
+    if Atomic.get failure = None then begin
+      let start = Atomic.fetch_and_add cursor chunk in
+      if start < n then begin
+        (try
+           for i = start to min n (start + chunk) - 1 do
+             f i
+           done
+         with e -> ignore (Atomic.compare_and_set failure None (Some e)));
+        go ()
+      end
+    end
+  in
+  go ()
+
+let run ?(chunk = 1) ~jobs n f =
+  if jobs < 1 then invalid_arg "Pool.run: jobs must be >= 1";
+  if chunk < 1 then invalid_arg "Pool.run: chunk must be >= 1";
+  if n < 0 then invalid_arg "Pool.run: negative job count";
+  let jobs = min jobs (max n 1) in
+  if jobs = 1 then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else begin
+    let cursor = Atomic.make 0 and failure = Atomic.make None in
+    let spawned =
+      Array.init (jobs - 1) (fun _ ->
+          Domain.spawn (fun () -> worker_loop ~n ~chunk ~cursor ~failure f))
+    in
+    worker_loop ~n ~chunk ~cursor ~failure f;
+    Array.iter Domain.join spawned;
+    match Atomic.get failure with None -> () | Some e -> raise e
+  end
+
+let map ?chunk ~jobs n f =
+  if n < 0 then invalid_arg "Pool.map: negative job count";
+  (* An option array keeps the write per slot word-sized (no float
+     unboxing surprises) and disjoint across domains; the joins in
+     [run] publish every slot before the unwrap below reads it. *)
+  let out = Array.make n None in
+  run ?chunk ~jobs n (fun i -> out.(i) <- Some (f i));
+  Array.map
+    (function Some v -> v | None -> assert false (* run covered [0,n) *))
+    out

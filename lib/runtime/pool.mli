@@ -1,0 +1,31 @@
+(** A minimal domain pool for embarrassingly-parallel index ranges.
+
+    Jobs are identified by their index in [0, n); workers claim chunks
+    of consecutive indices from a shared atomic cursor, so the
+    *assignment* of jobs to domains is nondeterministic but nothing
+    else is: callers that make job [i] depend only on [i] (and write
+    only to slot [i] of a result array) get bit-identical results for
+    every [jobs] value, including [jobs = 1], which runs the plain
+    sequential loop in the calling domain without spawning anything.
+
+    The pool is created and joined inside each call — there is no
+    long-lived worker state, so nested or repeated use is safe.  If a
+    job raises, the remaining workers stop claiming new chunks, all
+    domains are joined, and the first exception (by claim order) is
+    re-raised in the caller; the pool is never left wedged. *)
+
+val default_jobs : unit -> int
+(** The [COLRING_JOBS] environment variable if set (must parse as a
+    positive integer — [Invalid_argument] otherwise), else
+    {!Domain.recommended_domain_count}. *)
+
+val run : ?chunk:int -> jobs:int -> int -> (int -> unit) -> unit
+(** [run ~jobs n f] evaluates [f i] exactly once for every
+    [0 <= i < n], using at most [jobs] domains (the calling domain
+    included).  [chunk] (default 1) is the number of consecutive
+    indices claimed per queue pop; raise it when jobs are tiny.
+    [Invalid_argument] if [jobs < 1], [chunk < 1] or [n < 0]. *)
+
+val map : ?chunk:int -> jobs:int -> int -> (int -> 'a) -> 'a array
+(** [map ~jobs n f] is [[| f 0; ...; f (n-1) |]] computed as {!run}
+    does; slot [i] holds [f i] regardless of which domain ran it. *)

@@ -1,0 +1,68 @@
+(* Tests for the bench report reader/writer: values round-trip through
+   to_string/of_string, and the accessors used by the schema validation
+   behave on the shapes BENCH_engine.json contains. *)
+
+let checkb = Alcotest.(check bool)
+
+let sample =
+  Bench_io.(
+    Obj
+      [
+        ("schema_version", Int 2);
+        ("domains_recommended", Int 1);
+        ("note", String "quote \" backslash \\ newline \n tab \t done");
+        ("flags", List [ Bool true; Bool false ]);
+        ("empty_list", List []);
+        ("empty_obj", Obj []);
+        ( "sweep",
+          Obj
+            [
+              ("speedup_4_vs_1", Float 0.5);
+              ("cells_per_sec", Float 1234.5);
+              ("whole", Float 3.0);
+              ("ints", List [ Int 1; Int (-2); Int 3 ]);
+            ] );
+      ])
+
+let test_round_trip () =
+  let once = Bench_io.to_string sample in
+  let reparsed = Bench_io.of_string once in
+  checkb "value round-trips" true (reparsed = sample);
+  Alcotest.(check string) "fixpoint" once (Bench_io.to_string reparsed)
+
+let test_accessors () =
+  let open Bench_io in
+  checkb "schema_version" true
+    (Option.bind (member "schema_version" sample) get_int = Some 2);
+  checkb "missing member" true (member "absent" sample = None);
+  let sweep = Option.get (member "sweep" sample) in
+  checkb "float field" true
+    (Option.bind (member "speedup_4_vs_1" sweep) get_float = Some 0.5);
+  checkb "int promotes to float" true
+    (get_float (Int 7) = Some 7.0);
+  checkb "list field" true
+    (match Option.bind (member "ints" sweep) get_list with
+    | Some [ Int 1; Int (-2); Int 3 ] -> true
+    | _ -> false)
+
+let test_parse_errors () =
+  let fails s =
+    match Bench_io.of_string s with
+    | exception Bench_io.Parse_error _ -> true
+    | _ -> false
+  in
+  checkb "trailing garbage" true (fails "{} x");
+  checkb "unterminated string" true (fails "\"abc");
+  checkb "bare word" true (fails "nope");
+  checkb "unclosed object" true (fails "{\"a\": 1")
+
+let () =
+  Alcotest.run "colring-bench-io"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round trip" `Quick test_round_trip;
+          Alcotest.test_case "accessors" `Quick test_accessors;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        ] );
+    ]

@@ -102,6 +102,63 @@ let test_csv_shape () =
       checki "fields" 10 (List.length (String.split_on_char ',' line)))
     lines
 
+let par_grid ~jobs () =
+  Sweep.election ~jobs
+    ~algorithms:[ Election.Algo2; Election.Algo3 Algo3.Improved ]
+    ~workloads:[ Workload.dense; Workload.sparse_scrambled ~factor:4 ]
+    ~ns:[ 2; 5; 9 ] ~seeds:[ 1; 2; 3 ]
+    ~schedulers:
+      [
+        (fun s -> Scheduler.random (Rng.create ~seed:s));
+        (fun _ -> Scheduler.lifo);
+      ]
+    ()
+
+let test_sweep_parallel_determinism () =
+  let reference = par_grid ~jobs:1 () in
+  checkb "non-trivial grid" true (List.length reference > 20);
+  List.iter
+    (fun jobs ->
+      let ms = par_grid ~jobs () in
+      checkb
+        (Printf.sprintf "measurements identical at jobs=%d" jobs)
+        true
+        (ms = reference);
+      Alcotest.(check string)
+        (Printf.sprintf "csv bytes identical at jobs=%d" jobs)
+        (Sweep.to_csv reference) (Sweep.to_csv ms))
+    [ 2; 4 ]
+
+(* The scheduler constructor receives a per-cell seed derived from the
+   cell's own stream, so a random adversary is decorrelated across
+   cells — except under ~shared_adversary, where every cell gets the
+   raw trial seed (E2's "same instance, many adversaries" mode). *)
+let test_sweep_scheduler_seeds () =
+  let record seen s =
+    seen := s :: !seen;
+    Scheduler.fifo
+  in
+  let run ~shared_adversary seen =
+    ignore
+      (Sweep.election ~shared_adversary
+         ~algorithms:[ Election.Algo2 ]
+         ~workloads:[ Workload.dense ]
+         ~ns:[ 2; 4; 8 ] ~seeds:[ 5; 6 ]
+         ~schedulers:[ record seen ]
+         ())
+  in
+  let seen = ref [] in
+  run ~shared_adversary:false seen;
+  checki "one seed per cell" 6 (List.length !seen);
+  checki "seeds distinct across cells" 6
+    (List.length (List.sort_uniq compare !seen));
+  checkb "seeds are not the trial seeds" true
+    (List.for_all (fun s -> s <> 5 && s <> 6) !seen);
+  let seen = ref [] in
+  run ~shared_adversary:true seen;
+  checkb "shared adversary passes trial seeds" true
+    (List.sort_uniq compare !seen = [ 5; 6 ])
+
 let test_summary_groups () =
   let ms = small_grid () in
   let rows = Sweep.summarize ms in
@@ -132,6 +189,10 @@ let () =
             test_sweep_skips_incompatible;
           Alcotest.test_case "id cap" `Quick test_sweep_id_cap;
           Alcotest.test_case "csv" `Quick test_csv_shape;
+          Alcotest.test_case "parallel determinism" `Quick
+            test_sweep_parallel_determinism;
+          Alcotest.test_case "scheduler seeds" `Quick
+            test_sweep_scheduler_seeds;
           Alcotest.test_case "summary" `Quick test_summary_groups;
         ] );
     ]
