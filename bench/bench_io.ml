@@ -245,3 +245,64 @@ let member key = function
 let get_int = function Int i -> Some i | _ -> None
 let get_float = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None
 let get_list = function List xs -> Some xs | _ -> None
+
+let get_string = function String s -> Some s | _ -> None
+let get_bool = function Bool b -> Some b | _ -> None
+
+(* {2 Journal lines}
+
+   Shape validation for the JSONL run journals the Sink layer writes
+   ([--journal FILE]).  One function per line keeps the schema
+   knowledge next to the parser, where the round-trip tests and the
+   [colring journal] validator both find it. *)
+
+let check_journal_line json =
+  let has_int k = match member k json with Some (Int _) -> true | _ -> false in
+  let has_str k =
+    match member k json with Some (String _) -> true | _ -> false
+  in
+  let has_bool k =
+    match member k json with Some (Bool _) -> true | _ -> false
+  in
+  let require typ cond =
+    if cond then Ok typ
+    else Error (Printf.sprintf "%s record is missing required fields" typ)
+  in
+  match json with
+  | Obj _ -> (
+      match member "type" json with
+      | Some (String typ) -> (
+          match typ with
+          | "send" ->
+              require typ
+                (has_int "node" && has_int "port" && has_int "seq"
+                && has_int "link" && has_bool "cw")
+          | "deliver" | "drop" ->
+              require typ (has_int "node" && has_int "port" && has_int "seq")
+          | "consume" -> require typ (has_int "node" && has_int "port")
+          | "wake" | "terminate" -> require typ (has_int "node")
+          | "decide" -> require typ (has_int "node" && has_str "role")
+          | "run_start" ->
+              require typ
+                (has_str "algorithm" && has_int "n" && has_int "seed"
+                && has_str "workload")
+          | "snapshot" ->
+              require typ
+                (has_int "step"
+                &&
+                match member "counters" json with
+                | Some (Obj fields) ->
+                    fields <> []
+                    && List.for_all
+                         (fun (_, v) ->
+                           match v with Int _ -> true | _ -> false)
+                         fields
+                | _ -> false)
+          | "run_end" -> require typ (has_str "algorithm" && has_int "deliveries")
+          | "row" ->
+              require typ
+                (has_str "table"
+                && match member "fields" json with Some (Obj _) -> true | _ -> false)
+          | other -> Error (Printf.sprintf "unknown record type %S" other))
+      | _ -> Error "missing or non-string \"type\" field")
+  | _ -> Error "journal line is not a JSON object"

@@ -19,6 +19,21 @@ let sched_of_seed seed = Scheduler.random (Rng.create ~seed)
 
 let yes_no = Table.cell_bool
 
+(* Print a finished table and, when a journal sink is attached, emit
+   one [row] record per data row, keyed by the column headers.  The
+   journal carries the rendered cell strings, so `jq` can rebuild
+   exactly what the table showed (README has the recipe). *)
+let print_table ~sink ~name t =
+  Table.print t;
+  if sink.Sink.enabled then begin
+    let header = Table.header t in
+    List.iter
+      (fun cells ->
+        sink.Sink.on_row ~table:name
+          (List.map2 (fun h c -> (h, Sink.String c)) header cells))
+      (Table.data_rows t)
+  end
+
 module Pool = Colring_runtime.Pool
 
 (* Independent table rows (or trials) are computed on the domain pool,
@@ -32,7 +47,7 @@ let par_rows ~jobs cases f =
 (* ------------------------------------------------------------------ *)
 (* E1: Algorithm 1 — n * ID_max pulses, stabilization (Cor. 13). *)
 
-let e1 ~jobs ~quick =
+let e1 ~sink ~jobs ~quick =
   section
     "E1  Algorithm 1 (warm-up, oriented, stabilizing)  --  paper: total = n*ID_max\n\
      [Section 3.1, Lemmas 6-14, Corollary 13]";
@@ -93,12 +108,12 @@ let e1 ~jobs ~quick =
   List.iter (fun (cells, _) -> Table.add_row t cells) dense_rows;
   Table.add_rule t;
   List.iter (fun (cells, _) -> Table.add_row t cells) sparse_rows;
-  Table.print t;
+  print_table ~sink ~name:"e1" t;
   Printf.printf "max relative error vs paper formula: %.6f\n"
     (Fit.max_rel_err (List.map snd (dense_rows @ sparse_rows)))
 
 (* Lemma 16/17: duplicated IDs, including several copies of the max. *)
-let e1_dup ~jobs ~quick =
+let e1_dup ~sink ~jobs ~quick =
   section
     "E1b Algorithm 1 with non-unique IDs  --  paper: Lemma 16/17 (same totals;\n\
      every max-ID node ends Leader)";
@@ -137,12 +152,12 @@ let e1_dup ~jobs ~quick =
         yes_no (Network.is_quiescent net);
       ])
   |> List.iter (Table.add_row t);
-  Table.print t
+  print_table ~sink ~name:"e1b" t
 
 (* ------------------------------------------------------------------ *)
 (* E2: Algorithm 2 — n(2 ID_max + 1), quiescent termination (Thm 1). *)
 
-let e2 ~jobs ~quick =
+let e2 ~sink ~jobs ~quick =
   section
     "E2  Algorithm 2 (oriented, quiescently terminating)  --  paper:\n\
      total = n(2*ID_max+1), split n*ID_max cw / n*(ID_max+1) ccw,\n\
@@ -207,12 +222,12 @@ let e2 ~jobs ~quick =
   par_rows ~jobs idmaxes (fun id_max ->
       row ~n:8 ~id_max ~sched:(sched_of_seed id_max) ~seed:id_max)
   |> List.iter (Table.add_row t);
-  Table.print t
+  print_table ~sink ~name:"e2" t
 
 (* ------------------------------------------------------------------ *)
 (* E3/E4: Algorithm 3 on non-oriented rings. *)
 
-let e3_e4 ~jobs ~quick =
+let e3_e4 ~sink ~jobs ~quick =
   section
     "E3/E4  Algorithm 3 (non-oriented, stabilizing; elects leader AND\n\
      orients the ring)  --  paper: doubled IDs n(4*ID_max-1) (Prop. 15),\n\
@@ -267,12 +282,12 @@ let e3_e4 ~jobs ~quick =
   Table.add_rule t;
   par_rows ~jobs ns (fun n -> row Algo3.Improved ~n ~seed:(n + 7))
   |> List.iter (Table.add_row t);
-  Table.print t
+  print_table ~sink ~name:"e3_e4" t
 
 (* ------------------------------------------------------------------ *)
 (* E5: anonymous rings (Algorithm 4 + Algorithm 3; Theorem 3). *)
 
-let e5 ~jobs ~quick =
+let e5 ~sink ~jobs ~quick =
   section
     "E5  Anonymous rings (Theorem 3, Lemma 18)  --  paper: sampled IDs have\n\
      a unique maximum w.h.p., of magnitude n^Theta(c); election succeeds\n\
@@ -316,7 +331,7 @@ let e5 ~jobs ~quick =
         Table.cell_float ~decimals:2 (Summary.mean exponents);
       ])
   |> List.iter (Table.add_row t);
-  Table.print t;
+  print_table ~sink ~name:"e5_sampling" t;
   (* End-to-end elections on the feasible draws (pulse count is
      Theta(n * ID_max), so skip astronomically-large samples). *)
   let t2 =
@@ -390,12 +405,12 @@ let e5 ~jobs ~quick =
             ])
         [ 1.0 ])
     (if quick then [ 8 ] else [ 8; 16 ]);
-  Table.print t2
+  print_table ~sink ~name:"e5_end_to_end" t2
 
 (* ------------------------------------------------------------------ *)
 (* E9: Proposition 19 resampling. *)
 
-let e9 ~jobs ~quick =
+let e9 ~sink ~jobs ~quick =
   section
     "E9  Proposition 19 (ID resampling during Algorithm 3)  --  paper:\n\
      at quiescence all IDs are distinct w.h.p.; pulse dynamics unchanged";
@@ -451,12 +466,12 @@ let e9 ~jobs ~quick =
           yes_no !max_ok;
         ])
     (if quick then [ (8, 10_000) ] else [ (8, 10_000); (16, 50_000); (12, 500) ]);
-  Table.print t
+  print_table ~sink ~name:"e9" t
 
 (* ------------------------------------------------------------------ *)
 (* E6: the lower bound (Theorem 4/20, Lemmas 22-24). *)
 
-let e6 ~quick =
+let e6 ~sink ~quick =
   section
     "E6  Lower bound (Theorem 20)  --  paper: any terminating content-\n\
      oblivious election sends >= n*floor(log2(k/n)) pulses when k IDs are\n\
@@ -506,13 +521,13 @@ let e6 ~quick =
           end)
         [ 1; 2; 4; 8; 16 ])
     ks;
-  Table.print t;
+  print_table ~sink ~name:"e6" t;
   Printf.printf
     "Note: the pigeonhole column uses the *measured* pattern set, so it can\n\
      exceed the closed-form floor; Theorem 20 only promises the floor.\n"
 
 (* E6b: the constructive adversary replayed end to end. *)
-let e6b ~quick =
+let e6b ~sink ~quick =
   section
     "E6b Theorem 20 adversary, replayed  --  pick n IDs from [1..k] whose\n\
      solitude patterns share the longest prefix, assign them to the ring,\n\
@@ -552,10 +567,10 @@ let e6b ~quick =
           yes_no r.mimicry;
         ])
     cases;
-  Table.print t
+  print_table ~sink ~name:"e6b" t
 
 (* E10: ablations — remove one design ingredient, watch it break. *)
-let e10 ~quick =
+let e10 ~sink ~quick =
   section
     "E10 Ablations  --  each variant removes one ingredient the paper's\n\
      design discussion argues for; failure fraction over instances x\n\
@@ -619,7 +634,7 @@ let e10 ~quick =
   row "algo3-same-ids" "distinct directional maxima (Sec. 4)"
     (fun ~id -> Ablation.algo3_same_virtual_ids ~id)
     ~oriented:false;
-  Table.print t;
+  print_table ~sink ~name:"e10" t;
   (* Absorption ablation has a different failure shape: it simply never
      stops. *)
   let f =
@@ -662,7 +677,7 @@ let e10 ~quick =
 (* ------------------------------------------------------------------ *)
 (* E7: baseline landscape. *)
 
-let e7 ~jobs ~quick =
+let e7 ~sink ~jobs ~quick =
   section
     "E7  Related-work landscape (Section 1.2)  --  message counts of the\n\
      classic content-carrying algorithms vs the content-oblivious ones.\n\
@@ -766,7 +781,7 @@ let e7 ~jobs ~quick =
           (float_of_int n, float_of_int a2_dense) ) ))
   in
   List.iter (fun (cells, _) -> Table.add_row t cells) rows;
-  Table.print t;
+  print_table ~sink ~name:"e7" t;
   if not quick then begin
     let pts = List.map snd rows in
     Printf.printf
@@ -782,7 +797,7 @@ let e7 ~jobs ~quick =
 (* ------------------------------------------------------------------ *)
 (* E8: Corollary 5 composition. *)
 
-let e8 ~quick =
+let e8 ~sink ~quick =
   section
     "E8  Corollary 5 (composition)  --  paper: with the elected leader as\n\
      root, any asynchronous ring algorithm can be simulated on the fully\n\
@@ -873,7 +888,7 @@ let e8 ~quick =
         n;
       Table.add_rule t)
     ns;
-  Table.print t;
+  print_table ~sink ~name:"e8" t;
   (* Detailed per-app cost for one size, including the tape split. *)
   let n = if quick then 6 else 12 in
   let ids = Ids.distinct (Rng.create ~seed:5) ~n ~id_max:(2 * n) in
@@ -888,7 +903,7 @@ let e8 ~quick =
     (yes_no (r.compose_pulses = (r.tape_symbols * n) + n))
 
 (* E11: bounded model checking — all schedules, not just sampled ones. *)
-let e11 ~quick =
+let e11 ~sink ~quick =
   section
     "E11 Exhaustive schedule exploration  --  the adversary tree of small\n\
      instances is walked completely (with state de-duplication); Theorem 1\n\
@@ -955,7 +970,7 @@ let e11 ~quick =
           yes_no (not stats.Explore.truncated);
         ])
     cases;
-  Table.print t;
+  print_table ~sink ~name:"e11_algo2" t;
   Printf.printf
     "A single terminal state means every legal asynchronous schedule ends\n\
      in literally the same global configuration.\n\n";
@@ -1018,11 +1033,11 @@ let e11 ~quick =
           yes_no !complete;
         ])
     cases3;
-  Table.print t2
+  print_table ~sink ~name:"e11_algo3" t2
 
 (* E12: scale — the analytical simulator runs the dynamics exactly at
    ID magnitudes far beyond event-level simulation. *)
-let e12 ~jobs ~quick =
+let e12 ~sink ~jobs ~quick =
   section
     "E12 Scale (fast analytical simulator)  --  the same dynamics, driven\n\
      pulse-by-pulse with closed-form lap arithmetic (O(n^2), exact).  The\n\
@@ -1078,11 +1093,11 @@ let e12 ~jobs ~quick =
           && a3.leader_unique && a3.orientation_consistent);
       ])
   |> List.iter (Table.add_row t);
-  Table.print t
+  print_table ~sink ~name:"e12" t
 
 (* E13: asynchronous time (causal span) — a dimension the paper leaves
    implicit. *)
-let e13 ~jobs ~quick =
+let e13 ~sink ~jobs ~quick =
   section
     "E13 Asynchronous time (causal span)  --  longest chain of causally\n\
      dependent deliveries, each message = one time unit.  Not a paper\n\
@@ -1146,13 +1161,13 @@ let e13 ~jobs ~quick =
         Table.cell_int (Formulas.algo2_total ~n ~id_max);
       ])
   |> List.iter (Table.add_row t);
-  Table.print t;
+  print_table ~sink ~name:"e13" t;
   Printf.printf
     "The content-oblivious spans grow with ID_max (here ID_max = 2n, so\n\
      ~linearly in n on this table); the classic spans stay near 2n.\n"
 
 (* E14: general graphs — the paper's closing open question, explored. *)
-let e14 ~jobs ~quick =
+let e14 ~sink ~jobs ~quick =
   section
     "E14 General 2-edge-connected graphs (Section 7's open question) --\n\
      exploratory, no claim in the paper and none here.  First the ring\n\
@@ -1254,21 +1269,21 @@ let e14 ~jobs ~quick =
          else Table.cell_float ~decimals:0 (Summary.mean pulses));
       ])
   |> List.iter (Table.add_row t);
-  Table.print t
+  print_table ~sink ~name:"e14" t
 
-let all ~jobs ~quick =
-  e1 ~jobs ~quick;
-  e1_dup ~jobs ~quick;
-  e2 ~jobs ~quick;
-  e3_e4 ~jobs ~quick;
-  e5 ~jobs ~quick;
-  e6 ~quick;
-  e6b ~quick;
-  e7 ~jobs ~quick;
-  e8 ~quick;
-  e9 ~jobs ~quick;
-  e10 ~quick;
-  e11 ~quick;
-  e12 ~jobs ~quick;
-  e13 ~jobs ~quick;
-  e14 ~jobs ~quick
+let all ~sink ~jobs ~quick =
+  e1 ~sink ~jobs ~quick;
+  e1_dup ~sink ~jobs ~quick;
+  e2 ~sink ~jobs ~quick;
+  e3_e4 ~sink ~jobs ~quick;
+  e5 ~sink ~jobs ~quick;
+  e6 ~sink ~quick;
+  e6b ~sink ~quick;
+  e7 ~sink ~jobs ~quick;
+  e8 ~sink ~quick;
+  e9 ~sink ~jobs ~quick;
+  e10 ~sink ~quick;
+  e11 ~sink ~quick;
+  e12 ~sink ~jobs ~quick;
+  e13 ~sink ~jobs ~quick;
+  e14 ~sink ~jobs ~quick

@@ -8,31 +8,47 @@
      dune exec bench/main.exe -- throughput  -- engine throughput only;
                                                 writes BENCH_engine.json
      dune exec bench/main.exe -- -j 4 e2     -- sweep tables on 4 domains
+     dune exec bench/main.exe -- --journal bench.jsonl e2
+                                             -- also journal every table row
 
    The experiment tables run their independent rows/trials on the
    lib/runtime domain pool; -j N (or COLRING_JOBS) picks the domain
-   count.  Tables are bit-identical for every N. *)
+   count.  Tables are bit-identical for every N, and so is the
+   --journal file: rows are appended (and journaled) in case order
+   after each parallel batch drains. *)
+
+module Sink = Colring_engine.Sink
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let rec extract_jobs acc jobs = function
-    | [] -> (jobs, List.rev acc)
+  let rec extract_opts acc jobs journal = function
+    | [] -> (jobs, journal, List.rev acc)
     | ("-j" | "--jobs") :: v :: rest -> (
         match int_of_string_opt v with
-        | Some j when j >= 1 -> extract_jobs acc (Some j) rest
+        | Some j when j >= 1 -> extract_opts acc (Some j) journal rest
         | _ ->
             prerr_endline ("bench: invalid -j value " ^ v);
             exit 2)
     | ("-j" | "--jobs") :: [] ->
         prerr_endline "bench: -j expects a value";
         exit 2
-    | x :: rest -> extract_jobs (x :: acc) jobs rest
+    | "--journal" :: path :: rest -> extract_opts acc jobs (Some path) rest
+    | "--journal" :: [] ->
+        prerr_endline "bench: --journal expects a file";
+        exit 2
+    | x :: rest -> extract_opts (x :: acc) jobs journal rest
   in
-  let jobs_opt, args = extract_jobs [] None args in
+  let jobs_opt, journal, args = extract_opts [] None None args in
   let jobs =
     match jobs_opt with
     | Some j -> j
     | None -> Colring_runtime.Pool.default_jobs ()
+  in
+  let journal_oc = Option.map open_out journal in
+  let sink =
+    match journal_oc with
+    | None -> Sink.null
+    | Some oc -> Sink.jsonl_channel oc
   in
   let quick = List.mem "quick" args in
   let selected = List.filter (fun a -> a <> "quick") args in
@@ -43,18 +59,20 @@ let () =
      mode: %s, domains: %d\n"
     (if quick then "quick" else "full")
     jobs;
-  if want "e1" then (Experiments.e1 ~jobs ~quick; Experiments.e1_dup ~jobs ~quick);
-  if want "e2" then Experiments.e2 ~jobs ~quick;
-  if want "e3" || want "e4" then Experiments.e3_e4 ~jobs ~quick;
-  if want "e5" then Experiments.e5 ~jobs ~quick;
-  if want "e6" then (Experiments.e6 ~quick; Experiments.e6b ~quick);
-  if want "e7" then Experiments.e7 ~jobs ~quick;
-  if want "e8" then Experiments.e8 ~quick;
-  if want "e9" then Experiments.e9 ~jobs ~quick;
-  if want "e10" then Experiments.e10 ~quick;
-  if want "e11" then Experiments.e11 ~quick;
-  if want "e12" then Experiments.e12 ~jobs ~quick;
-  if want "e13" then Experiments.e13 ~jobs ~quick;
-  if want "e14" then Experiments.e14 ~jobs ~quick;
+  if want "e1" then (Experiments.e1 ~sink ~jobs ~quick; Experiments.e1_dup ~sink ~jobs ~quick);
+  if want "e2" then Experiments.e2 ~sink ~jobs ~quick;
+  if want "e3" || want "e4" then Experiments.e3_e4 ~sink ~jobs ~quick;
+  if want "e5" then Experiments.e5 ~sink ~jobs ~quick;
+  if want "e6" then (Experiments.e6 ~sink ~quick; Experiments.e6b ~sink ~quick);
+  if want "e7" then Experiments.e7 ~sink ~jobs ~quick;
+  if want "e8" then Experiments.e8 ~sink ~quick;
+  if want "e9" then Experiments.e9 ~sink ~jobs ~quick;
+  if want "e10" then Experiments.e10 ~sink ~quick;
+  if want "e11" then Experiments.e11 ~sink ~quick;
+  if want "e12" then Experiments.e12 ~sink ~jobs ~quick;
+  if want "e13" then Experiments.e13 ~sink ~jobs ~quick;
+  if want "e14" then Experiments.e14 ~sink ~jobs ~quick;
   if want "timing" then Timing.run ()
-  else if want "throughput" then Timing.throughput ~quick ()
+  else if want "throughput" then Timing.throughput ~quick ();
+  sink.Sink.flush ();
+  Option.iter close_out journal_oc

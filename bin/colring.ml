@@ -42,6 +42,30 @@ let sched_arg =
 let trace_arg =
   Arg.(value & flag & info [ "trace" ] ~doc:"Print the full event trace.")
 
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSONL run journal to $(docv): one self-describing JSON \
+           object per event/record (validate with $(b,colring journal)).")
+
+(* Run [f] with a jsonl sink on [path] (the null sink when no journal
+   was asked for), flushing and closing afterwards. *)
+let with_journal path f =
+  match path with
+  | None -> f Sink.null
+  | Some p ->
+      let oc = open_out p in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          let sink = Sink.jsonl_channel oc in
+          let r = f sink in
+          sink.Sink.flush ();
+          r)
+
 let diagram_arg =
   Arg.(
     value & flag
@@ -118,7 +142,7 @@ let algo_arg =
           "algo1 (stabilizing), algo2 (terminating), algo3-doubled, \
            algo3-improved (non-oriented), resample (Prop. 19).")
 
-let elect n seed id_max sched_name algo trace diagram =
+let elect n seed id_max sched_name algo trace diagram journal =
   let ids = make_ids ~n ~id_max ~seed in
   let topo =
     match algo with
@@ -127,8 +151,13 @@ let elect n seed id_max sched_name algo trace diagram =
         Topology.random_non_oriented (Rng.create ~seed:(seed + 1)) n
   in
   let sched = scheduler_of_name sched_name ~seed in
+  let memory =
+    if trace || diagram then Sink.memory () else Sink.null
+  in
   let report, net =
-    Election.run ~seed ~record_trace:(trace || diagram) algo ~topo ~ids ~sched
+    with_journal journal (fun journal_sink ->
+        Election.run ~seed ~sink:(Sink.tee memory journal_sink) algo ~topo
+          ~ids ~sched)
   in
   Printf.printf "ids: [%s]\n"
     (String.concat "; " (Array.to_list (Array.map string_of_int ids)));
@@ -149,7 +178,7 @@ let elect_cmd =
     (Cmd.info "elect" ~doc:"Run a content-oblivious leader election.")
     Term.(
       const elect $ n_arg $ seed_arg $ id_max_arg $ sched_arg $ algo_arg
-      $ trace_arg $ diagram_arg)
+      $ trace_arg $ diagram_arg $ journal_arg)
 
 (* ------------------------------------------------------------------ *)
 (* orient *)
@@ -312,37 +341,38 @@ let baseline_arg =
           "chang-roberts | lelann | hirschberg-sinclair | peterson | \
            franklin | itai-rodeh.")
 
-let baseline n seed sched_name algo =
+let baseline n seed sched_name algo journal =
   let ids = Ids.dense (Rng.create ~seed) ~n in
   let topo = Topology.oriented n in
   let sched = scheduler_of_name sched_name ~seed in
   let r =
-    match algo with
-    | "chang-roberts" ->
-        Classic.Driver.run ~seed ~name:algo ~expect_max:ids
-          (fun v -> Classic.Chang_roberts.program ~id:ids.(v))
-          ~topo ~sched
-    | "lelann" ->
-        Classic.Driver.run ~seed ~name:algo ~expect_max:ids
-          (fun v -> Classic.Lelann.program ~id:ids.(v))
-          ~topo ~sched
-    | "hirschberg-sinclair" ->
-        Classic.Driver.run ~seed ~name:algo ~expect_max:ids
-          (fun v -> Classic.Hirschberg_sinclair.program ~id:ids.(v))
-          ~topo ~sched
-    | "peterson" ->
-        Classic.Driver.run ~seed ~name:algo ~expect_max:ids
-          (fun v -> Classic.Peterson.program ~id:ids.(v))
-          ~topo ~sched
-    | "franklin" ->
-        Classic.Driver.run ~seed ~name:algo ~expect_max:ids
-          (fun v -> Classic.Franklin.program ~id:ids.(v))
-          ~topo ~sched
-    | "itai-rodeh" ->
-        Classic.Driver.run ~seed ~name:algo
-          (fun _ -> Classic.Itai_rodeh.program ~n ~range:8)
-          ~topo ~sched
-    | other -> failwith (Printf.sprintf "unknown baseline %S" other)
+    with_journal journal (fun sink ->
+        match algo with
+        | "chang-roberts" ->
+            Classic.Driver.run ~seed ~sink ~name:algo ~expect_max:ids
+              (fun v -> Classic.Chang_roberts.program ~id:ids.(v))
+              ~topo ~sched
+        | "lelann" ->
+            Classic.Driver.run ~seed ~sink ~name:algo ~expect_max:ids
+              (fun v -> Classic.Lelann.program ~id:ids.(v))
+              ~topo ~sched
+        | "hirschberg-sinclair" ->
+            Classic.Driver.run ~seed ~sink ~name:algo ~expect_max:ids
+              (fun v -> Classic.Hirschberg_sinclair.program ~id:ids.(v))
+              ~topo ~sched
+        | "peterson" ->
+            Classic.Driver.run ~seed ~sink ~name:algo ~expect_max:ids
+              (fun v -> Classic.Peterson.program ~id:ids.(v))
+              ~topo ~sched
+        | "franklin" ->
+            Classic.Driver.run ~seed ~sink ~name:algo ~expect_max:ids
+              (fun v -> Classic.Franklin.program ~id:ids.(v))
+              ~topo ~sched
+        | "itai-rodeh" ->
+            Classic.Driver.run ~seed ~sink ~name:algo
+              (fun _ -> Classic.Itai_rodeh.program ~n ~range:8)
+              ~topo ~sched
+        | other -> failwith (Printf.sprintf "unknown baseline %S" other))
   in
   Printf.printf "%s on n=%d: %d messages, leader=%s, terminated=%b, drops=%d\n"
     r.algorithm r.n r.messages
@@ -353,7 +383,9 @@ let baseline n seed sched_name algo =
 let baseline_cmd =
   Cmd.v
     (Cmd.info "baseline" ~doc:"Run a classic content-carrying baseline.")
-    Term.(const baseline $ n_arg $ seed_arg $ sched_arg $ baseline_arg)
+    Term.(
+      const baseline $ n_arg $ seed_arg $ sched_arg $ baseline_arg
+      $ journal_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep *)
@@ -376,10 +408,12 @@ let resolve_jobs = function
   | Some j -> failwith (Printf.sprintf "invalid --jobs %d (must be >= 1)" j)
   | None -> Colring_runtime.Pool.default_jobs ()
 
-let sweep seed sched_name algo csv jobs =
+let sweep seed sched_name algo csv jobs journal =
+  let journal_oc = Option.map open_out journal in
   let measurements =
     Harness.Sweep.election
       ~jobs:(resolve_jobs jobs)
+      ?journal:(Option.map (fun oc -> output_string oc) journal_oc)
       ~algorithms:[ algo ]
       ~workloads:
         (match algo with
@@ -394,6 +428,7 @@ let sweep seed sched_name algo csv jobs =
       ~schedulers:[ (fun s -> scheduler_of_name sched_name ~seed:s) ]
       ()
   in
+  Option.iter close_out journal_oc;
   if csv then print_string (Harness.Sweep.to_csv measurements)
   else
     Format.printf "%a@." Harness.Sweep.pp_summary
@@ -404,7 +439,60 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Sweep message counts over workloads and ring sizes (summary or CSV).")
-    Term.(const sweep $ seed_arg $ sched_arg $ algo_arg $ csv_arg $ jobs_arg)
+    Term.(
+      const sweep $ seed_arg $ sched_arg $ algo_arg $ csv_arg $ jobs_arg
+      $ journal_arg)
+
+(* ------------------------------------------------------------------ *)
+(* journal: shape-validate a JSONL run journal *)
+
+let journal_file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"JSONL run journal to validate.")
+
+let journal file =
+  let ic = open_in file in
+  let counts = Hashtbl.create 16 in
+  let errors = ref 0 in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if String.trim line <> "" then begin
+         match Bench_io.of_string line with
+         | exception Bench_io.Parse_error msg ->
+             incr errors;
+             Printf.eprintf "line %d: parse error: %s\n" !lineno msg
+         | json -> (
+             match Bench_io.check_journal_line json with
+             | Ok typ ->
+                 Hashtbl.replace counts typ
+                   (1 + Option.value ~default:0 (Hashtbl.find_opt counts typ))
+             | Error msg ->
+                 incr errors;
+                 Printf.eprintf "line %d: %s\n" !lineno msg)
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  let types =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [])
+  in
+  Printf.printf "%s: %d lines, %d invalid\n" file !lineno !errors;
+  List.iter (fun (typ, c) -> Printf.printf "  %-12s %8d\n" typ c) types;
+  if !errors = 0 && !lineno > 0 then 0 else 1
+
+let journal_cmd =
+  Cmd.v
+    (Cmd.info "journal"
+       ~doc:
+         "Shape-validate a JSONL run journal written by --journal: every \
+          line must be a self-describing record of a known type with its \
+          required fields.")
+    Term.(const journal $ journal_file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* adversary *)
@@ -580,6 +668,7 @@ let main_cmd =
       compose_cmd;
       baseline_cmd;
       sweep_cmd;
+      journal_cmd;
       adversary_cmd;
       check_cmd;
       fast_cmd;

@@ -23,9 +23,41 @@ let unique_leader outputs =
     outputs;
   match !leaders with [ v ] -> Some v | [] | _ :: _ -> None
 
-let run ?(seed = 0) ?max_deliveries ~name ?expect_max make_program ~topo ~sched =
-  let net = Network.create ~seed topo make_program in
-  let result = Network.run ?max_deliveries net sched in
+let ok r =
+  r.leader <> None && r.leader_is_max && r.roles_ok && r.all_terminated
+  && r.quiescent && not r.exhausted
+
+let report_fields r =
+  let open Sink in
+  [
+    ("algorithm", String r.algorithm);
+    ("n", Int r.n);
+    ("messages", Int r.messages);
+    ("deliveries", Int r.deliveries);
+    ("leader", match r.leader with Some v -> Int v | None -> String "none");
+    ("leader_is_max", Bool r.leader_is_max);
+    ("roles_ok", Bool r.roles_ok);
+    ("all_terminated", Bool r.all_terminated);
+    ("quiescent", Bool r.quiescent);
+    ("post_term_drops", Int r.post_term_drops);
+    ("exhausted", Bool r.exhausted);
+    ("causal_span", Int r.causal_span);
+    ("ok", Bool (ok r));
+  ]
+
+let run ?(seed = 0) ?max_deliveries ?(sink = Sink.null)
+    ?(snapshot_every = 10_000) ~name ?expect_max make_program ~topo ~sched =
+  if sink.Sink.enabled then
+    sink.Sink.on_run_start
+      [
+        ("algorithm", Sink.String name);
+        ("n", Sink.Int (Topology.n topo));
+        ("seed", Sink.Int seed);
+        ("workload", Sink.String "-");
+        ("scheduler", Sink.String sched.Scheduler.name);
+      ];
+  let net = Network.create ~sink ~seed topo make_program in
+  let result = Network.run ?max_deliveries ~snapshot_every net sched in
   let outputs = Network.outputs net in
   let leader = unique_leader outputs in
   let leader_is_max =
@@ -43,21 +75,27 @@ let run ?(seed = 0) ?max_deliveries ~name ?expect_max make_program ~topo ~sched 
            || Output.equal_role o.role Output.Non_leader)
          outputs
   in
-  {
-    algorithm = name;
-    n = Topology.n topo;
-    messages = result.sends;
-    deliveries = result.deliveries;
-    leader;
-    leader_is_max;
-    roles_ok;
-    all_terminated = result.all_terminated;
-    quiescent = result.quiescent;
-    post_term_drops = Metrics.post_termination_deliveries (Network.metrics net);
-    exhausted = result.exhausted;
-    causal_span = Network.causal_span net;
-  }
-
-let ok r =
-  r.leader <> None && r.leader_is_max && r.roles_ok && r.all_terminated
-  && r.quiescent && not r.exhausted
+  let report =
+    {
+      algorithm = name;
+      n = Topology.n topo;
+      messages = result.sends;
+      deliveries = result.deliveries;
+      leader;
+      leader_is_max;
+      roles_ok;
+      all_terminated = result.all_terminated;
+      quiescent = result.quiescent;
+      post_term_drops =
+        Metrics.post_termination_deliveries (Network.metrics net);
+      exhausted = result.exhausted;
+      causal_span = Network.causal_span net;
+    }
+  in
+  if sink.Sink.enabled then begin
+    sink.Sink.on_snapshot ~step:result.deliveries
+      (Metrics.to_assoc (Network.metrics net));
+    sink.Sink.on_run_end (report_fields report);
+    sink.Sink.flush ()
+  end;
+  report

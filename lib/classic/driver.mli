@@ -33,9 +33,15 @@ val ok : report -> bool
     left in flight, not exhausted.  (Post-termination drops are
     allowed; they are a reported property, not a failure.) *)
 
+val report_fields : report -> (string * Colring_engine.Sink.value) list
+(** The report as flat journal fields — what {!run} emits as its
+    run_end record. *)
+
 val run :
   ?seed:int ->
   ?max_deliveries:int ->
+  ?sink:Colring_engine.Sink.t ->
+  ?snapshot_every:int ->
   name:string ->
   ?expect_max:int array ->
   (int -> 'm Colring_engine.Network.program) ->
@@ -45,4 +51,11 @@ val run :
 (** [run ~name ?expect_max make_program ~topo ~sched] creates and runs
     the network.  [expect_max] gives the input IDs so the report can
     check the winner is the max-ID node; omit it for anonymous
-    algorithms. *)
+    algorithms.
+
+    [?seed], [?max_deliveries] and [?sink] mean exactly what they mean
+    on {!Colring_core.Election.run}: the sink observes a run_start
+    record (workload is always ["-"] here — baselines take explicit
+    programs, not workloads), every engine event, counter snapshots
+    every [snapshot_every] deliveries plus a final one, and a run_end
+    record with {!report_fields}. *)

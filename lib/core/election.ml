@@ -95,7 +95,50 @@ let expected_sends algorithm ~n ~id_max =
   | Algo3 Algo3.Improved | Algo3_resample ->
       Formulas.algo3_improved_total ~n ~id_max
 
-let run ?(seed = 0) ?max_deliveries ?record_trace algorithm ~topo ~ids ~sched =
+let ok r =
+  r.sends = r.expected_sends && r.quiescent && (not r.exhausted)
+  && r.post_term_deliveries = 0 && r.leader_is_max && r.roles_ok
+  && Option.value ~default:true r.orientation_ok
+  && Option.value ~default:true r.termination_order_ok
+  && (r.algorithm <> "algo2" || r.all_terminated)
+
+(* The report as flat journal fields, in declaration order; absent
+   options become "none"/"n/a" strings so every run_end record has the
+   same keys. *)
+let report_fields r =
+  let open Sink in
+  let opt_bool = function
+    | Some b -> Bool b
+    | None -> String "n/a"
+  in
+  [
+    ("algorithm", String r.algorithm);
+    ("n", Int r.n);
+    ("id_max", Int r.id_max);
+    ("sends", Int r.sends);
+    ("expected_sends", Int r.expected_sends);
+    ("sends_cw", Int r.sends_cw);
+    ("sends_ccw", Int r.sends_ccw);
+    ("deliveries", Int r.deliveries);
+    ("quiescent", Bool r.quiescent);
+    ("all_terminated", Bool r.all_terminated);
+    ("exhausted", Bool r.exhausted);
+    ("post_term_deliveries", Int r.post_term_deliveries);
+    ("causal_span", Int r.causal_span);
+    ("leader", match r.leader with Some v -> Int v | None -> String "none");
+    ("leader_is_max", Bool r.leader_is_max);
+    ("roles_ok", Bool r.roles_ok);
+    ("orientation_ok", opt_bool r.orientation_ok);
+    ("termination_order_ok", opt_bool r.termination_order_ok);
+    ("final_ids",
+     String
+       (String.concat ";"
+          (Array.to_list (Array.map string_of_int r.final_ids))));
+    ("ok", Bool (ok r));
+  ]
+
+let run ?(seed = 0) ?max_deliveries ?record_trace ?(sink = Sink.null)
+    ?(workload = "-") ?(snapshot_every = 10_000) algorithm ~topo ~ids ~sched =
   let n = Topology.n topo in
   if Array.length ids <> n then invalid_arg "Election.run: |ids| <> n";
   Array.iter
@@ -107,11 +150,23 @@ let run ?(seed = 0) ?max_deliveries ?record_trace algorithm ~topo ~ids ~sched =
         invalid_arg "Election.run: Algorithms 1 and 2 need an oriented ring"
   | Algo3 _ | Algo3_resample -> ());
   let id_max = Ids.id_max ids in
+  (* The run_start record comes first: creating the network already
+     emits the start-up activations (wakes and initial sends). *)
+  if sink.Sink.enabled then
+    sink.Sink.on_run_start
+      [
+        ("algorithm", Sink.String (algorithm_name algorithm));
+        ("n", Sink.Int n);
+        ("id_max", Sink.Int id_max);
+        ("seed", Sink.Int seed);
+        ("workload", Sink.String workload);
+        ("scheduler", Sink.String sched.Scheduler.name);
+      ];
   let net =
-    Network.create ?record_trace ~seed topo (fun v ->
+    Network.create ?record_trace ~sink ~seed topo (fun v ->
         program_of algorithm ~id:ids.(v))
   in
-  let result = Network.run ?max_deliveries net sched in
+  let result = Network.run ?max_deliveries ~snapshot_every net sched in
   let outputs = Network.outputs net in
   let m = Network.metrics net in
   let leader = unique_leader outputs in
@@ -159,14 +214,18 @@ let run ?(seed = 0) ?max_deliveries ?record_trace algorithm ~topo ~ids ~sched =
       final_ids;
     }
   in
+  if sink.Sink.enabled then begin
+    (* A closing snapshot at the final delivery count, so a journal
+       always ends with the exact [Metrics.to_assoc] of the run, then
+       the report itself. *)
+    sink.Sink.on_snapshot ~step:result.deliveries (Metrics.to_assoc m);
+    sink.Sink.on_run_end (report_fields report);
+    sink.Sink.flush ()
+  end;
   (report, net)
 
-let run_report ?seed ?max_deliveries algorithm ~topo ~ids ~sched =
-  fst (run ?seed ?max_deliveries algorithm ~topo ~ids ~sched)
-
-let ok r =
-  r.sends = r.expected_sends && r.quiescent && (not r.exhausted)
-  && r.post_term_deliveries = 0 && r.leader_is_max && r.roles_ok
-  && Option.value ~default:true r.orientation_ok
-  && Option.value ~default:true r.termination_order_ok
-  && (r.algorithm <> "algo2" || r.all_terminated)
+let run_report ?seed ?max_deliveries ?sink ?workload ?snapshot_every algorithm
+    ~topo ~ids ~sched =
+  fst
+    (run ?seed ?max_deliveries ?sink ?workload ?snapshot_every algorithm ~topo
+       ~ids ~sched)

@@ -59,10 +59,18 @@ val ok : report -> bool
     closed form exactly, and the run was neither exhausted nor left
     pulses behind (plus full quiescent termination for Algorithm 2). *)
 
+val report_fields : report -> (string * Colring_engine.Sink.value) list
+(** The report as flat journal fields (declaration order, ending with
+    ["ok"]); [None] verdicts appear as ["n/a"], a missing leader as
+    ["none"].  This is what {!run} emits as its run_end record. *)
+
 val run :
   ?seed:int ->
   ?max_deliveries:int ->
   ?record_trace:bool ->
+  ?sink:Colring_engine.Sink.t ->
+  ?workload:string ->
+  ?snapshot_every:int ->
   algorithm ->
   topo:Colring_engine.Topology.t ->
   ids:int array ->
@@ -71,11 +79,27 @@ val run :
 (** Runs to completion.  Algorithms 1 and 2 require an oriented
     topology ([Invalid_argument] otherwise); IDs must be positive and
     as unique as the algorithm demands (callers pick workloads from
-    {!Ids}). *)
+    {!Ids}).
+
+    [sink] (default {!Colring_engine.Sink.null}) observes the whole
+    run: a run_start record (algorithm, n, id_max, seed, [workload] —
+    default ["-"] — and scheduler name), every engine event, a counter
+    snapshot every [snapshot_every] deliveries (default 10_000; the
+    final snapshot at the last delivery is always emitted), and a
+    run_end record carrying {!report_fields}.  The sink is flushed
+    before returning.
+
+    [record_trace] is deprecated: pass a
+    {!Colring_engine.Sink.memory} sink instead and read the buffer
+    back with {!Colring_engine.Network.trace} (or
+    {!Colring_engine.Sink.trace}). *)
 
 val run_report :
   ?seed:int ->
   ?max_deliveries:int ->
+  ?sink:Colring_engine.Sink.t ->
+  ?workload:string ->
+  ?snapshot_every:int ->
   algorithm ->
   topo:Colring_engine.Topology.t ->
   ids:int array ->

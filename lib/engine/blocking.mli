@@ -10,7 +10,13 @@
     event-driven simulator without threads.
 
     Only pulse networks ([Network.pulse] payloads) are supported; the
-    content-carrying baselines use plain event-driven programs. *)
+    content-carrying baselines use plain event-driven programs.
+
+    Telemetry: blocking bodies need no [?sink] of their own — every
+    observable action ({!recv} consuming a pulse, sends, decisions,
+    termination) goes through the wrapped {!Network.api}, so the
+    {!Sink.t} passed to {!Network.create} sees a blocking program
+    exactly as it sees an event-driven one. *)
 
 val recv : Port.t -> unit
 (** Block until one pulse can be consumed from the given local port,

@@ -56,15 +56,17 @@ let delivered_to t ~node ~port_index = t.delivered.((node * 2) + port_index)
 let consumed_by t ~node ~port_index = t.consumed.((node * 2) + port_index)
 let post_termination_deliveries t = t.post_term
 
+(* Stable schema: snake_case keys in alphabetical order (see the .mli;
+   a test pins the exact list). *)
 let to_assoc t =
   [
-    ("sends", t.sends);
-    ("sends_cw", t.sends_cw);
-    ("sends_ccw", sends_ccw t);
-    ("deliveries", t.deliveries);
     ("consumes", t.consumes);
-    ("wakes", t.wakes);
+    ("deliveries", t.deliveries);
     ("post_termination_deliveries", t.post_term);
+    ("sends", t.sends);
+    ("sends_ccw", sends_ccw t);
+    ("sends_cw", t.sends_cw);
+    ("wakes", t.wakes);
   ]
 
 let pp ppf t =

@@ -38,6 +38,14 @@ val post_termination_deliveries : t -> int
 
 val to_assoc : t -> (string * int) list
 (** All scalar counters by name, for machine-readable reports and for
-    whole-run equality checks in determinism tests. *)
+    whole-run equality checks in determinism tests.
+
+    The key set is a frozen, documented schema — journal snapshots and
+    external post-processing depend on it.  Keys are snake_case, in
+    alphabetical order, exactly:
+    [consumes], [deliveries], [post_termination_deliveries], [sends],
+    [sends_ccw], [sends_cw], [wakes].
+    Extending the schema means adding a key in order and updating the
+    pinning test; never rename or reorder. *)
 
 val pp : Format.formatter -> t -> unit

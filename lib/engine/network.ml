@@ -31,7 +31,14 @@ type 'm t = {
   term : bool array;
   mutable term_order_rev : int list;
   metrics : Metrics.t;
-  trace : Trace.t option;
+  (* The effective sink: the engine's own [Sink.counters] teed with
+     whatever the caller passed, so counting and user telemetry are a
+     single emission path.  [observed] remembers whether the caller's
+     sink is live — the guard that keeps snapshot emission (and any
+     other record that must allocate its payload) off the default
+     path. *)
+  sink : Sink.t;
+  observed : bool;
   mutable next_seq : int;
   mutable next_batch : int;
   mutable in_flight : int;
@@ -55,12 +62,6 @@ type 'm t = {
   mutable view : Scheduler.view;
 }
 
-(* Trace events are only materialised when a trace is attached; the
-   steady-state hot path must not allocate them. *)
-let tracing t = t.trace <> None
-
-let record t e = match t.trace with None -> () | Some tr -> Trace.record tr e
-
 let slot v p = (v * 2) + Port.index p
 
 let mark_nonempty t link =
@@ -83,7 +84,10 @@ let unmark_if_empty t link =
 
 (* The one enqueue path: [send] and [inject] share it, so both stamp
    envelopes with the batch convention of the current activation
-   ([t.next_batch] is bumped at activation boundaries only). *)
+   ([t.next_batch] is bumped at activation boundaries only).  Sink
+   callbacks take immediate arguments only — no event value is
+   materialised — so the steady-state hot path stays allocation-free
+   under the default (counters-only) sink. *)
 let enqueue t ~link ~node ~port m =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
@@ -91,15 +95,13 @@ let enqueue t ~link ~node ~port m =
   Envq.push t.channels.(link) m ~seq ~batch:t.next_batch
     ~depth:(t.local_clock.(node) + 1);
   t.in_flight <- t.in_flight + 1;
-  Metrics.on_send t.metrics ~link ~node
-    ~cw:(Topology.link_travels_cw t.topo link);
-  if tracing t then record t (Trace.Send { node; port; seq })
+  t.sink.Sink.on_send ~node ~port ~seq ~link
+    ~cw:(Topology.link_travels_cw t.topo link)
 
 let make_api t v rng =
   let consume v p =
     t.mailbox_backlog <- t.mailbox_backlog - 1;
-    Metrics.on_consume t.metrics ~node:v ~port_index:(Port.index p);
-    if tracing t then record t (Trace.Consume { node = v; port = p })
+    t.sink.Sink.on_consume ~node:v ~port:p
   in
   let recv p =
     let mb = t.mailboxes.(slot v p) in
@@ -131,23 +133,29 @@ let make_api t v rng =
   let set_output o =
     if t.outputs.(v) <> o then begin
       t.outputs.(v) <- o;
-      record t (Trace.Decide { node = v; output = o })
+      t.sink.Sink.on_decide ~node:v ~output:o
     end
   in
   let terminate () =
     if not t.term.(v) then begin
       t.term.(v) <- true;
       t.term_order_rev <- v :: t.term_order_rev;
-      record t (Trace.Terminate { node = v })
+      t.sink.Sink.on_terminate ~node:v
     end
   in
   { node = v; recv; recv_pulse; peek; pending; send; set_output; terminate; rng }
 
-let create ?(record_trace = false) ?(seed = 0) topo make_program =
+let create ?(record_trace = false) ?(sink = Sink.null) ?(seed = 0) topo
+    make_program =
   Topology.check topo;
   let n = Topology.n topo in
   let num_links = Topology.num_links topo in
   let programs = Array.init n make_program in
+  let metrics = Metrics.create ~n_nodes:n ~n_links:num_links in
+  (* [record_trace] is the deprecated spelling of a memory sink. *)
+  let user_sink =
+    if record_trace then Sink.tee (Sink.memory ()) sink else sink
+  in
   let t =
     {
       topo;
@@ -158,8 +166,9 @@ let create ?(record_trace = false) ?(seed = 0) topo make_program =
       outputs = Array.make n Output.empty;
       term = Array.make n false;
       term_order_rev = [];
-      metrics = Metrics.create ~n_nodes:n ~n_links:num_links;
-      trace = (if record_trace then Some (Trace.create ()) else None);
+      metrics;
+      sink = Sink.tee (Sink.counters metrics) user_sink;
+      observed = user_sink.Sink.enabled;
       next_seq = 0;
       next_batch = 0;
       in_flight = 0;
@@ -198,7 +207,7 @@ let create ?(record_trace = false) ?(seed = 0) topo make_program =
   t.apis <- Array.init n (fun v -> make_api t v (Rng.split_at root_rng v));
   for v = 0 to n - 1 do
     t.next_batch <- t.next_batch + 1;
-    Metrics.on_wake t.metrics;
+    t.sink.Sink.on_wake ~node:v;
     t.programs.(v).start t.apis.(v)
   done;
   t
@@ -220,17 +229,15 @@ let deliver_from t link =
   if t.term.(dst) then
     (* Terminated nodes ignore pulses; each such arrival is a
        violation of quiescent termination, which tests assert away. *)
-    Metrics.on_post_termination_delivery t.metrics
+    t.sink.Sink.on_drop ~node:dst ~port:dst_port ~seq
   else begin
-    Metrics.on_deliver t.metrics ~node:dst ~port_index:(Port.index dst_port);
-    if tracing t then
-      record t (Trace.Deliver { node = dst; port = dst_port; seq });
+    t.sink.Sink.on_deliver ~node:dst ~port:dst_port ~seq;
     Ring.push t.mailboxes.(slot dst dst_port) payload;
     t.mailbox_backlog <- t.mailbox_backlog + 1;
     if depth > t.local_clock.(dst) then t.local_clock.(dst) <- depth;
     if depth > t.causal_span then t.causal_span <- depth;
     t.next_batch <- t.next_batch + 1;
-    Metrics.on_wake t.metrics;
+    t.sink.Sink.on_wake ~node:dst;
     t.programs.(dst).wake t.apis.(dst)
   end
 
@@ -273,7 +280,7 @@ let in_flight t = t.in_flight
 let mailbox_backlog t = t.mailbox_backlog
 let is_quiescent t = t.in_flight = 0 && t.mailbox_backlog = 0
 
-let run ?(max_deliveries = 50_000_000) ?probe t sched =
+let run ?(max_deliveries = 50_000_000) ?(snapshot_every = 0) ?probe t sched =
   let exhausted = ref false in
   let continue = ref true in
   while !continue do
@@ -282,10 +289,15 @@ let run ?(max_deliveries = 50_000_000) ?probe t sched =
       continue := false
     end
     else if not (step t sched) then continue := false
-    else
+    else begin
+      (if snapshot_every > 0 && t.observed then
+         let d = Metrics.deliveries t.metrics in
+         if d mod snapshot_every = 0 then
+           t.sink.Sink.on_snapshot ~step:d (Metrics.to_assoc t.metrics));
       match probe with
       | None -> ()
       | Some f -> f ~step:(Metrics.deliveries t.metrics)
+    end
   done;
   {
     sends = Metrics.sends t.metrics;
@@ -312,7 +324,7 @@ let inspect_counter t v name =
   | None -> raise Not_found
 
 let metrics t = t.metrics
-let trace t = t.trace
+let trace t = Sink.trace t.sink
 
 type pulse = unit
 

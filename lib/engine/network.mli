@@ -56,14 +56,23 @@ val silent_program : 'm program
 
 val create :
   ?record_trace:bool ->
+  ?sink:Sink.t ->
   ?seed:int ->
   Topology.t ->
   (int -> 'm program) ->
   'm t
 (** [create topo make_program] instantiates [make_program v] for every
     node [v] and runs each program's [start].  [seed] derives every
-    node's private {!Colring_stats.Rng.t} stream (default 0);
-    [record_trace] enables event recording (default off). *)
+    node's private {!Colring_stats.Rng.t} stream (default 0).
+
+    [sink] observes every event of the run (default {!Sink.null}).
+    The engine tees its own {!Sink.counters} over [sink], so
+    {!metrics} is a by-product of the same emission path; with the
+    default null sink the steady-state hot path allocates nothing.
+
+    [record_trace] is deprecated: it tees a {!Sink.memory} sink over
+    [sink] (retrieve the buffer with {!trace}).  Pass a memory sink
+    explicitly instead. *)
 
 (** {2 Execution} *)
 
@@ -79,13 +88,18 @@ type run_result = {
 
 val run :
   ?max_deliveries:int ->
+  ?snapshot_every:int ->
   ?probe:(step:int -> unit) ->
   'm t ->
   Scheduler.t ->
   run_result
 (** Deliver until no message is in flight (or [max_deliveries] is hit,
     default [50_000_000]).  [probe] runs after every delivery-and-wake,
-    letting tests assert invariants at each reachable configuration. *)
+    letting tests assert invariants at each reachable configuration.
+    [snapshot_every] (default 0 = off) emits a {!Sink.t.on_snapshot}
+    counter record every that many deliveries — only when a live sink
+    was passed at {!create}, so the default path never allocates the
+    counter list. *)
 
 val step : 'm t -> Scheduler.t -> bool
 (** Deliver exactly one message; [false] when nothing was in flight. *)
@@ -127,7 +141,11 @@ val inspect_counter : 'm t -> int -> string -> int
 (** Raises [Not_found] for an unknown counter name. *)
 
 val metrics : 'm t -> Metrics.t
+
 val trace : 'm t -> Trace.t option
+(** The buffer of the memory sink attached to this network via [?sink]
+    or the deprecated [?record_trace], if any. *)
+
 val in_flight : 'm t -> int
 (** Messages in channels (sent, not yet delivered). *)
 

@@ -34,14 +34,19 @@ type cell = {
   c_sched_ix : int;
 }
 
-let run_cell ~id_max_cap ~shared_adversary ~schedulers cell =
+(* A cell returns its measurement plus its journal chunk (empty when
+   no journal was requested or the cell was skipped).  Each cell owns
+   a private buffered sink, so domains never share a writer; the
+   caller concatenates chunks in cell-index order, which makes the
+   merged journal byte-identical for every [jobs] value. *)
+let run_cell ~id_max_cap ~shared_adversary ~schedulers ~journal cell =
   let { c_algorithm; c_workload; c_n = n; c_seed = seed; c_algo_ix; c_sched_ix }
       =
     cell
   in
   let rng = Rng.create ~seed:(seed + (n * 65_537)) in
   let ids, topo = c_workload.generate rng ~n in
-  if Ids.id_max ids > id_max_cap then None
+  if Ids.id_max ids > id_max_cap then (None, "")
   else begin
     let sched_seed =
       if shared_adversary then seed
@@ -57,24 +62,38 @@ let run_cell ~id_max_cap ~shared_adversary ~schedulers cell =
           62
     in
     let sched = schedulers.(c_sched_ix) sched_seed in
-    let r = Election.run_report c_algorithm ~topo ~ids ~sched in
-    Some
-      {
-        algorithm = Election.algorithm_name c_algorithm;
-        workload = c_workload.name;
-        n;
-        id_max = r.id_max;
-        seed;
-        scheduler = sched.Scheduler.name;
-        sends = r.sends;
-        expected = r.expected_sends;
-        deliveries = r.deliveries;
-        ok = Election.ok r;
-      }
+    let buf = if journal then Some (Buffer.create 512) else None in
+    let sink =
+      match buf with
+      | None -> Sink.null
+      | Some b ->
+          (* Lifecycle records only: a sweep journal is one
+             run_start/snapshots/run_end block per cell, not the
+             Θ(n·ID_max) event stream of every cell. *)
+          Sink.jsonl_buffer ~events:false b
+    in
+    let r =
+      Election.run_report c_algorithm ~topo ~ids ~sched ~sink ~seed
+        ~workload:c_workload.name
+    in
+    ( Some
+        {
+          algorithm = Election.algorithm_name c_algorithm;
+          workload = c_workload.name;
+          n;
+          id_max = r.id_max;
+          seed;
+          scheduler = sched.Scheduler.name;
+          sends = r.sends;
+          expected = r.expected_sends;
+          deliveries = r.deliveries;
+          ok = Election.ok r;
+        },
+      match buf with None -> "" | Some b -> Buffer.contents b )
   end
 
 let election ?(id_max_cap = 100_000) ?(jobs = 1) ?(shared_adversary = false)
-    ~algorithms ~workloads ~ns ~seeds ~schedulers () =
+    ?journal ~algorithms ~workloads ~ns ~seeds ~schedulers () =
   let schedulers = Array.of_list schedulers in
   let n_sched = Array.length schedulers in
   (* Materialize the grid in the canonical nested order; the result
@@ -110,9 +129,14 @@ let election ?(id_max_cap = 100_000) ?(jobs = 1) ?(shared_adversary = false)
   let cells = Array.of_list (List.rev !cells) in
   let out =
     Pool.map ~jobs (Array.length cells) (fun i ->
-        run_cell ~id_max_cap ~shared_adversary ~schedulers cells.(i))
+        run_cell ~id_max_cap ~shared_adversary ~schedulers
+          ~journal:(journal <> None) cells.(i))
   in
-  List.filter_map Fun.id (Array.to_list out)
+  (match journal with
+  | None -> ()
+  | Some write ->
+      Array.iter (fun (_, chunk) -> if chunk <> "" then write chunk) out);
+  List.filter_map (fun (m, _) -> m) (Array.to_list out)
 
 let to_csv ms =
   let buf = Buffer.create 1024 in

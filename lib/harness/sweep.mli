@@ -24,6 +24,7 @@ val election :
   ?id_max_cap:int ->
   ?jobs:int ->
   ?shared_adversary:bool ->
+  ?journal:(string -> unit) ->
   algorithms:Colring_core.Election.algorithm list ->
   workloads:Workload.t list ->
   ns:int list ->
@@ -46,7 +47,15 @@ val election :
     random scheduler replay the identical delivery sequence across
     cells that share a trial seed — the "same instance, many
     adversaries" comparison of bench E2.  [id_max_cap] (default
-    100_000) skips over-sized instances. *)
+    100_000) skips over-sized instances.
+
+    [journal] receives the sweep's JSONL journal: one
+    run_start/snapshots/run_end block per executed cell (lifecycle
+    records only — per-event lines would dwarf the sweep itself),
+    written as per-cell chunks.  Every cell buffers into a private
+    {!Colring_engine.Sink.t}, and chunks are handed to [journal] in
+    cell-index order after the pool drains, so the journal — like the
+    measurement list — is byte-identical for every [jobs] value. *)
 
 val to_csv : measurement list -> string
 (** Header plus one line per measurement. *)

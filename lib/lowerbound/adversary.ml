@@ -26,11 +26,10 @@ let replay ?max_deliveries ~k ~n factory =
   let chosen, shared_prefix = Analysis.best_group tagged ~group:n in
   let ids = Array.of_list chosen in
   let topo = Topology.oriented n in
-  let net =
-    Network.create ~record_trace:true topo (fun v -> factory ~id:ids.(v))
-  in
+  let sink = Sink.memory () in
+  let net = Network.create ~sink topo (fun v -> factory ~id:ids.(v)) in
   let result = Network.run ?max_deliveries net Scheduler.global_fifo in
-  let trace = Option.get (Network.trace net) in
+  let trace = Option.get (Sink.trace sink) in
   let pattern_of = Hashtbl.create 16 in
   List.iter (fun (id, p) -> Hashtbl.replace pattern_of id p) tagged;
   let per_node_agreement =

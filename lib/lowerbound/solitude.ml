@@ -4,13 +4,14 @@ type pattern = string
 
 let extract ?(max_deliveries = 1_000_000) factory ~id =
   let topo = Topology.oriented 1 in
-  let net = Network.create ~record_trace:true topo (fun _ -> factory ~id) in
+  let sink = Sink.memory () in
+  let net = Network.create ~sink topo (fun _ -> factory ~id) in
   let result = Network.run ~max_deliveries net Scheduler.fifo in
   if result.exhausted then
     failwith
       (Printf.sprintf "Solitude.extract: id %d did not quiesce within %d"
          id max_deliveries);
-  match Network.trace net with
+  match Sink.trace sink with
   | None -> assert false
   | Some tr ->
       (* On the oriented one-node ring, clockwise pulses arrive on the

@@ -19,6 +19,13 @@ let add_row t cells =
 
 let add_rule t = t.rows <- Rule :: t.rows
 
+let header t = t.header
+
+let data_rows t =
+  List.filter_map
+    (function Cells cells -> Some cells | Rule -> None)
+    (List.rev t.rows)
+
 let render t =
   let rows = List.rev t.rows in
   let widths =

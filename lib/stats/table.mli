@@ -17,6 +17,14 @@ val add_row : t -> string list -> unit
 val add_rule : t -> unit
 (** Append a horizontal separator row. *)
 
+val header : t -> string list
+(** The column header cells, in display order. *)
+
+val data_rows : t -> string list list
+(** The data rows appended so far, in display order, separator rules
+    skipped.  The telemetry layer walks a finished table with this to
+    journal one record per row. *)
+
 val render : t -> string
 (** Render with unicode-free ASCII borders. *)
 

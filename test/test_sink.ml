@@ -1,0 +1,286 @@
+(* Tests for the telemetry sink layer: the frozen Metrics schema, the
+   allocation guarantee of the null sink, memory-sink compatibility
+   with the deprecated [?record_trace], jsonl journals (shape-checked
+   and replayed back into counters), sweep journal determinism across
+   domain counts, and the fast simulator's lifecycle records. *)
+
+open Colring_engine
+open Colring_core
+module Rng = Colring_stats.Rng
+module Sweep = Colring_harness.Sweep
+module Workload = Colring_harness.Workload
+module Fastsim = Colring_fastsim
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* The frozen counter schema. *)
+
+let test_metrics_schema () =
+  let m = Metrics.create ~n_nodes:2 ~n_links:4 in
+  Metrics.on_send m ~link:0 ~node:0 ~cw:true;
+  Metrics.on_deliver m ~node:1 ~port_index:0;
+  Alcotest.(check (list string))
+    "to_assoc keys are the documented stable schema"
+    [
+      "consumes";
+      "deliveries";
+      "post_termination_deliveries";
+      "sends";
+      "sends_ccw";
+      "sends_cw";
+      "wakes";
+    ]
+    (List.map fst (Metrics.to_assoc m))
+
+(* ------------------------------------------------------------------ *)
+(* Null sink: the steady-state hot path must not allocate. *)
+
+let test_null_sink_steady_state_allocates_nothing () =
+  let n = 64 in
+  let ids = Ids.dense (Rng.create ~seed:7) ~n in
+  let net =
+    Network.create (Topology.oriented n) (fun v -> Algo2.program ~id:ids.(v))
+  in
+  (* Warm up past start-up transients, then measure a window well
+     inside the run (total is n(2*ID_max+1) = 8256 deliveries). *)
+  for _ = 1 to 1_000 do
+    ignore (Network.step net Scheduler.fifo)
+  done;
+  Gc.full_major ();
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 2_000 do
+    ignore (Network.step net Scheduler.fifo)
+  done;
+  let dw = Gc.minor_words () -. w0 in
+  (* The engine emits ~3 events per delivery (deliver, wake, send)
+     through the sink record.  With immediate-typed callbacks this
+     costs zero words; if the sink layer ever boxed an argument or
+     built an event value it would add several words per event —
+     tens of thousands over this window.  The budget below leaves
+     room only for the pre-existing sub-word-per-step residue
+     (channel/mailbox buffer doubling, occasional Output publishing),
+     measured at ~0.8 words/step before the sink layer existed. *)
+  checkb
+    (Printf.sprintf
+       "sink adds no per-event allocation (%.3f words over 2000 steps)" dw)
+    true (dw < 3_000.0)
+
+(* ------------------------------------------------------------------ *)
+(* Memory sink ≡ deprecated [?record_trace]. *)
+
+let run_algo2 ?record_trace ?sink () =
+  let n = 6 in
+  let ids = Ids.distinct (Rng.create ~seed:11) ~n ~id_max:15 in
+  Election.run Election.Algo2 ~seed:3 ?record_trace ?sink
+    ~topo:(Topology.oriented n) ~ids
+    ~sched:(Scheduler.random (Rng.create ~seed:5))
+
+let test_memory_sink_matches_record_trace () =
+  let _, net_old = run_algo2 ~record_trace:true () in
+  let mem = Sink.memory () in
+  let _, net_new = run_algo2 ~sink:mem () in
+  let events tr = Trace.events tr in
+  let old_tr = Option.get (Network.trace net_old) in
+  let new_tr = Option.get (Sink.trace mem) in
+  checki "same length" (Trace.length old_tr) (Trace.length new_tr);
+  checkb "same events" true (events old_tr = events new_tr);
+  checkb "network exposes the sink's buffer" true
+    (match Network.trace net_new with Some tr -> tr == new_tr | None -> false)
+
+let test_tee () =
+  let mem = Sink.memory () in
+  checkb "tee null s is s" true (Sink.tee Sink.null mem == mem);
+  checkb "tee s null is s" true (Sink.tee mem Sink.null == mem);
+  let buf = Buffer.create 64 in
+  let both = Sink.tee mem (Sink.jsonl_buffer buf) in
+  checkb "tee of live sinks is enabled" true both.Sink.enabled;
+  let _, _ = run_algo2 ~sink:both () in
+  checkb "memory side saw events" true
+    (Trace.length (Option.get (Sink.trace both)) > 0);
+  checkb "jsonl side saw the same run" true (Buffer.length buf > 0)
+
+(* ------------------------------------------------------------------ *)
+(* jsonl journals: shape and replay. *)
+
+let journal_lines buf =
+  String.split_on_char '\n' (Buffer.contents buf)
+  |> List.filter (fun l -> l <> "")
+  |> List.map Bench_io.of_string
+
+let line_type line =
+  match Option.bind (Bench_io.member "type" line) Bench_io.get_string with
+  | Some t -> t
+  | None -> Alcotest.fail "journal line without a type"
+
+let test_jsonl_journal_replays () =
+  let buf = Buffer.create 4096 in
+  let report, net = run_algo2 ~sink:(Sink.jsonl_buffer buf) () in
+  let lines = journal_lines buf in
+  List.iter
+    (fun l ->
+      match Bench_io.check_journal_line l with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail ("invalid journal line: " ^ e))
+    lines;
+  (* Replay the event lines into counters. *)
+  let count ty = List.length (List.filter (fun l -> line_type l = ty) lines) in
+  let get_int l k =
+    Option.get (Option.bind (Bench_io.member k l) Bench_io.get_int)
+  in
+  let cw_sends =
+    List.length
+      (List.filter
+         (fun l ->
+           line_type l = "send"
+           && Option.bind (Bench_io.member "cw" l) Bench_io.get_bool
+              = Some true)
+         lines)
+  in
+  let live = Metrics.to_assoc (Network.metrics net) in
+  let assoc k = List.assoc k live in
+  checki "replayed sends" (assoc "sends") (count "send");
+  checki "replayed cw sends" (assoc "sends_cw") cw_sends;
+  checki "replayed ccw sends" (assoc "sends_ccw") (count "send" - cw_sends);
+  checki "replayed deliveries" (assoc "deliveries") (count "deliver");
+  checki "replayed drops" (assoc "post_termination_deliveries") (count "drop");
+  checki "replayed consumes" (assoc "consumes") (count "consume");
+  checki "replayed wakes" (assoc "wakes") (count "wake");
+  (* The final snapshot is the exact counter state. *)
+  let snapshots = List.filter (fun l -> line_type l = "snapshot") lines in
+  let final = List.nth snapshots (List.length snapshots - 1) in
+  checki "final snapshot step" report.Election.deliveries (get_int final "step");
+  let counters = Option.get (Bench_io.member "counters" final) in
+  List.iter
+    (fun (k, v) ->
+      checki ("snapshot counter " ^ k) v
+        (Option.get (Option.bind (Bench_io.member k counters) Bench_io.get_int)))
+    live;
+  (* run_start and run_end frame the journal and carry the verdicts. *)
+  let first = List.hd lines and last = List.nth lines (List.length lines - 1) in
+  checks "first line" "run_start" (line_type first);
+  checks "last line" "run_end" (line_type last);
+  checks "run_start algorithm" "algo2"
+    (Option.get
+       (Option.bind (Bench_io.member "algorithm" first) Bench_io.get_string));
+  checki "run_end sends" report.Election.sends (get_int last "sends");
+  checkb "run_end verdict" (Election.ok report)
+    (Option.get (Option.bind (Bench_io.member "ok" last) Bench_io.get_bool))
+
+let test_jsonl_events_off_keeps_lifecycle_only () =
+  let buf = Buffer.create 256 in
+  let _ = run_algo2 ~sink:(Sink.jsonl_buffer ~events:false buf) () in
+  let types = List.map line_type (journal_lines buf) in
+  checkb "only lifecycle records" true
+    (List.for_all
+       (fun t -> List.mem t [ "run_start"; "snapshot"; "run_end" ])
+       types);
+  checkb "still frames the run" true
+    (List.mem "run_start" types && List.mem "run_end" types)
+
+(* ------------------------------------------------------------------ *)
+(* Sweep journals are byte-identical for every domain count. *)
+
+let sweep_journal ~jobs =
+  let buf = Buffer.create 4096 in
+  let ms =
+    Sweep.election ~jobs ~journal:(Buffer.add_string buf)
+      ~algorithms:[ Election.Algo1; Election.Algo2 ]
+      ~workloads:[ Workload.dense; Workload.sparse ~factor:4 ]
+      ~ns:[ 3; 5 ] ~seeds:[ 1; 2 ]
+      ~schedulers:[ (fun seed -> Scheduler.random (Rng.create ~seed)) ]
+      ()
+  in
+  (ms, Buffer.contents buf)
+
+let test_sweep_journal_deterministic_across_jobs () =
+  let ms1, j1 = sweep_journal ~jobs:1 in
+  let ms4, j4 = sweep_journal ~jobs:4 in
+  checkb "measurements identical" true (ms1 = ms4);
+  checks "journals byte-identical" j1 j4;
+  checkb "journal non-empty" true (String.length j1 > 0);
+  String.split_on_char '\n' j1
+  |> List.filter (fun l -> l <> "")
+  |> List.iter (fun l ->
+         match Bench_io.check_journal_line (Bench_io.of_string l) with
+         | Ok _ -> ()
+         | Error e -> Alcotest.fail ("invalid sweep journal line: " ^ e))
+
+(* ------------------------------------------------------------------ *)
+(* Fast simulator: explicit seed, budget contract, lifecycle records. *)
+
+let test_fastsim_seed_permutes_only_the_order () =
+  let ids = [| 3; 7; 2; 5 |] in
+  let base = Fastsim.Driver.run ~ids () in
+  List.iter
+    (fun seed ->
+      let r = Fastsim.Driver.run ~seed ~ids () in
+      checki "total is schedule-independent" base.Fastsim.Driver.deliveries
+        r.Fastsim.Driver.deliveries;
+      checkb "receives uniform" true
+        (r.Fastsim.Driver.receives = base.Fastsim.Driver.receives);
+      checki "last absorber holds the max"
+        ids.(List.nth r.Fastsim.Driver.absorb_order
+               (List.length r.Fastsim.Driver.absorb_order - 1))
+        (Ids.id_max ids))
+    [ 1; 2; 3; 17 ]
+
+let test_fastsim_budget_is_a_contract () =
+  let ids = [| 3; 7; 2; 5 |] in
+  let total = (Fastsim.Driver.run ~ids ()).Fastsim.Driver.deliveries in
+  checkb "raises below the exact total" true
+    (match Fastsim.Driver.run ~max_deliveries:(total - 1) ~ids () with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  checki "exact budget is fine" total
+    (Fastsim.Driver.run ~max_deliveries:total ~ids ()).Fastsim.Driver
+      .deliveries
+
+let test_fastsim_sink_lifecycle_only () =
+  let buf = Buffer.create 256 in
+  let _ = Fastsim.Driver.run ~sink:(Sink.jsonl_buffer buf) ~ids:[| 2; 4 |] () in
+  match List.map line_type (journal_lines buf) with
+  | [ "run_start"; "run_end" ] -> ()
+  | types ->
+      Alcotest.fail
+        ("expected run_start;run_end, got " ^ String.concat ";" types)
+
+let () =
+  Alcotest.run "colring-sink"
+    [
+      ( "schema",
+        [ Alcotest.test_case "metrics to_assoc keys" `Quick test_metrics_schema ] );
+      ( "null",
+        [
+          Alcotest.test_case "steady state allocates nothing" `Quick
+            test_null_sink_steady_state_allocates_nothing;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "matches record_trace" `Quick
+            test_memory_sink_matches_record_trace;
+          Alcotest.test_case "tee" `Quick test_tee;
+        ] );
+      ( "jsonl",
+        [
+          Alcotest.test_case "journal replays" `Quick test_jsonl_journal_replays;
+          Alcotest.test_case "events:false keeps lifecycle" `Quick
+            test_jsonl_events_off_keeps_lifecycle_only;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "journal identical across jobs" `Quick
+            test_sweep_journal_deterministic_across_jobs;
+        ] );
+      ( "fastsim",
+        [
+          Alcotest.test_case "seed permutes only order" `Quick
+            test_fastsim_seed_permutes_only_the_order;
+          Alcotest.test_case "budget contract" `Quick
+            test_fastsim_budget_is_a_contract;
+          Alcotest.test_case "lifecycle-only sink" `Quick
+            test_fastsim_sink_lifecycle_only;
+        ] );
+    ]
