@@ -367,7 +367,7 @@ let throughput ?(quick = false) ?(json_path = "BENCH_engine.json") () =
     "================================================================\n\n";
   Printf.printf "%-24s %6s %12s %14s %12s\n" "case" "runs" "deliveries"
     "deliveries/s" "minorw/del";
-  let results = List.map measure (throughput_cases ~quick) in
+  let results = List.map (fun c -> measure c) (throughput_cases ~quick) in
   List.iter
     (fun r ->
       Printf.printf "%-24s %6d %12d %14.0f %12.2f\n" r.case.case_name r.runs

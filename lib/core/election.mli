@@ -67,7 +67,7 @@ val report_fields : report -> (string * Colring_engine.Sink.value) list
 val run :
   ?seed:int ->
   ?max_deliveries:int ->
-  ?record_trace:bool ->
+  ?record_trace:(bool[@deprecated "pass ~sink:(Sink.memory ()) instead"]) ->
   ?sink:Colring_engine.Sink.t ->
   ?workload:string ->
   ?snapshot_every:int ->
@@ -89,7 +89,8 @@ val run :
     run_end record carrying {!report_fields}.  The sink is flushed
     before returning.
 
-    [record_trace] is deprecated: pass a
+    [record_trace] is deprecated (enforced by the [deprecated-arg]
+    lint rule; removal timeline in DESIGN.md §6): pass a
     {!Colring_engine.Sink.memory} sink instead and read the buffer
     back with {!Colring_engine.Network.trace} (or
     {!Colring_engine.Sink.trace}). *)

@@ -21,7 +21,7 @@ let render ?(max_rows = 500) trace ~n =
       Buffer.add_string buf (Printf.sprintf "%6d |" !step);
       for v = 0 to n - 1 do
         Buffer.add_string buf
-          (if v = node then Printf.sprintf "  %c" ch else "  .")
+          (if Int.equal v node then Printf.sprintf "  %c" ch else "  .")
       done;
       Buffer.add_char buf '\n'
     end

@@ -26,7 +26,7 @@ let grow t x =
   t.head <- 0
 
 let push t x ~seq ~batch ~depth =
-  if t.len = Array.length t.payloads then grow t x;
+  if Int.equal t.len (Array.length t.payloads) then grow t x;
   let s = (t.head + t.len) land (Array.length t.payloads - 1) in
   t.payloads.(s) <- x;
   t.meta.(3 * s) <- seq;

@@ -131,7 +131,7 @@ let make_api t v rng =
     enqueue t ~link:(Topology.link_id t.topo v p) ~node:v ~port:p m
   in
   let set_output o =
-    if t.outputs.(v) <> o then begin
+    if not (Output.equal t.outputs.(v) o) then begin
       t.outputs.(v) <- o;
       t.sink.Sink.on_decide ~node:v ~output:o
     end

@@ -55,7 +55,7 @@ val silent_program : 'm program
 (** {2 Construction} *)
 
 val create :
-  ?record_trace:bool ->
+  ?record_trace:(bool[@deprecated "pass ~sink:(Sink.memory ()) instead"]) ->
   ?sink:Sink.t ->
   ?seed:int ->
   Topology.t ->
@@ -70,9 +70,10 @@ val create :
     {!metrics} is a by-product of the same emission path; with the
     default null sink the steady-state hot path allocates nothing.
 
-    [record_trace] is deprecated: it tees a {!Sink.memory} sink over
-    [sink] (retrieve the buffer with {!trace}).  Pass a memory sink
-    explicitly instead. *)
+    [record_trace] is deprecated (enforced by the [deprecated-arg]
+    lint rule; removal timeline in DESIGN.md §6): it tees a
+    {!Sink.memory} sink over [sink] (retrieve the buffer with
+    {!trace}).  Pass a memory sink explicitly instead. *)
 
 (** {2 Execution} *)
 

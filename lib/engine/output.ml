@@ -20,7 +20,16 @@ let role_to_string = function
   | Non_leader -> "Non-Leader"
   | Undecided -> "Undecided"
 
-let equal_role (a : role) (b : role) = a = b
+let equal_role a b =
+  match (a, b) with
+  | Leader, Leader | Non_leader, Non_leader | Undecided, Undecided -> true
+  | (Leader | Non_leader | Undecided), _ -> false
+
+let equal a b =
+  equal_role a.role b.role
+  && Option.equal Port.equal a.cw_port b.cw_port
+  && Option.equal Int.equal a.value b.value
+  && List.equal Int.equal a.values b.values
 
 let pp ppf t =
   Format.fprintf ppf "%s" (role_to_string t.role);

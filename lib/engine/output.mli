@@ -31,4 +31,10 @@ val with_values : int list -> t -> t
 
 val role_to_string : role -> string
 val equal_role : role -> role -> bool
+
+val equal : t -> t -> bool
+(** Structural equality, field by field and monomorphic throughout —
+    the engine compares outputs on every [set_output], so this must
+    never fall back to polymorphic compare. *)
+
 val pp : Format.formatter -> t -> unit

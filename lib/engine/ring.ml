@@ -21,7 +21,7 @@ let grow t x =
   t.head <- 0
 
 let push t x =
-  if t.len = Array.length t.elems then grow t x;
+  if Int.equal t.len (Array.length t.elems) then grow t x;
   t.elems.((t.head + t.len) land (Array.length t.elems - 1)) <- x;
   t.len <- t.len + 1
 

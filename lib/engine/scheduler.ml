@@ -82,28 +82,28 @@ let random rng =
   }
 
 let bias_direction ~cw =
-  let k_pref v l = if v.travels_cw l = cw then 0 else 1 in
+  let k_pref v l = if Bool.equal (v.travels_cw l) cw then 0 else 1 in
   {
     name = (if cw then "bias-cw" else "bias-ccw");
     pick = argmin3 k_pref k_seq k_zero;
   }
 
 let starve_node ~node =
-  let k_starved v l = if v.dst_node l = node then 1 else 0 in
+  let k_starved v l = if Int.equal (v.dst_node l) node then 1 else 0 in
   {
     name = Printf.sprintf "starve-node-%d" node;
     pick = argmin3 k_starved k_seq k_zero;
   }
 
 let hog_node ~node =
-  let k_hogged v l = if v.dst_node l = node then 0 else 1 in
+  let k_hogged v l = if Int.equal (v.dst_node l) node then 0 else 1 in
   {
     name = Printf.sprintf "hog-node-%d" node;
     pick = argmin3 k_hogged k_seq k_zero;
   }
 
 let starve_link ~link:starved =
-  let k_starved _ l = if l = starved then 1 else 0 in
+  let k_starved _ l = if Int.equal l starved then 1 else 0 in
   {
     name = Printf.sprintf "starve-link-%d" starved;
     pick = argmin3 k_starved k_seq k_zero;

@@ -48,7 +48,7 @@ let ccw_neighbor t v = fst (peer t v (Port.opposite (cw_send_port t v)))
 
 let distance_cw t u v =
   let rec go cur d =
-    if cur = v then d
+    if Int.equal cur v then d
     else if d > t.size then failwith "Topology.distance_cw: not a ring"
     else go (cw_neighbor t cur) (d + 1)
   in
@@ -67,7 +67,7 @@ let check t =
     let v, p = link_src t id in
     let w, q = peer t v p in
     let v', p' = peer t w q in
-    if v' <> v || not (Port.equal p' p) then
+    if (not (Int.equal v' v)) || not (Port.equal p' p) then
       failwith "Topology.check: wiring not symmetric"
   done;
   (* Single clockwise cycle covering all nodes. *)

@@ -19,7 +19,7 @@ let length t = t.length
 let consumed_ports t ~node =
   List.filter_map
     (function
-      | Consume { node = v; port } when v = node -> Some port
+      | Consume { node = v; port } when Int.equal v node -> Some port
       | Send _ | Deliver _ | Consume _ | Terminate _ | Decide _ -> None)
     (events t)
 

@@ -1,0 +1,5 @@
+(* Fires [deprecated-arg] three times outside the definition sites
+   (lib/engine/network.ml, lib/core/election.ml): the call site, the
+   optional parameter, and the forwarding application. *)
+let create () = Network.create ~record_trace:true ()
+let wrap ?record_trace () = Network.run ?record_trace ()

@@ -1,0 +1,3 @@
+(* Fires [determinism] (twice) outside bench/timing.ml; clean there. *)
+let now () = Unix.gettimeofday ()
+let cpu () = Sys.time ()

@@ -1,0 +1,3 @@
+(* Fires [determinism] when linted as lib/engine/*.ml; clean when
+   linted as lib/stats/rng.ml. *)
+let draw () = Random.int 3

@@ -1,0 +1,4 @@
+(* Fires [determinism] (three times) under lib/; clean under bench/. *)
+let h x = Hashtbl.hash x
+let m x = Marshal.to_string x []
+let o x = Obj.repr x

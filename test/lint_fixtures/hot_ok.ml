@@ -1,0 +1,10 @@
+(* Clean as lib/engine/envq.ml: allocation in a hot function is fine
+   behind the live-sink guard, and cold functions may allocate
+   freely.  Hot-function parameters are not closures. *)
+type q = { mutable observed : bool }
+
+let push q x =
+  if q.observed then ignore (q, x);
+  x + 1
+
+let cold q x = ignore (q, x)

@@ -1,0 +1,2 @@
+(* Fires [parse-error]: not valid OCaml. *)
+let x =

@@ -1,0 +1,8 @@
+(* Clean under lib/engine/: every comparison has an immediate operand
+   or is already monomorphic. *)
+let z x = x = 0
+let t b = b = true
+let n l = l <> []
+let o v = v = None
+let neg x = x = -1
+let mono a b = Int.equal a b

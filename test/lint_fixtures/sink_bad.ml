@@ -1,0 +1,4 @@
+(* Fires [sink-discipline] twice outside lib/engine/sink.ml: a Trace
+   event construction and a direct Trace.create call. *)
+let ev v = Trace.Deliver (v, v)
+let buf () = Trace.create ()

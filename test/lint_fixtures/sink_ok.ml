@@ -1,0 +1,3 @@
+(* Clean everywhere: pattern-matching Trace events is consumption,
+   not construction. *)
+let is_deliver = function Trace.Deliver _ -> true | _ -> false

@@ -267,6 +267,6 @@ let () =
             test_chang_roberts_sensitive_to_placement;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun t -> QCheck_alcotest.to_alcotest t)
           [ prop_cr; prop_lelann; prop_hs; prop_peterson; prop_itai_rodeh ] );
     ]

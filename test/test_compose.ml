@@ -457,7 +457,7 @@ let () =
             test_gamma_starts_with_zero_from_2;
           Alcotest.test_case "lengths" `Quick test_gamma_length;
         ]
-        @ List.map QCheck_alcotest.to_alcotest
+        @ List.map (fun t -> QCheck_alcotest.to_alcotest t)
             [ prop_codec_roundtrip; prop_codec_concat ] );
       ("chain", [ Alcotest.test_case "switch" `Quick test_chain_switches_on_terminate ]);
       ( "tape",
@@ -484,6 +484,6 @@ let () =
           Alcotest.test_case "cost model exact" `Quick test_cost_model_exact;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun t -> QCheck_alcotest.to_alcotest t)
           [ prop_discovery_random; prop_all_gather_roundtrip; prop_sum_random ] );
     ]

@@ -518,7 +518,7 @@ let prop_algo1_duplicates =
            (Array.init n Fun.id))
 
 let () =
-  let qsuite = List.map QCheck_alcotest.to_alcotest in
+  let qsuite = List.map (fun t -> QCheck_alcotest.to_alcotest t) in
   Alcotest.run "colring-core"
     [
       ( "algo1",

@@ -188,7 +188,7 @@ let test_scheduler_determinism () =
   let run seed =
     let topo = Topology.oriented 6 in
     let net =
-      Network.create ~record_trace:true topo (fun v ->
+      Network.create ~sink:(Sink.memory ()) topo (fun v ->
           Colring_core.Algo2.program ~id:(v + 3))
     in
     let _ = Network.run net (Scheduler.random (Rng.create ~seed)) in
@@ -202,7 +202,7 @@ let test_scheduler_determinism () =
 let test_trace_consume_sequence () =
   let topo = Topology.oriented 1 in
   let net =
-    Network.create ~record_trace:true topo (fun _ ->
+    Network.create ~sink:(Sink.memory ()) topo (fun _ ->
         Colring_core.Algo1.program ~id:3)
   in
   let _ = Network.run net Scheduler.fifo in
@@ -428,7 +428,7 @@ let test_mailbox_length_tracks_guarded_pulses () =
 let test_diagram_deterministic () =
   let render () =
     let net =
-      Network.create ~record_trace:true (Topology.oriented 2) (fun v ->
+      Network.create ~sink:(Sink.memory ()) (Topology.oriented 2) (fun v ->
           Colring_core.Algo2.program ~id:(v + 1))
     in
     let _ = Network.run net Scheduler.fifo in
@@ -675,6 +675,6 @@ let () =
             test_explore_respects_max_states;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun t -> QCheck_alcotest.to_alcotest t)
           [ prop_random_topologies_check; prop_conservation ] );
     ]

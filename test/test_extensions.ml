@@ -467,7 +467,7 @@ let test_fingerprint_distinguishes () =
 let test_diagram_renders () =
   let ids = [| 2; 3 |] in
   let net =
-    Network.create ~record_trace:true (Topology.oriented 2) (fun v ->
+    Network.create ~sink:(Sink.memory ()) (Topology.oriented 2) (fun v ->
         Algo2.program ~id:ids.(v))
   in
   let _ = Network.run net Scheduler.fifo in

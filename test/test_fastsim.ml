@@ -164,7 +164,7 @@ let () =
   Alcotest.run "colring-fastsim"
     [
       ( "differential",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun t -> QCheck_alcotest.to_alcotest t)
           [
             prop_algo1_differential;
             prop_algo1_differential_duplicates;

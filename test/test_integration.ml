@@ -118,7 +118,7 @@ let test_blocking_algo2_composes_with_tape () =
 let test_trace_diagram_on_composed_run () =
   let ids = [| 3; 5 |] in
   let net =
-    Network.create ~record_trace:true (Topology.oriented 2) (fun v ->
+    Network.create ~sink:(Sink.memory ()) (Topology.oriented 2) (fun v ->
         Compose.Corollary5.program ~id:ids.(v)
           ~app:Compose.Corollary5.app_ring_discovery)
   in

@@ -1,0 +1,189 @@
+(* Tests for colring-lint: every rule is exercised against an
+   in-tree fixture, both firing (under the path the rule patrols) and
+   non-firing (under an exempt path, or a clean fixture under the
+   patrolled path).  The self-run over the real tree is the @lint
+   alias, which dune runtest depends on. *)
+
+open Colring_lint_core
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* The manifest used by the hot-alloc fixtures: matches the real
+   hot.sexp entry for envq.ml closely enough for the tests. *)
+let hot_manifest = [ ("lib/engine/envq.ml", [ "push"; "pop" ]) ]
+
+(* dune runtest runs with cwd = test/; dune exec from the root. *)
+let fixture_dir =
+  if Sys.file_exists "lint_fixtures" then "lint_fixtures"
+  else Filename.concat "test" "lint_fixtures"
+
+let fixture name = Filename.concat fixture_dir name
+
+(* Lint fixture [name] as if it lived at repo path [as_path]; return
+   the rule names that fired. *)
+let rules_of ?(hot = hot_manifest) name ~as_path =
+  Lint_driver.lint_file ~as_path ~hot_manifest:hot (fixture name)
+  |> List.map (fun d -> d.Lint_diag.rule)
+
+let count rule rules =
+  List.length (List.filter (String.equal rule) rules)
+
+(* ------------------------------------------------------------------ *)
+(* determinism *)
+
+let test_determinism_random () =
+  checki "fires in engine" 1
+    (count "determinism" (rules_of "det_random.ml" ~as_path:"lib/engine/x.ml"));
+  checki "rng.ml exempt" 0
+    (count "determinism"
+       (rules_of "det_random.ml" ~as_path:"lib/stats/rng.ml"));
+  checki "fires in test too" 1
+    (count "determinism" (rules_of "det_random.ml" ~as_path:"test/x.ml"))
+
+let test_determinism_clock () =
+  checki "fires in lib" 2
+    (count "determinism" (rules_of "det_clock.ml" ~as_path:"lib/core/x.ml"));
+  checki "timing.ml exempt" 0
+    (count "determinism" (rules_of "det_clock.ml" ~as_path:"bench/timing.ml"))
+
+let test_determinism_unsafe () =
+  checki "fires in lib" 3
+    (count "determinism" (rules_of "det_unsafe.ml" ~as_path:"lib/engine/x.ml"));
+  checki "bench exempt" 0
+    (count "determinism" (rules_of "det_unsafe.ml" ~as_path:"bench/x.ml"))
+
+(* ------------------------------------------------------------------ *)
+(* poly-compare *)
+
+let test_poly_compare () =
+  checki "bad fixture fires" 4
+    (count "poly-compare"
+       (rules_of "polycmp_bad.ml" ~as_path:"lib/engine/x.ml"));
+  checki "scoped to engine" 0
+    (count "poly-compare" (rules_of "polycmp_bad.ml" ~as_path:"lib/core/x.ml"));
+  checki "immediate operands pass" 0
+    (count "poly-compare"
+       (rules_of "polycmp_ok.ml" ~as_path:"lib/engine/x.ml"))
+
+(* ------------------------------------------------------------------ *)
+(* hot-alloc *)
+
+let test_hot_alloc () =
+  let fired = rules_of "hot_bad.ml" ~as_path:"lib/engine/envq.ml" in
+  checki "tuple, closure, printf, partial app" 4 (count "hot-alloc" fired);
+  checki "not hot under another path" 0
+    (count "hot-alloc" (rules_of "hot_bad.ml" ~as_path:"lib/engine/other.ml"));
+  checki "guarded and cold allocations pass" 0
+    (count "hot-alloc" (rules_of "hot_ok.ml" ~as_path:"lib/engine/envq.ml"))
+
+(* ------------------------------------------------------------------ *)
+(* sink-discipline *)
+
+let test_sink_discipline () =
+  checki "construction fires" 2
+    (count "sink-discipline"
+       (rules_of "sink_bad.ml" ~as_path:"lib/engine/diagram.ml"));
+  checki "sink.ml exempt" 0
+    (count "sink-discipline"
+       (rules_of "sink_bad.ml" ~as_path:"lib/engine/sink.ml"));
+  checki "pattern matching passes" 0
+    (count "sink-discipline"
+       (rules_of "sink_ok.ml" ~as_path:"lib/engine/diagram.ml"))
+
+(* ------------------------------------------------------------------ *)
+(* deprecated-arg *)
+
+let test_deprecated_arg () =
+  checki "call site and forwarding param fire" 3
+    (count "deprecated-arg" (rules_of "depr_arg.ml" ~as_path:"test/x.ml"));
+  checki "definition site exempt" 0
+    (count "deprecated-arg"
+       (rules_of "depr_arg.ml" ~as_path:"lib/engine/network.ml"))
+
+(* ------------------------------------------------------------------ *)
+(* parse-error *)
+
+let test_parse_error () =
+  checki "syntax error is a diagnostic" 1
+    (count "parse-error" (rules_of "parse_bad.ml" ~as_path:"lib/engine/x.ml"))
+
+(* ------------------------------------------------------------------ *)
+(* mli-coverage *)
+
+let test_mli_coverage () =
+  let diags =
+    Lint_rules.mli_coverage
+      ~ml_files:[ "lib/engine/a.ml"; "lib/engine/b.ml"; "bin/main.ml" ]
+      ~mli_files:[ "lib/engine/a.mli" ]
+  in
+  checki "one uncovered lib module" 1 (List.length diags);
+  checkb "names the module" true
+    (match diags with
+    | [ d ] -> String.equal d.Lint_diag.file "lib/engine/b.ml"
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* allowlist *)
+
+let test_allowlist () =
+  let diag rule file =
+    { Lint_diag.rule; file; line = 1; col = 0; msg = "m" }
+  in
+  let entry rule file = { Lint_config.rule; file; note = "n" } in
+  let existing = fixture "det_random.ml" in
+  let r =
+    Lint_driver.apply_allowlist
+      [ entry "determinism" existing; entry "hot-alloc" "missing.ml" ]
+      [ diag "determinism" existing; diag "poly-compare" "lib/a.ml" ]
+  in
+  checki "suppressed one" 1 (List.length r.Lint_driver.kept);
+  checki "unused entry is stale" 1 (List.length r.stale);
+  checki "absent file reported" 1 (List.length r.missing)
+
+(* ------------------------------------------------------------------ *)
+(* config parsing *)
+
+let test_config () =
+  let sexps =
+    Lint_sexp.parse_string
+      "; comment\n(hot (file lib/engine/envq.ml) (functions push pop))"
+  in
+  checki "one form" 1 (List.length sexps);
+  let tmp = Filename.temp_file "lint" ".sexp" in
+  Out_channel.with_open_text tmp (fun oc ->
+      output_string oc
+        "(allow (rule determinism) (file lib/x.ml) (note \"why\"))\n");
+  let entries = Lint_config.load_allow tmp in
+  Sys.remove tmp;
+  checkb "entry parsed" true
+    (match entries with
+    | [ e ] ->
+        String.equal e.Lint_config.rule "determinism"
+        && String.equal e.file "lib/x.ml"
+        && String.equal e.note "why"
+    | _ -> false)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "determinism random" `Quick
+            test_determinism_random;
+          Alcotest.test_case "determinism clock" `Quick test_determinism_clock;
+          Alcotest.test_case "determinism unsafe" `Quick
+            test_determinism_unsafe;
+          Alcotest.test_case "poly-compare" `Quick test_poly_compare;
+          Alcotest.test_case "hot-alloc" `Quick test_hot_alloc;
+          Alcotest.test_case "sink-discipline" `Quick test_sink_discipline;
+          Alcotest.test_case "deprecated-arg" `Quick test_deprecated_arg;
+          Alcotest.test_case "parse-error" `Quick test_parse_error;
+          Alcotest.test_case "mli-coverage" `Quick test_mli_coverage;
+        ] );
+      ( "infrastructure",
+        [
+          Alcotest.test_case "allowlist" `Quick test_allowlist;
+          Alcotest.test_case "config" `Quick test_config;
+        ] );
+    ]

@@ -115,6 +115,6 @@ let () =
           Alcotest.test_case "formula" `Quick test_lower_bound_formula;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun t -> QCheck_alcotest.to_alcotest t)
           [ prop_pattern_deterministic; prop_unbounded_growth ] );
     ]

@@ -153,6 +153,6 @@ let () =
         ] );
       ("histogram", [ Alcotest.test_case "basics" `Quick test_histogram ]);
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun t -> QCheck_alcotest.to_alcotest t)
           [ prop_quantile_monotone; prop_geometric_nonneg ] );
     ]

@@ -1,0 +1,7 @@
+; Reviewed exceptions to the colring-lint rules.  Every entry must
+; carry a note saying why the exception is sound; entries that stop
+; suppressing anything, or whose file disappears, fail the lint run.
+
+(allow (rule deprecated-arg) (file test/test_sink.ml)
+       (note "the sink/record_trace equivalence test exists to exercise the \
+              deprecated argument until its removal (DESIGN.md section 6)"))

@@ -1,0 +1,93 @@
+(* colring-lint: repo-aware static analysis for the colring engine.
+
+   Usage:
+     colring-lint --allow FILE --hot FILE [--check-allow] PATH...
+
+   Exit codes: 0 clean, 1 violations (or allowlist problems), 2 usage
+   or configuration errors.
+
+   --check-allow only validates the allowlist (every entry must name
+   an existing file) — the CI guard that keeps allow.sexp honest
+   without a full tree walk. *)
+
+open Colring_lint_core
+
+let usage () =
+  prerr_endline
+    "usage: colring-lint --allow FILE --hot FILE [--check-allow] PATH...";
+  exit 2
+
+let () =
+  let allow_path = ref None in
+  let hot_path = ref None in
+  let check_allow = ref false in
+  let roots = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--allow" :: v :: rest ->
+        allow_path := Some v;
+        parse rest
+    | "--hot" :: v :: rest ->
+        hot_path := Some v;
+        parse rest
+    | "--check-allow" :: rest ->
+        check_allow := true;
+        parse rest
+    | arg :: rest ->
+        if String.starts_with ~prefix:"-" arg then usage ();
+        roots := arg :: !roots;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let allow_path = match !allow_path with Some p -> p | None -> usage () in
+  let hot_path = match !hot_path with Some p -> p | None -> usage () in
+  let allow, hot_manifest =
+    try (Lint_config.load_allow allow_path, Lint_config.load_hot hot_path)
+    with
+    | Lint_config.Config_error msg | Lint_sexp.Parse_error msg ->
+      Printf.eprintf "colring-lint: configuration error: %s\n" msg;
+      exit 2
+  in
+  if !check_allow then (
+    let missing =
+      List.filter
+        (fun (e : Lint_config.allow_entry) -> not (Sys.file_exists e.file))
+        allow
+    in
+    List.iter
+      (fun (e : Lint_config.allow_entry) ->
+        Printf.eprintf
+          "colring-lint: allow.sexp entry (rule %s) names missing file %s\n"
+          e.rule e.file)
+      missing;
+    if missing = [] then (
+      Printf.printf "colring-lint: %d allow entries, all files present\n"
+        (List.length allow);
+      exit 0)
+    else exit 1);
+  if !roots = [] then usage ();
+  let result =
+    Lint_driver.lint_tree ~hot_manifest ~allow (List.rev !roots)
+  in
+  List.iter
+    (fun d -> print_endline (Lint_diag.to_string d))
+    result.Lint_driver.kept;
+  List.iter
+    (fun (e : Lint_config.allow_entry) ->
+      Printf.eprintf
+        "colring-lint: stale allow.sexp entry (rule %s, file %s) suppressed \
+         nothing — remove it\n"
+        e.rule e.file)
+    result.stale;
+  List.iter
+    (fun (e : Lint_config.allow_entry) ->
+      Printf.eprintf
+        "colring-lint: allow.sexp entry (rule %s) names missing file %s\n"
+        e.rule e.file)
+    result.missing;
+  let violations = List.length result.kept in
+  if violations > 0 || result.stale <> [] || result.missing <> [] then (
+    Printf.eprintf "colring-lint: %d violation%s\n" violations
+      (if violations = 1 then "" else "s");
+    exit 1)
+  else print_endline "colring-lint: clean"

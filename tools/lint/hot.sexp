@@ -1,0 +1,15 @@
+; Manifest of hot-path functions patrolled by the [hot-alloc] rule.
+; These are the per-delivery functions covered by the null-sink
+; allocation budget in bench/; adding a function here subjects its
+; body to the no-allocation checks (see tools/lint/lint_rules.ml).
+
+(hot (file lib/engine/envq.ml)
+     (functions push pop head_seq head_batch head_depth is_empty length))
+(hot (file lib/engine/ring.ml)
+     (functions push pop peek is_empty length))
+(hot (file lib/engine/network.ml)
+     (functions enqueue deliver_from step view mark_nonempty unmark_if_empty
+                slot))
+(hot (file lib/engine/scheduler.ml)
+     (functions argmin_scan argmin3 rr_scan k_seq k_neg_seq k_batch k_cw_first
+                k_zero))

@@ -1,0 +1,69 @@
+(* Configuration files of the analyzer:
+
+   - [allow.sexp]: the reviewed list of intentional rule exceptions.
+     Each entry suppresses one rule in one file and must carry a note
+     saying why the exception is sound:
+
+       (allow (rule deprecated-arg) (file test/test_sink.ml)
+              (note "the equivalence test exists to exercise it"))
+
+   - [hot.sexp]: the manifest of hot functions the allocation rule
+     patrols:
+
+       (hot (file lib/engine/envq.ml) (functions push pop head_seq)) *)
+
+type allow_entry = { rule : string; file : string; note : string }
+
+exception Config_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Config_error s)) fmt
+
+let field name items =
+  List.find_map
+    (function
+      | Lint_sexp.List (Atom k :: rest) when String.equal k name -> Some rest
+      | _ -> None)
+    items
+
+let atom_field name items =
+  match field name items with
+  | Some [ Lint_sexp.Atom v ] -> Some v
+  | Some _ -> fail "field (%s ...) must hold exactly one atom" name
+  | None -> None
+
+let load_allow path =
+  Lint_sexp.load path
+  |> List.map (function
+       | Lint_sexp.List (Atom "allow" :: fields) ->
+           let get name =
+             match atom_field name fields with
+             | Some v -> v
+             | None -> fail "%s: allow entry missing (%s ...)" path name
+           in
+           { rule = get "rule"; file = get "file"; note = get "note" }
+       | _ -> fail "%s: every top-level form must be (allow ...)" path)
+
+let load_hot path =
+  Lint_sexp.load path
+  |> List.map (function
+       | Lint_sexp.List (Atom "hot" :: fields) ->
+           let file =
+             match atom_field "file" fields with
+             | Some v -> v
+             | None -> fail "%s: hot entry missing (file ...)" path
+           in
+           let functions =
+             match field "functions" fields with
+             | Some atoms ->
+                 List.map
+                   (function
+                     | Lint_sexp.Atom a -> a
+                     | List _ -> fail "%s: (functions ...) holds atoms" path)
+                   atoms
+             | None -> fail "%s: hot entry missing (functions ...)" path
+           in
+           (file, functions)
+       | _ -> fail "%s: every top-level form must be (hot ...)" path)
+
+let hot_functions manifest ~file =
+  match List.assoc_opt file manifest with Some fns -> fns | None -> []

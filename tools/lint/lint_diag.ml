@@ -1,0 +1,22 @@
+(* A lint diagnostic: one contract violation at one source location.
+   [file] is the repo-relative path the rule scoping was computed
+   against (the "virtual path" when linting fixtures). *)
+
+type t = { rule : string; file : string; line : int; col : int; msg : string }
+
+let make ~rule ~file ~loc msg =
+  let p = loc.Location.loc_start in
+  { rule; file; line = p.Lexing.pos_lnum; col = p.pos_cnum - p.pos_bol; msg }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let to_string d =
+  Printf.sprintf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.msg

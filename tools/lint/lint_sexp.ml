@@ -1,0 +1,91 @@
+(* A minimal s-expression reader for the lint configuration files
+   (allow.sexp, hot.sexp).  Atoms are bare words or double-quoted
+   strings; [;] starts a comment running to end of line.  No external
+   dependency: the lint tool must build from compiler-libs alone. *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of string
+
+let parse_string src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_blank () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_blank ()
+    | Some ';' ->
+        while !pos < n && not (Char.equal src.[!pos] '\n') do
+          advance ()
+        done;
+        skip_blank ()
+    | _ -> ()
+  in
+  let read_quoted () =
+    advance ();
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> raise (Parse_error "unterminated string")
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some 'n' -> Buffer.add_char buf '\n'
+          | Some c -> Buffer.add_char buf c
+          | None -> raise (Parse_error "dangling escape"));
+          advance ();
+          go ()
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let read_atom () =
+    let start = !pos in
+    let rec go () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r' | '(' | ')' | ';' | '"') | None -> ()
+      | Some _ ->
+          advance ();
+          go ()
+    in
+    go ();
+    String.sub src start (!pos - start)
+  in
+  let rec read_one () =
+    skip_blank ();
+    match peek () with
+    | None -> raise (Parse_error "unexpected end of input")
+    | Some '(' ->
+        advance ();
+        let items = read_list [] in
+        List items
+    | Some ')' -> raise (Parse_error "unexpected ')'")
+    | Some '"' -> Atom (read_quoted ())
+    | Some _ -> Atom (read_atom ())
+  and read_list acc =
+    skip_blank ();
+    match peek () with
+    | None -> raise (Parse_error "unterminated list")
+    | Some ')' ->
+        advance ();
+        List.rev acc
+    | Some _ -> read_list (read_one () :: acc)
+  in
+  let rec top acc =
+    skip_blank ();
+    if !pos >= n then List.rev acc else top (read_one () :: acc)
+  in
+  top []
+
+let load path =
+  let src = In_channel.with_open_bin path In_channel.input_all in
+  try parse_string src
+  with Parse_error msg -> raise (Parse_error (path ^ ": " ^ msg))
