@@ -51,6 +51,15 @@ let journal_arg =
           "Write a JSONL run journal to $(docv): one self-describing JSON \
            object per event/record (validate with $(b,colring journal)).")
 
+let snapshot_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "snapshot-every" ] ~docv:"K"
+        ~doc:
+          "With $(b,--journal): emit a counter snapshot record every $(docv) \
+           deliveries (a final snapshot is always emitted). The cadence means \
+           the same thing for every subcommand that accepts it.")
+
 (* Run [f] with a jsonl sink on [path] (the null sink when no journal
    was asked for), flushing and closing afterwards. *)
 let with_journal path f =
@@ -142,7 +151,7 @@ let algo_arg =
           "algo1 (stabilizing), algo2 (terminating), algo3-doubled, \
            algo3-improved (non-oriented), resample (Prop. 19).")
 
-let elect n seed id_max sched_name algo trace diagram journal =
+let elect n seed id_max sched_name algo trace diagram journal snapshot_every =
   let ids = make_ids ~n ~id_max ~seed in
   let topo =
     match algo with
@@ -156,8 +165,8 @@ let elect n seed id_max sched_name algo trace diagram journal =
   in
   let report, net =
     with_journal journal (fun journal_sink ->
-        Election.run ~seed ~sink:(Sink.tee memory journal_sink) algo ~topo
-          ~ids ~sched)
+        Election.run ~seed ~sink:(Sink.tee memory journal_sink) ~snapshot_every
+          algo ~topo ~ids ~sched)
   in
   Printf.printf "ids: [%s]\n"
     (String.concat "; " (Array.to_list (Array.map string_of_int ids)));
@@ -178,7 +187,7 @@ let elect_cmd =
     (Cmd.info "elect" ~doc:"Run a content-oblivious leader election.")
     Term.(
       const elect $ n_arg $ seed_arg $ id_max_arg $ sched_arg $ algo_arg
-      $ trace_arg $ diagram_arg $ journal_arg)
+      $ trace_arg $ diagram_arg $ journal_arg $ snapshot_arg)
 
 (* ------------------------------------------------------------------ *)
 (* orient *)
@@ -341,7 +350,7 @@ let baseline_arg =
           "chang-roberts | lelann | hirschberg-sinclair | peterson | \
            franklin | itai-rodeh.")
 
-let baseline n seed sched_name algo journal =
+let baseline n seed sched_name algo journal snapshot_every =
   let ids = Ids.dense (Rng.create ~seed) ~n in
   let topo = Topology.oriented n in
   let sched = scheduler_of_name sched_name ~seed in
@@ -349,27 +358,27 @@ let baseline n seed sched_name algo journal =
     with_journal journal (fun sink ->
         match algo with
         | "chang-roberts" ->
-            Classic.Driver.run ~seed ~sink ~name:algo ~expect_max:ids
+            Classic.Driver.run ~seed ~sink ~snapshot_every ~name:algo ~expect_max:ids
               (fun v -> Classic.Chang_roberts.program ~id:ids.(v))
               ~topo ~sched
         | "lelann" ->
-            Classic.Driver.run ~seed ~sink ~name:algo ~expect_max:ids
+            Classic.Driver.run ~seed ~sink ~snapshot_every ~name:algo ~expect_max:ids
               (fun v -> Classic.Lelann.program ~id:ids.(v))
               ~topo ~sched
         | "hirschberg-sinclair" ->
-            Classic.Driver.run ~seed ~sink ~name:algo ~expect_max:ids
+            Classic.Driver.run ~seed ~sink ~snapshot_every ~name:algo ~expect_max:ids
               (fun v -> Classic.Hirschberg_sinclair.program ~id:ids.(v))
               ~topo ~sched
         | "peterson" ->
-            Classic.Driver.run ~seed ~sink ~name:algo ~expect_max:ids
+            Classic.Driver.run ~seed ~sink ~snapshot_every ~name:algo ~expect_max:ids
               (fun v -> Classic.Peterson.program ~id:ids.(v))
               ~topo ~sched
         | "franklin" ->
-            Classic.Driver.run ~seed ~sink ~name:algo ~expect_max:ids
+            Classic.Driver.run ~seed ~sink ~snapshot_every ~name:algo ~expect_max:ids
               (fun v -> Classic.Franklin.program ~id:ids.(v))
               ~topo ~sched
         | "itai-rodeh" ->
-            Classic.Driver.run ~seed ~sink ~name:algo
+            Classic.Driver.run ~seed ~sink ~snapshot_every ~name:algo
               (fun _ -> Classic.Itai_rodeh.program ~n ~range:8)
               ~topo ~sched
         | other -> failwith (Printf.sprintf "unknown baseline %S" other))
@@ -385,7 +394,7 @@ let baseline_cmd =
     (Cmd.info "baseline" ~doc:"Run a classic content-carrying baseline.")
     Term.(
       const baseline $ n_arg $ seed_arg $ sched_arg $ baseline_arg
-      $ journal_arg)
+      $ journal_arg $ snapshot_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep *)
@@ -527,43 +536,134 @@ let adversary_cmd =
     Term.(const adversary $ n_arg $ k_arg)
 
 (* ------------------------------------------------------------------ *)
-(* check: exhaustive exploration *)
+(* check: exhaustive schedule-space model checking (lib/mc) *)
 
-let check n seed id_max =
-  let ids = make_ids ~n ~id_max ~seed in
-  if n > 6 then
-    Printf.printf
-      "warning: exhaustive exploration is exponential-ish; n > 6 may take a while\n";
+module Mc = Colring_mc.Mc
+module McSpec = Colring_mc.Spec
+
+let target_arg =
+  Arg.(
+    value & opt string "algo2"
+    & info [ "algo"; "target" ] ~docv:"TARGET"
+        ~doc:
+          "What to check: algo1, algo2, algo3-doubled, algo3-improved, an \
+           ablation (ablation:no-lag, ablation:same-virtual-ids, \
+           ablation:no-absorption — these MUST yield a counterexample), or a \
+           classic baseline (chang-roberts, lelann, hirschberg-sinclair, \
+           peterson, franklin).")
+
+let max_states_arg =
+  Arg.(
+    value & opt int 1_000_000
+    & info [ "max-states" ] ~docv:"K"
+        ~doc:
+          "Per-root-branch state budget. Exceeding it reports a truncated \
+           (non-exhaustive) exploration, which fails the check.")
+
+let fmt_schedule schedule =
+  Printf.sprintf "[%s]"
+    (String.concat "; " (Array.to_list (Array.map string_of_int schedule)))
+
+let check_packed n seed id_max ids jobs max_states journal
+    (McSpec.Packed spec) =
   Printf.printf
-    "exhaustively exploring every delivery schedule of Algorithm 2 on ids [%s]\n"
-    (String.concat "; " (Array.to_list (Array.map string_of_int ids)));
-  let id_max = Ids.id_max ids in
-  let stats =
-    Explore.exhaustive ~max_states:5_000_000
-      ~make:(fun () ->
-        Network.create (Topology.oriented n) (fun v ->
-            Algo2.program ~id:ids.(v)))
-      ~check:(fun net ->
-        Network.is_quiescent net && Network.all_terminated net
-        && Metrics.sends (Network.metrics net)
-           = Formulas.algo2_total ~n ~id_max
-        && Metrics.post_termination_deliveries (Network.metrics net) = 0)
-      ()
+    "model-checking %s on ids [%s]: every delivery schedule, %d worker%s\n"
+    spec.Mc.name
+    (String.concat "; " (Array.to_list (Array.map string_of_int ids)))
+    jobs
+    (if jobs = 1 then "" else "s");
+  let r = Mc.check ~jobs ~max_states spec in
+  let s = r.Mc.stats in
+  Printf.printf "states expanded     %d\n" s.Mc.states;
+  Printf.printf "schedules           %d\n" s.Mc.schedules;
+  Printf.printf "replayed deliveries %d\n" s.Mc.replayed_deliveries;
+  Printf.printf "sleep-set pruned    %d\n" s.Mc.sleep_pruned;
+  Printf.printf "state-cache pruned  %d\n" s.Mc.dedup_pruned;
+  Printf.printf "max depth           %d\n" s.Mc.max_depth_seen;
+  Printf.printf "exhaustive          %b\n" (not s.Mc.truncated);
+  let confirmed =
+    match r.Mc.counterexample with
+    | None ->
+        Printf.printf "counterexample      none\n";
+        true
+    | Some ce ->
+        Printf.printf "counterexample      %s\n" (fmt_schedule ce.Mc.schedule);
+        Printf.printf "violation           %s\n" ce.Mc.violation;
+        (* Replay the minimized schedule on a fresh instance — the
+           counterexample is only reported if it reproduces. *)
+        let _, replayed = Mc.replay spec ce.Mc.schedule in
+        let again = replayed <> None in
+        Printf.printf "replay reproduces   %b\n" again;
+        again
   in
-  Printf.printf "distinct states  %d\n" stats.Explore.distinct_states;
-  Printf.printf "terminal states  %d\n" stats.Explore.terminal_states;
-  Printf.printf "max depth        %d\n" stats.Explore.max_depth;
-  Printf.printf "failures         %d\n" stats.Explore.failures;
-  Printf.printf "complete         %b\n" (not stats.Explore.truncated);
-  if stats.Explore.failures = 0 && not stats.Explore.truncated then 0 else 1
+  with_journal journal (fun sink ->
+      sink.Sink.on_row ~table:"check"
+        [
+          ("target", Sink.String spec.Mc.name);
+          ("n", Sink.Int n);
+          ("id_max", Sink.Int id_max);
+          ("seed", Sink.Int seed);
+          ("jobs", Sink.Int jobs);
+          ("states", Sink.Int s.Mc.states);
+          ("schedules", Sink.Int s.Mc.schedules);
+          ("replayed_deliveries", Sink.Int s.Mc.replayed_deliveries);
+          ("sleep_pruned", Sink.Int s.Mc.sleep_pruned);
+          ("dedup_pruned", Sink.Int s.Mc.dedup_pruned);
+          ("max_depth", Sink.Int s.Mc.max_depth_seen);
+          ("exhaustive", Sink.Bool (not s.Mc.truncated));
+          ( "counterexample",
+            Sink.String
+              (match r.Mc.counterexample with
+              | None -> "-"
+              | Some ce -> fmt_schedule ce.Mc.schedule) );
+          ( "violation",
+            Sink.String
+              (match r.Mc.counterexample with
+              | None -> "-"
+              | Some ce -> ce.Mc.violation) );
+        ]);
+  let found = r.Mc.counterexample <> None in
+  if spec.Mc.expect_violation then begin
+    if found && confirmed then begin
+      Printf.printf "verdict             broken as predicted (counterexample found)\n";
+      0
+    end
+    else begin
+      Printf.printf "verdict             FAILED to find the predicted violation\n";
+      1
+    end
+  end
+  else if (not found) && not s.Mc.truncated then begin
+    Printf.printf "verdict             verified over the whole schedule space\n";
+    0
+  end
+  else begin
+    Printf.printf "verdict             %s\n"
+      (if found then "VIOLATION found" else "INCONCLUSIVE (state budget hit)");
+    1
+  end
+
+let check n seed id_max target jobs max_states journal =
+  let id_max = Option.value ~default:n id_max in
+  let ids = Ids.distinct (Rng.create ~seed) ~n ~id_max in
+  let jobs = resolve_jobs jobs in
+  match McSpec.of_target target ~ids ~topo_seed:(seed + 1) with
+  | exception Invalid_argument msg ->
+      Printf.eprintf "colring check: %s\n" msg;
+      1
+  | packed -> check_packed n seed id_max ids jobs max_states journal packed
 
 let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:
-         "Model-check Algorithm 2: explore every delivery schedule of a \
-          small instance and verify Theorem 1 at each terminal state.")
-    Term.(const check $ n_arg $ seed_arg $ id_max_arg)
+         "Exhaustively model-check an algorithm: explore every delivery \
+          schedule of a small instance (sleep-set reduced), verify the \
+          paper's invariants at every step, and minimize any counterexample \
+          into a replayable delivery sequence.")
+    Term.(
+      const check $ n_arg $ seed_arg $ id_max_arg $ target_arg $ jobs_arg
+      $ max_states_arg $ journal_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fast: the analytical simulator at scale *)

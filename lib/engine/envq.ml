@@ -3,9 +3,13 @@ type 'm t = {
   mutable meta : int array; (* stride 3 per slot: seq, batch, depth *)
   mutable head : int;
   mutable len : int;
+  (* One-element array holding the fill value used to clear popped
+     payload slots (the first payload ever pushed); empty until the
+     first grow — see {!Ring.t.filler}. *)
+  mutable filler : 'm array;
 }
 
-let create () = { payloads = [||]; meta = [||]; head = 0; len = 0 }
+let create () = { payloads = [||]; meta = [||]; head = 0; len = 0; filler = [||] }
 let length t = t.len
 let is_empty t = t.len = 0
 
@@ -13,6 +17,7 @@ let grow t x =
   let cap = Array.length t.payloads in
   let ncap = if cap = 0 then 8 else cap * 2 in
   let payloads = Array.make ncap x in
+  if Array.length t.filler = 0 then t.filler <- Array.make 1 x;
   let meta = Array.make (3 * ncap) 0 in
   for i = 0 to t.len - 1 do
     let s = (t.head + i) land (cap - 1) in
@@ -49,6 +54,9 @@ let head_depth t =
 let pop t =
   if t.len = 0 then invalid_arg "Envq.pop: empty";
   let x = t.payloads.(t.head) in
+  (* Clear the slot so the queue does not retain the popped payload
+     ([t.len > 0] implies [grow] ran, so [filler] is non-empty). *)
+  t.payloads.(t.head) <- t.filler.(0);
   t.head <- (t.head + 1) land (Array.length t.payloads - 1);
   t.len <- t.len - 1;
   x

@@ -9,7 +9,8 @@
     without materialising it.
 
     Capacity grows by doubling; like {!Ring}, popped payload slots are
-    not cleared. *)
+    cleared with the first payload ever pushed, so a queue retains at
+    most that one payload beyond its live contents. *)
 
 type 'm t
 

@@ -41,5 +41,8 @@ val exhaustive :
     instance built by [make] (default [max_states] 200_000) and
     evaluates [check] at each distinct terminal state. *)
 
-val fingerprint : Network.pulse Network.t -> string
-(** The state fingerprint described above (exposed for tests). *)
+val fingerprint : 'm Network.t -> string
+(** The state fingerprint described above (exposed for tests and
+    reused by the [lib/mc] checker; polymorphic in the payload because
+    it never looks at message contents — callers exploring
+    content-carrying protocols must not rely on it alone). *)

@@ -260,6 +260,22 @@ let force_step t ~link =
     invalid_arg "Network.force_step: empty link";
   deliver_from t link
 
+let enabled_count t = t.nonempty_count
+
+(* Smallest non-empty link strictly greater than [link], by scanning
+   the unordered non-empty buffer; -1 when none.  Written as a
+   top-level tail recursion over immediate arguments so an enumeration
+   of the enabled set allocates nothing (the model checker calls this
+   in its innermost loop). *)
+let rec enabled_scan t link i best =
+  if i >= t.nonempty_count then best
+  else
+    let l = t.nonempty.(i) in
+    if l > link && (best < 0 || l < best) then enabled_scan t link (i + 1) l
+    else enabled_scan t link (i + 1) best
+
+let enabled_link t ~after = enabled_scan t after 0 (-1)
+
 let channel_length t ~link = Envq.length t.channels.(link)
 let mailbox_length t ~node ~port = Ring.length t.mailboxes.(slot node port)
 

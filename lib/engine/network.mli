@@ -95,7 +95,12 @@ val run :
   Scheduler.t ->
   run_result
 (** Deliver until no message is in flight (or [max_deliveries] is hit,
-    default [50_000_000]).  [probe] runs after every delivery-and-wake,
+    default [50_000_000]).  An exceeded budget is reported as
+    {!run_result.exhausted}, never raised — the same semantics (and
+    default) as [Colring_graph.Gnetwork.run]; only
+    [Colring_fastsim.Driver.run] intentionally deviates, raising
+    [Invalid_argument] because its closed-form resolution cannot stop
+    mid-pulse.  [probe] runs after every delivery-and-wake,
     letting tests assert invariants at each reachable configuration.
     [snapshot_every] (default 0 = off) emits a {!Sink.t.on_snapshot}
     counter record every that many deliveries — only when a live sink
@@ -112,7 +117,18 @@ val active_links : 'm t -> int list
 val force_step : 'm t -> link:int -> unit
 (** Deliver the oldest message of one specific link (bypassing any
     scheduler); raises [Invalid_argument] if the link is empty.  Used
-    by the exhaustive explorer. *)
+    by the exhaustive explorer and the model checker. *)
+
+val enabled_count : 'm t -> int
+(** Number of links with messages in flight — the branching factor of
+    the asynchronous adversary at the current state.  O(1). *)
+
+val enabled_link : 'm t -> after:int -> int
+(** [enabled_link t ~after] is the smallest non-empty link strictly
+    greater than [after], or [-1] when none; start with [~after:(-1)]
+    and feed each result back to enumerate the enabled set in
+    ascending link order without allocating.  O({!enabled_count}) per
+    call. *)
 
 val channel_length : 'm t -> link:int -> int
 val mailbox_length : 'm t -> node:int -> port:Port.t -> int

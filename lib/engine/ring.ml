@@ -2,9 +2,14 @@ type 'a t = {
   mutable elems : 'a array; (* length is 0 or a power of two *)
   mutable head : int;
   mutable len : int;
+  (* One-element array holding the fill value used to clear popped
+     slots (the first element ever pushed); empty until the first
+     grow.  An array rather than ['a option] so [pop] reads it without
+     a branch or a [Some] allocation. *)
+  mutable filler : 'a array;
 }
 
-let create () = { elems = [||]; head = 0; len = 0 }
+let create () = { elems = [||]; head = 0; len = 0; filler = [||] }
 let length t = t.len
 let is_empty t = t.len = 0
 
@@ -14,6 +19,7 @@ let grow t x =
   let cap = Array.length t.elems in
   let ncap = if cap = 0 then 8 else cap * 2 in
   let elems = Array.make ncap x in
+  if Array.length t.filler = 0 then t.filler <- Array.make 1 x;
   for i = 0 to t.len - 1 do
     elems.(i) <- t.elems.((t.head + i) land (cap - 1))
   done;
@@ -32,6 +38,9 @@ let peek t =
 let pop t =
   if t.len = 0 then invalid_arg "Ring.pop: empty";
   let x = t.elems.(t.head) in
+  (* Clear the slot so the buffer does not retain the popped value
+     ([t.len > 0] implies [grow] ran, so [filler] is non-empty). *)
+  t.elems.(t.head) <- t.filler.(0);
   t.head <- (t.head + 1) land (Array.length t.elems - 1);
   t.len <- t.len - 1;
   x

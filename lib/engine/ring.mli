@@ -6,10 +6,12 @@
     by doubling, so pushes and pops allocate nothing once the buffer
     has reached its steady-state capacity.
 
-    Popped slots are not cleared (the type gives no dummy element to
-    overwrite them with), so a popped boxed value is retained until its
-    slot is reused.  The simulator's payloads are almost always [unit]
-    pulses, making this a non-issue in practice. *)
+    Popped slots are cleared: the type gives no dummy element, so the
+    first element ever pushed is kept as the fill value and written
+    over each popped slot.  A ring therefore retains at most that one
+    element beyond its live contents — never an arbitrary popped
+    value — and clearing is a plain store, so the hot path stays
+    allocation-free. *)
 
 type 'a t
 

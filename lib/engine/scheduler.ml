@@ -109,6 +109,30 @@ let starve_link ~link:starved =
     pick = argmin3 k_starved k_seq k_zero;
   }
 
+(* Membership scan over the view's non-empty buffer (unordered, so a
+   linear scan is all there is). *)
+let rec mem_scan v l i =
+  if i >= v.count then false
+  else if Int.equal v.nonempty.(i) l then true
+  else mem_scan v l (i + 1)
+
+let of_schedule ?(after = fifo) schedule =
+  let cursor = ref 0 in
+  {
+    name = Printf.sprintf "schedule-%d-then-%s" (Array.length schedule) after.name;
+    pick =
+      (fun v ->
+        let c = !cursor in
+        if c >= Array.length schedule then after.pick v
+        else begin
+          cursor := c + 1;
+          let l = schedule.(c) in
+          if not (mem_scan v l 0) then
+            invalid_arg "Scheduler.of_schedule: scheduled link is empty";
+          l
+        end);
+  }
+
 let all_deterministic () =
   [
     fifo;

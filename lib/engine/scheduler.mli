@@ -73,6 +73,16 @@ val starve_link : link:int -> t
 (** Withholds one directed link as long as possible — the
     slow-channel adversary. *)
 
+val of_schedule : ?after:t -> int array -> t
+(** [of_schedule schedule] replays an explicit link sequence: the k-th
+    pick returns [schedule.(k)], raising [Invalid_argument] if that
+    link holds no message at that point (the schedule does not fit the
+    run).  Once the schedule is exhausted, picks delegate to [after]
+    (default {!fifo}).  This is how the model checker's recorded
+    choice sequences — in particular minimized counterexamples — are
+    replayed through the ordinary {!Colring_engine.Network.run} loop.
+    Stateful (an internal cursor): create one per run. *)
+
 val all_deterministic : unit -> t list
 (** Fresh instances of every deterministic scheduler above (node- and
     link-specific ones instantiated for node 0 / link 0). *)

@@ -168,7 +168,7 @@ type run_result = {
 
 let is_quiescent t = t.in_flight = 0 && t.backlog = 0
 
-let run ?(max_deliveries = 20_000_000) (t : _ t) sched =
+let run ?(max_deliveries = 50_000_000) (t : _ t) sched =
   let exhausted = ref false in
   let continue = ref true in
   while !continue do

@@ -40,6 +40,14 @@ type run_result = {
 
 val run :
   ?max_deliveries:int -> 'm t -> Colring_engine.Scheduler.t -> run_result
+(** Deliver until no message is in flight or [max_deliveries] is hit;
+    the budget semantics are those of {!Colring_engine.Network.run}
+    (same default of [50_000_000]): an exceeded budget is reported as
+    [exhausted = true], never raised and never silently dropped.  The
+    one intentional exception in the codebase is
+    [Colring_fastsim.Driver.run], whose closed-form resolution cannot
+    stop mid-pulse and therefore treats a too-small budget as a
+    contract violation ([Invalid_argument]). *)
 
 val topology : 'm t -> Gtopology.t
 val output : 'm t -> int -> Colring_engine.Output.t

@@ -1,0 +1,307 @@
+open Colring_engine
+open Colring_core
+module Classic = Colring_classic
+module Rng = Colring_stats.Rng
+
+type ablation = No_lag | Same_virtual_ids | No_absorption
+type packed = Packed : 'm Mc.spec -> packed
+
+(* ------------------------------------------------------------------ *)
+(* Verdict pieces (the terminal predicates are conjunctions of these) *)
+
+let all_of checks net =
+  let rec go = function
+    | [] -> None
+    | c :: rest -> ( match c net with Some _ as v -> v | None -> go rest)
+  in
+  go checks
+
+let check_quiescent net =
+  if Network.is_quiescent net then None
+  else Some "messages delivered but never consumed at quiescence"
+
+let check_all_terminated net =
+  if Network.all_terminated net then None
+  else Some "quiescent without every node terminated"
+
+let check_sends_exact ~expected net =
+  let sends = Metrics.sends (Network.metrics net) in
+  if sends = expected then None
+  else
+    Some
+      (Printf.sprintf "sends %d at quiescence, the paper's formula says %d"
+         sends expected)
+
+(* Exactly one Leader, at the max-ID node, and nobody Undecided. *)
+let check_roles ~leader_node net =
+  let outs = Network.outputs net in
+  let bad = ref None in
+  Array.iteri
+    (fun v (o : Output.t) ->
+      if !bad = None then
+        match o.role with
+        | Output.Leader when v <> leader_node ->
+            bad :=
+              Some
+                (Printf.sprintf
+                   "node %d elected Leader but the maximal ID is at node %d" v
+                   leader_node)
+        | Output.Undecided ->
+            bad := Some (Printf.sprintf "node %d undecided at quiescence" v)
+        | Output.Leader | Output.Non_leader -> ())
+    outs;
+  match !bad with
+  | Some _ as b -> b
+  | None ->
+      if Election.unique_leader outs = Some leader_node then None
+      else Some "no leader elected"
+
+let check_orientation net =
+  if Election.orientation_consistent (Network.topology net) (Network.outputs net)
+  then None
+  else Some "claimed clockwise ports do not form one consistent direction"
+
+(* ------------------------------------------------------------------ *)
+(* Safety monitors *)
+
+(* The one per-step check that is sound for the stabilizing algorithms
+   (1 and 3): the schedule-independent send total is an upper bound at
+   every intermediate state, not just at quiescence.  Roles are NOT
+   checked per step — two transient Leaders are legitimate while the
+   counters still climb (that is what stabilizing means). *)
+let sends_bound_monitor ~bound () net =
+  let sends = Metrics.sends (Network.metrics net) in
+  if sends > bound then
+    Some (Printf.sprintf "sends %d exceed the paper bound %d" sends bound)
+  else None
+
+(* Algorithm 2 runs Algorithm 1 over its clockwise channel, so its
+   {e outputs} revise like any stabilizing algorithm's; what Theorem 1
+   pins down per step is everything about {e termination}: no pulse
+   reaches a terminated node, nodes terminate along the promised
+   counterclockwise order ([order], leader last) — the terminated set
+   must always be a prefix of it — and a terminated node's role is
+   frozen at its final value (Leader only for the max-ID node,
+   [order]'s last entry).  Plus the send bound.  All checks are
+   functions of the observed state, as [dedup] requires. *)
+let terminating_monitor ~bound ~order () =
+  let k = Array.length order in
+  let leader_node = order.(k - 1) in
+  fun net ->
+    let m = Network.metrics net in
+    let sends = Metrics.sends m in
+    if sends > bound then
+      Some (Printf.sprintf "sends %d exceed the paper bound %d" sends bound)
+    else if Metrics.post_termination_deliveries m > 0 then
+      Some "pulse delivered to a terminated node"
+    else begin
+      let violation = ref None in
+      let frontier = ref 0 in
+      while !frontier < k && Network.terminated net order.(!frontier) do
+        incr frontier
+      done;
+      let j = ref !frontier in
+      while !j < k do
+        (if !violation = None && Network.terminated net order.(!j) then
+           violation :=
+             Some
+               (Printf.sprintf
+                  "node %d terminated before node %d, out of the Theorem 1 \
+                   order"
+                  order.(!j)
+                  order.(!frontier)));
+        incr j
+      done;
+      let i = ref 0 in
+      while !i < !frontier do
+        let v = order.(!i) in
+        let role = (Network.output net v).Output.role in
+        let expected =
+          if v = leader_node then Output.Leader else Output.Non_leader
+        in
+        (if !violation = None && not (Output.equal_role role expected) then
+           violation :=
+             Some
+               (Printf.sprintf "node %d terminated with role %s, expected %s" v
+                  (Output.role_to_string role)
+                  (Output.role_to_string expected)));
+        incr i
+      done;
+      !violation
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Spec builders *)
+
+let guard_ids ids =
+  if Array.length ids < 2 then invalid_arg "Spec: need at least 2 nodes";
+  Array.iter
+    (fun id -> if id < 1 then invalid_arg "Spec: ids must be positive")
+    ids
+
+let algo2_shape ~name ~program ~ids =
+  let n = Array.length ids in
+  let id_max = Ids.id_max ids in
+  let leader_node = Ids.argmax ids in
+  let topo = Topology.oriented n in
+  let bound = Formulas.algo2_total ~n ~id_max in
+  let order =
+    Array.of_list (Election.expected_termination_order topo ~leader:leader_node)
+  in
+  {
+    Mc.name;
+    make = (fun () -> Network.create topo (fun v -> program ~id:ids.(v)));
+    monitor = terminating_monitor ~bound ~order;
+    terminal =
+      all_of
+        [
+          check_quiescent;
+          check_all_terminated;
+          check_sends_exact ~expected:bound;
+          check_roles ~leader_node;
+        ];
+    max_depth = bound + 1;
+    dedup = true;
+    expect_violation = false;
+  }
+
+let stabilizing_shape ~name ~program ~topo ~ids ~bound ~orientation =
+  let leader_node = Ids.argmax ids in
+  let terminal_checks =
+    [ check_quiescent; check_sends_exact ~expected:bound ]
+    @ (if orientation then [ check_orientation ] else [])
+    @ [ check_roles ~leader_node ]
+  in
+  {
+    Mc.name;
+    make = (fun () -> Network.create topo (fun v -> program ~id:ids.(v)));
+    monitor = sends_bound_monitor ~bound;
+    terminal = all_of terminal_checks;
+    max_depth = bound + 1;
+    dedup = true;
+    expect_violation = false;
+  }
+
+let election algorithm ~ids ~topo_seed =
+  guard_ids ids;
+  let n = Array.length ids in
+  let id_max = Ids.id_max ids in
+  match algorithm with
+  | Election.Algo2 -> algo2_shape ~name:"algo2" ~program:Algo2.program ~ids
+  | Election.Algo1 ->
+      stabilizing_shape ~name:"algo1" ~program:Algo1.program
+        ~topo:(Topology.oriented n) ~ids
+        ~bound:(Formulas.algo1_total ~n ~id_max)
+        ~orientation:false
+  | Election.Algo3 scheme ->
+      let name, bound =
+        match scheme with
+        | Algo3.Doubled ->
+            ("algo3-doubled", Formulas.algo3_doubled_total ~n ~id_max)
+        | Algo3.Improved ->
+            ("algo3-improved", Formulas.algo3_improved_total ~n ~id_max)
+      in
+      stabilizing_shape ~name ~program:(Algo3.program ~scheme)
+        ~topo:(Topology.random_non_oriented (Rng.create ~seed:topo_seed) n)
+        ~ids ~bound ~orientation:true
+  | Election.Algo3_resample ->
+      invalid_arg
+        "Spec.election: Algo3_resample is randomized; model checking needs a \
+         deterministic system"
+
+let ablation which ~ids ~topo_seed =
+  guard_ids ids;
+  let n = Array.length ids in
+  let id_max = Ids.id_max ids in
+  let spec =
+    match which with
+    | No_lag ->
+        algo2_shape ~name:"ablation:no-lag" ~program:Ablation.algo2_no_lag ~ids
+    | Same_virtual_ids ->
+        (* The leader predicate can never hold, so the violation shows
+           up at quiescence; the doubled-scheme total is a generous
+           in-flight bound. *)
+        stabilizing_shape ~name:"ablation:same-virtual-ids"
+          ~program:Ablation.algo3_same_virtual_ids
+          ~topo:(Topology.random_non_oriented (Rng.create ~seed:topo_seed) n)
+          ~ids
+          ~bound:(Formulas.algo3_doubled_total ~n ~id_max)
+          ~orientation:true
+    | No_absorption ->
+        (* Pure relays circulate the initial pulses forever; the
+           Corollary 13 send bound breaks within a few deliveries. *)
+        stabilizing_shape ~name:"ablation:no-absorption"
+          ~program:Ablation.algo1_no_absorption ~topo:(Topology.oriented n)
+          ~ids
+          ~bound:(Formulas.algo1_total ~n ~id_max)
+          ~orientation:false
+  in
+  { spec with Mc.expect_violation = true }
+
+let classic name ~ids =
+  guard_ids ids;
+  let n = Array.length ids in
+  let topo = Topology.oriented n in
+  let leader_node = Ids.argmax ids in
+  (* No closed-form delivery count to lean on: the depth budget is the
+     safety net against non-termination.  Content-carrying messages
+     are invisible to the fingerprint, so state caching stays off. *)
+  let pack : 'm. (id:int -> 'm Network.program) -> packed =
+   fun program ->
+    Packed
+      {
+        Mc.name;
+        make = (fun () -> Network.create topo (fun v -> program ~id:ids.(v)));
+        monitor = (fun () _ -> None);
+        terminal =
+          all_of [ check_all_terminated; check_roles ~leader_node ];
+        max_depth = 64 * n * n;
+        dedup = false;
+        expect_violation = false;
+      }
+  in
+  match name with
+  | "chang-roberts" -> pack Classic.Chang_roberts.program
+  | "lelann" -> pack Classic.Lelann.program
+  | "hirschberg-sinclair" -> pack Classic.Hirschberg_sinclair.program
+  | "peterson" -> pack Classic.Peterson.program
+  | "franklin" -> pack Classic.Franklin.program
+  | "itai-rodeh" ->
+      invalid_arg
+        "Spec.classic: itai-rodeh is randomized; model checking needs a \
+         deterministic system"
+  | other -> invalid_arg (Printf.sprintf "Spec.classic: unknown target %S" other)
+
+let targets =
+  [
+    "algo1";
+    "algo2";
+    "algo3-doubled";
+    "algo3-improved";
+    "ablation:no-lag";
+    "ablation:same-virtual-ids";
+    "ablation:no-absorption";
+    "chang-roberts";
+    "lelann";
+    "hirschberg-sinclair";
+    "peterson";
+    "franklin";
+  ]
+
+let of_target target ~ids ~topo_seed =
+  match target with
+  | "algo1" -> Packed (election Election.Algo1 ~ids ~topo_seed)
+  | "algo2" -> Packed (election Election.Algo2 ~ids ~topo_seed)
+  | "algo3-doubled" ->
+      Packed (election (Election.Algo3 Algo3.Doubled) ~ids ~topo_seed)
+  | "algo3-improved" ->
+      Packed (election (Election.Algo3 Algo3.Improved) ~ids ~topo_seed)
+  | "ablation:no-lag" -> Packed (ablation No_lag ~ids ~topo_seed)
+  | "ablation:same-virtual-ids" ->
+      Packed (ablation Same_virtual_ids ~ids ~topo_seed)
+  | "ablation:no-absorption" -> Packed (ablation No_absorption ~ids ~topo_seed)
+  | "algo3-resample" ->
+      invalid_arg
+        "Spec.of_target: algo3-resample is randomized; model checking needs a \
+         deterministic system"
+  | other -> classic other ~ids

@@ -1,0 +1,66 @@
+(** Checkable system specifications for the paper's algorithms, their
+    deliberately broken {!Colring_core.Ablation} variants, and the
+    classic content-carrying baselines.
+
+    Each builder fixes one concrete instance (topology, IDs) and pairs
+    it with the strongest sound property split for its algorithm:
+
+    - {b Algorithm 2} (and its no-lag ablation) terminates quiescently,
+      so Theorem 1's termination claims are per-step invariants: no
+      pulse reaches a terminated node, nodes terminate along the
+      promised counterclockwise order (the terminated set is always a
+      prefix of it), a terminated node's role is frozen at its final
+      value, and sends stay within the closed form.  Outputs of {e
+      running} nodes still revise (Algorithm 2 runs Algorithm 1 over
+      its clockwise channel), so roles are only pinned down at the
+      terminal state, which must be exact: everyone terminated, total
+      sends equal to the formula, the max-ID node the unique Leader.
+    - {b Algorithms 1 and 3} (and the remaining ablations) merely
+      stabilize, so transient states may disagree (e.g. two Leaders for
+      a moment is legitimate); only the schedule-independent send bound
+      is monitored per step, everything else (roles, orientation, exact
+      totals) is asserted at quiescence.
+    - {b Classic baselines} have no closed form to monitor; the depth
+      budget guards non-termination and the terminal state must elect
+      the max-ID node.
+
+    Randomized targets (Itai–Rodeh, ID resampling) are rejected with
+    [Invalid_argument]: the checker explores a deterministic system's
+    schedule nondeterminism only. *)
+
+type ablation = No_lag | Same_virtual_ids | No_absorption
+
+type packed = Packed : 'm Mc.spec -> packed
+    (** Existential wrapper so a CLI can treat pulse protocols and
+        content-carrying classics uniformly. *)
+
+val election :
+  Colring_core.Election.algorithm ->
+  ids:int array ->
+  topo_seed:int ->
+  Colring_engine.Network.pulse Mc.spec
+(** Spec for one of the paper's algorithms on its natural topology:
+    oriented for 1 and 2, a seed-derived non-oriented ring for 3.
+    IDs must be positive, [Array.length ids] is the ring size.
+    [Invalid_argument] for {!Colring_core.Election.Algo3_resample}. *)
+
+val ablation :
+  ablation ->
+  ids:int array ->
+  topo_seed:int ->
+  Colring_engine.Network.pulse Mc.spec
+(** Same shapes with the broken program substituted and
+    [expect_violation] set: checking one of these {e must} produce a
+    counterexample. *)
+
+val classic : string -> ids:int array -> packed
+(** Baseline spec by name ([chang-roberts], [lelann],
+    [hirschberg-sinclair], [peterson], [franklin]); oriented ring,
+    unique positive IDs required.  [Invalid_argument] for unknown
+    names and for the randomized [itai-rodeh]. *)
+
+val of_target : string -> ids:int array -> topo_seed:int -> packed
+(** Parse any {!targets} string into its spec. *)
+
+val targets : string list
+(** Every name {!of_target} accepts, in display order. *)

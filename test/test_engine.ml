@@ -585,6 +585,138 @@ let test_inject_batch_stamp () =
   checki "inject stamps current batch" 2 !seen
 
 (* ------------------------------------------------------------------ *)
+(* Ring / Envq backing stores: growth with a wrapped live span, and
+   the pop-retention fix (popped slots must not keep payloads alive) *)
+
+let test_ring_grow_mid_wrap () =
+  let r = Ring.create () in
+  let model = Queue.create () in
+  (* Fill to the initial power-of-two capacity, drain past the
+     midpoint so [head] is non-zero, then push enough to force [grow]
+     while the live span wraps around the array end. *)
+  for i = 0 to 7 do
+    Ring.push r i;
+    Queue.push i model
+  done;
+  for _ = 0 to 4 do
+    checki "drain" (Queue.pop model) (Ring.pop r)
+  done;
+  for i = 8 to 40 do
+    Ring.push r i;
+    Queue.push i model
+  done;
+  while not (Ring.is_empty r) do
+    checki "fifo across grow" (Queue.pop model) (Ring.pop r)
+  done;
+  checki "model drained too" 0 (Queue.length model)
+
+let test_envq_grow_mid_wrap_meta () =
+  let q = Envq.create () in
+  let model = Queue.create () in
+  let push i =
+    Envq.push q (100 + i) ~seq:i ~batch:(2 * i) ~depth:(3 * i);
+    Queue.push i model
+  in
+  let pop_and_check () =
+    let i = Queue.pop model in
+    checki "seq" i (Envq.head_seq q);
+    checki "batch" (2 * i) (Envq.head_batch q);
+    checki "depth" (3 * i) (Envq.head_depth q);
+    checki "payload" (100 + i) (Envq.pop q)
+  in
+  for i = 0 to 7 do
+    push i
+  done;
+  for _ = 0 to 4 do
+    pop_and_check ()
+  done;
+  (* Growth happens with head = 5: payloads and the stride-3 meta
+     array must both be unwrapped consistently. *)
+  for i = 8 to 40 do
+    push i
+  done;
+  while not (Envq.is_empty q) do
+    pop_and_check ()
+  done
+
+(* The probes live in [@inline never] helpers so no caller register
+   keeps the popped payload reachable.  The queues retain at most the
+   FIRST element ever pushed (their clearing filler), so the tracked
+   payload is the second push. *)
+let[@inline never] ring_push_pop_probe r (w : int ref Weak.t) =
+  let filler = ref 0 in
+  let probe = ref 42 in
+  Weak.set w 0 (Some probe);
+  Ring.push r filler;
+  Ring.push r probe;
+  ignore (Ring.pop r);
+  ignore (Ring.pop r)
+
+let test_ring_pop_releases_payload () =
+  let r = Ring.create () in
+  let w = Weak.create 1 in
+  ring_push_pop_probe r w;
+  Gc.full_major ();
+  Gc.full_major ();
+  checkb "popped payload is collectable" true (Weak.get w 0 = None)
+
+let[@inline never] envq_push_pop_probe q (w : int ref Weak.t) =
+  let filler = ref 0 in
+  let probe = ref 42 in
+  Weak.set w 0 (Some probe);
+  Envq.push q filler ~seq:0 ~batch:0 ~depth:0;
+  Envq.push q probe ~seq:1 ~batch:0 ~depth:1;
+  ignore (Envq.pop q);
+  ignore (Envq.pop q)
+
+let test_envq_pop_releases_payload () =
+  let q = Envq.create () in
+  let w = Weak.create 1 in
+  envq_push_pop_probe q w;
+  Gc.full_major ();
+  Gc.full_major ();
+  checkb "popped payload is collectable" true (Weak.get w 0 = None)
+
+let prop_envq_meta_survives_growth =
+  (* Model check against Stdlib.Queue: any interleaving of pushes and
+     pops (biased toward pushes so growth triggers) keeps payloads and
+     their seq/batch/depth triples in FIFO lockstep. *)
+  QCheck.Test.make ~name:"envq matches a queue of (payload, meta) triples"
+    ~count:300
+    QCheck.(list (QCheck.make QCheck.Gen.(int_range 0 5)))
+    (fun ops ->
+      let q = Envq.create () in
+      let model = Queue.create () in
+      let counter = ref 0 in
+      let push () =
+        incr counter;
+        let c = !counter in
+        Envq.push q c ~seq:(c * 7) ~batch:(c * 11) ~depth:(c * 13);
+        Queue.push c model
+      in
+      let pop_matches () =
+        let c = Queue.pop model in
+        Envq.head_seq q = c * 7
+        && Envq.head_batch q = c * 11
+        && Envq.head_depth q = c * 13
+        && Envq.pop q = c
+      in
+      List.for_all
+        (fun op ->
+          if op = 0 && not (Envq.is_empty q) then pop_matches ()
+          else begin
+            push ();
+            true
+          end)
+        ops
+      &&
+      let ok = ref true in
+      while !ok && not (Envq.is_empty q) do
+        ok := pop_matches ()
+      done;
+      !ok && Queue.is_empty model)
+
+(* ------------------------------------------------------------------ *)
 (* Properties *)
 
 let prop_random_topologies_check =
@@ -674,7 +806,21 @@ let () =
           Alcotest.test_case "explore max states" `Quick
             test_explore_respects_max_states;
         ] );
+      ( "queues",
+        [
+          Alcotest.test_case "ring grow mid-wrap" `Quick test_ring_grow_mid_wrap;
+          Alcotest.test_case "envq grow mid-wrap meta" `Quick
+            test_envq_grow_mid_wrap_meta;
+          Alcotest.test_case "ring pop releases payload" `Quick
+            test_ring_pop_releases_payload;
+          Alcotest.test_case "envq pop releases payload" `Quick
+            test_envq_pop_releases_payload;
+        ] );
       ( "properties",
         List.map (fun t -> QCheck_alcotest.to_alcotest t)
-          [ prop_random_topologies_check; prop_conservation ] );
+          [
+            prop_random_topologies_check;
+            prop_conservation;
+            prop_envq_meta_survives_growth;
+          ] );
     ]

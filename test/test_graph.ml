@@ -241,6 +241,19 @@ let test_rotor_observations () =
     ];
   checkb "some runs quiesce" true (!quiesced > 0)
 
+let test_gnetwork_budget_reports_exhaustion () =
+  (* A run stopped by [max_deliveries] must say so ([exhausted =
+     true]) rather than silently truncate — the same budget contract
+     as the ring engine's Network.run (and, since this regression, the
+     same 50M default). *)
+  let g = Gtopology.ring 4 in
+  let ids = Ids.distinct (Rng.create ~seed:3) ~n:4 ~id_max:12 in
+  let net = Gnetwork.create g (fun v -> Circulate.rotor ~id:ids.(v)) in
+  let r = Gnetwork.run ~max_deliveries:2 net Scheduler.fifo in
+  checkb "exhaustion reported" true r.Gnetwork.exhausted;
+  checki "stopped at the budget" 2 r.Gnetwork.deliveries;
+  checkb "not quiescent" false r.Gnetwork.quiescent
+
 let test_rotor_does_not_solve_election () =
   (* The naive generalization is NOT a leader election: some run ends
      without the max-ID node as unique leader — evidence (not proof)
@@ -293,6 +306,8 @@ let () =
       ( "rotor (exploratory)",
         [
           Alcotest.test_case "observations" `Quick test_rotor_observations;
+          Alcotest.test_case "budget reports exhaustion" `Quick
+            test_gnetwork_budget_reports_exhaustion;
           Alcotest.test_case "does not solve election" `Quick
             test_rotor_does_not_solve_election;
         ] );

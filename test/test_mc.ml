@@ -1,0 +1,253 @@
+(* Tests for the lib/mc schedule-space model checker: exhaustive
+   verification of the paper's algorithms and the classic baselines on
+   small rings, guaranteed minimized counterexamples for every
+   ablation variant, schedule replay (including the
+   Scheduler.of_schedule bridge back into the ordinary run loop),
+   depth budgets, state budgets, and worker-count independence. *)
+
+open Colring_engine
+open Colring_core
+open Colring_mc
+module Rng = Colring_stats.Rng
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* A fixed scrambled assignment so the max ID is not at node 0. *)
+let ids n = Ids.distinct (Rng.create ~seed:1) ~n ~id_max:n
+
+let correct_targets =
+  [
+    "algo1";
+    "algo2";
+    "algo3-doubled";
+    "algo3-improved";
+    "chang-roberts";
+    "lelann";
+    "hirschberg-sinclair";
+    "peterson";
+    "franklin";
+  ]
+
+let ablation_targets =
+  [ "ablation:no-lag"; "ablation:same-virtual-ids"; "ablation:no-absorption" ]
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive verification of everything that should be correct *)
+
+let test_correct_targets_verify_at_n3 () =
+  List.iter
+    (fun target ->
+      let (Spec.Packed spec) = Spec.of_target target ~ids:(ids 3) ~topo_seed:2 in
+      checkb (target ^ " does not expect a violation") false
+        spec.Mc.expect_violation;
+      let r = Mc.check spec in
+      checkb (target ^ " explored exhaustively") false r.Mc.stats.Mc.truncated;
+      checkb
+        (target ^ " reached at least one terminal state")
+        true
+        (r.Mc.stats.Mc.schedules >= 1);
+      checkb (target ^ " has no counterexample") true
+        (r.Mc.counterexample = None))
+    correct_targets
+
+let test_algo2_exhaustive_at_n4 () =
+  let spec = Spec.election Election.Algo2 ~ids:(ids 4) ~topo_seed:2 in
+  let r = Mc.check spec in
+  checkb "exhaustive" false r.Mc.stats.Mc.truncated;
+  checkb "verified" true (r.Mc.counterexample = None);
+  (* Every full schedule runs the exact pulse total: n(2*ID_max+1). *)
+  checki "max depth is the paper total"
+    (Formulas.algo2_total ~n:4 ~id_max:4)
+    r.Mc.stats.Mc.max_depth_seen;
+  checkb "sleep sets pruned something" true (r.Mc.stats.Mc.sleep_pruned > 0);
+  checkb "state cache pruned something" true (r.Mc.stats.Mc.dedup_pruned > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: the checker MUST break every broken variant *)
+
+(* Replay [schedule] and return the violation, [None] when the
+   schedule is violation-free or does not even fit the run. *)
+let violation_of spec schedule =
+  match Mc.replay spec schedule with
+  | _, v -> v
+  | exception Invalid_argument _ -> None
+
+let drop_one schedule i =
+  Array.init
+    (Array.length schedule - 1)
+    (fun j -> if j < i then schedule.(j) else schedule.(j + 1))
+
+let test_ablations_yield_minimized_counterexamples () =
+  List.iter
+    (fun target ->
+      let (Spec.Packed spec) = Spec.of_target target ~ids:(ids 3) ~topo_seed:2 in
+      checkb (target ^ " expects a violation") true spec.Mc.expect_violation;
+      let r = Mc.check spec in
+      match r.Mc.counterexample with
+      | None -> Alcotest.failf "%s: no counterexample found" target
+      | Some ce ->
+          (* Replayable: the minimized schedule reproduces the same
+             violation on a fresh instance. *)
+          (match Mc.replay spec ce.Mc.schedule with
+          | _, Some v ->
+              Alcotest.(check string) (target ^ " reproduces") ce.Mc.violation v
+          | _, None -> Alcotest.failf "%s: counterexample does not replay" target);
+          (* 1-minimal: dropping any single delivery loses the bug
+             (the depth violation is minimal by construction). *)
+          if ce.Mc.violation <> Mc.depth_violation then
+            Array.iteri
+              (fun i _ ->
+                checkb
+                  (Printf.sprintf "%s minimal at %d" target i)
+                  true
+                  (violation_of spec (drop_one ce.Mc.schedule i) = None))
+              ce.Mc.schedule)
+    ablation_targets
+
+(* ------------------------------------------------------------------ *)
+(* Worker-count independence *)
+
+let test_results_independent_of_jobs () =
+  List.iter
+    (fun target ->
+      let (Spec.Packed spec) = Spec.of_target target ~ids:(ids 3) ~topo_seed:2 in
+      let r1 = Mc.check ~jobs:1 spec in
+      let r4 = Mc.check ~jobs:4 spec in
+      checkb (target ^ " identical for -j 1 and -j 4") true (r1 = r4))
+    [ "algo2"; "algo3-improved"; "ablation:no-lag"; "franklin" ]
+
+(* ------------------------------------------------------------------ *)
+(* Replay: force_step-driven and Scheduler.of_schedule-driven runs
+   land in the same state *)
+
+let test_of_schedule_matches_force_step_replay () =
+  let spec = Spec.ablation Spec.No_lag ~ids:(ids 3) ~topo_seed:2 in
+  let r = Mc.check spec in
+  let ce = Option.get r.Mc.counterexample in
+  let via_replay, _ = Mc.replay spec ce.Mc.schedule in
+  let via_sched = spec.Mc.make () in
+  let sched = Scheduler.of_schedule ce.Mc.schedule in
+  Array.iter (fun _ -> ignore (Network.step via_sched sched)) ce.Mc.schedule;
+  Alcotest.(check string)
+    "same state either way"
+    (Explore.fingerprint via_replay)
+    (Explore.fingerprint via_sched)
+
+let test_of_schedule_rejects_empty_link_and_delegates () =
+  let make () =
+    Network.create (Topology.oriented 3) (fun v -> Algo2.program ~id:(v + 1))
+  in
+  (* A prefix of real choices, then fifo finishes the run. *)
+  let net = make () in
+  let l0 = Network.enabled_link net ~after:(-1) in
+  let result =
+    Network.run net (Scheduler.of_schedule ~after:Scheduler.fifo [| l0 |])
+  in
+  checkb "run completed under the hybrid scheduler" true result.quiescent;
+  (* Scheduling a drained link is a contract violation, not a skip. *)
+  let net = make () in
+  let empty_link = Network.enabled_link net ~after:(-1) + 1 in
+  let bad = Scheduler.of_schedule [| empty_link |] in
+  checkb "empty link rejected" true
+    (match Network.run net bad with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Budgets and guards *)
+
+let toy ~max_depth ~monitor =
+  {
+    Mc.name = "toy";
+    make =
+      (fun () ->
+        Network.create (Topology.oriented 2) (fun v -> Algo1.program ~id:(v + 1)));
+    monitor;
+    terminal = (fun _ -> None);
+    max_depth;
+    dedup = false;
+    expect_violation = true;
+  }
+
+let test_depth_budget_is_a_violation () =
+  (* Algorithm 1 on ids {1,2} needs 4 deliveries; a budget of 2 makes
+     every schedule a depth violation, reported (not raised) and left
+     unshrunk (every proper subsequence is below the budget). *)
+  let r = Mc.check (toy ~max_depth:2 ~monitor:(fun () _ -> None)) in
+  match r.Mc.counterexample with
+  | Some ce ->
+      Alcotest.(check string) "depth violation" Mc.depth_violation ce.Mc.violation;
+      checki "schedule at the budget" 2 (Array.length ce.Mc.schedule)
+  | None -> Alcotest.fail "expected a depth violation"
+
+let test_initial_state_violation_is_empty_schedule () =
+  let r =
+    Mc.check (toy ~max_depth:8 ~monitor:(fun () _ -> Some "broken at birth"))
+  in
+  match r.Mc.counterexample with
+  | Some ce ->
+      Alcotest.(check string) "violation" "broken at birth" ce.Mc.violation;
+      checki "empty schedule" 0 (Array.length ce.Mc.schedule)
+  | None -> Alcotest.fail "expected an initial-state violation"
+
+let test_max_states_reports_truncation () =
+  let spec = Spec.election (Election.Algo3 Algo3.Doubled) ~ids:(ids 3) ~topo_seed:2 in
+  let r = Mc.check ~max_states:10 spec in
+  checkb "truncated" true r.Mc.stats.Mc.truncated
+
+let test_link_mask_guard () =
+  (* 31 nodes = 62 directed links: beyond the int sleep-set masks. *)
+  let spec = Spec.election Election.Algo1 ~ids:(ids 31) ~topo_seed:2 in
+  checkb "guarded" true
+    (match Mc.check spec with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_randomized_targets_rejected () =
+  List.iter
+    (fun target ->
+      checkb (target ^ " rejected") true
+        (match Spec.of_target target ~ids:(ids 3) ~topo_seed:2 with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+    [ "itai-rodeh"; "algo3-resample"; "no-such-algorithm" ]
+
+let () =
+  Alcotest.run "colring-mc"
+    [
+      ( "verify",
+        [
+          Alcotest.test_case "all correct targets at n=3" `Quick
+            test_correct_targets_verify_at_n3;
+          Alcotest.test_case "algo2 exhaustive at n=4" `Quick
+            test_algo2_exhaustive_at_n4;
+        ] );
+      ( "ablations",
+        [
+          Alcotest.test_case "minimized counterexamples" `Quick
+            test_ablations_yield_minimized_counterexamples;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "jobs independence" `Quick
+            test_results_independent_of_jobs;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "of_schedule matches force_step" `Quick
+            test_of_schedule_matches_force_step_replay;
+          Alcotest.test_case "of_schedule contract" `Quick
+            test_of_schedule_rejects_empty_link_and_delegates;
+        ] );
+      ( "budgets",
+        [
+          Alcotest.test_case "depth budget" `Quick test_depth_budget_is_a_violation;
+          Alcotest.test_case "initial violation" `Quick
+            test_initial_state_violation_is_empty_schedule;
+          Alcotest.test_case "max states" `Quick test_max_states_reports_truncation;
+          Alcotest.test_case "link mask guard" `Quick test_link_mask_guard;
+          Alcotest.test_case "randomized rejected" `Quick
+            test_randomized_targets_rejected;
+        ] );
+    ]

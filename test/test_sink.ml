@@ -68,6 +68,31 @@ let test_null_sink_steady_state_allocates_nothing () =
        "sink adds no per-event allocation (%.3f words over 2000 steps)" dw)
     true (dw < 3_000.0)
 
+(* The pop-retention fix clears each popped slot with a plain store;
+   a pop-heavy steady state (every iteration pops AND pushes on both
+   queue kinds) must stay allocation-free — the clearing must not
+   box, Array.fill, or re-grow. *)
+let test_pop_heavy_queue_churn_allocates_nothing () =
+  let r = Ring.create () in
+  let q = Envq.create () in
+  let x = ref 0 in
+  for i = 1 to 64 do
+    Ring.push r x;
+    Envq.push q x ~seq:i ~batch:i ~depth:i
+  done;
+  Gc.full_major ();
+  let w0 = Gc.minor_words () in
+  for i = 1 to 50_000 do
+    ignore (Ring.pop r);
+    Ring.push r x;
+    ignore (Envq.pop q);
+    Envq.push q x ~seq:i ~batch:i ~depth:i
+  done;
+  let dw = Gc.minor_words () -. w0 in
+  checkb
+    (Printf.sprintf "pop-heavy churn allocates nothing (%.1f words)" dw)
+    true (dw < 64.0)
+
 (* ------------------------------------------------------------------ *)
 (* Memory sink ≡ deprecated [?record_trace]. *)
 
@@ -101,6 +126,43 @@ let test_tee () =
   checkb "memory side saw events" true
     (Trace.length (Option.get (Sink.trace both)) > 0);
   checkb "jsonl side saw the same run" true (Buffer.length buf > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot cadence: [~snapshot_every] means the same thing to every
+   driver.  The same Algorithm 2 run journaled through Election.run
+   and through Classic.Driver.run must produce byte-identical
+   snapshot records (run_start/run_end legitimately differ). *)
+
+let snapshot_lines buf =
+  String.split_on_char '\n' (Buffer.contents buf)
+  |> List.filter (fun l ->
+         String.length l > 0
+         && String.starts_with ~prefix:"{\"type\":\"snapshot\"" l)
+
+let test_snapshot_cadence_matches_across_drivers () =
+  let n = 6 in
+  let ids = Ids.distinct (Rng.create ~seed:11) ~n ~id_max:8 in
+  let topo = Topology.oriented n in
+  let election_buf = Buffer.create 4096 in
+  let sink = Sink.jsonl_buffer election_buf in
+  ignore
+    (Election.run_report ~seed:3 ~sink ~snapshot_every:25 Election.Algo2 ~topo
+       ~ids
+       ~sched:(Scheduler.random (Rng.create ~seed:5)));
+  sink.Sink.flush ();
+  let driver_buf = Buffer.create 4096 in
+  let sink = Sink.jsonl_buffer driver_buf in
+  ignore
+    (Colring_classic.Driver.run ~seed:3 ~sink ~snapshot_every:25 ~name:"algo2"
+       ~expect_max:ids
+       (fun v -> Algo2.program ~id:ids.(v))
+       ~topo
+       ~sched:(Scheduler.random (Rng.create ~seed:5)));
+  sink.Sink.flush ();
+  let e = snapshot_lines election_buf and d = snapshot_lines driver_buf in
+  checkb "snapshots were emitted" true (List.length e > 1);
+  checki "same snapshot count" (List.length e) (List.length d);
+  List.iter2 (fun a b -> checks "snapshot line" a b) e d
 
 (* ------------------------------------------------------------------ *)
 (* jsonl journals: shape and replay. *)
@@ -256,6 +318,8 @@ let () =
         [
           Alcotest.test_case "steady state allocates nothing" `Quick
             test_null_sink_steady_state_allocates_nothing;
+          Alcotest.test_case "pop-heavy churn allocates nothing" `Quick
+            test_pop_heavy_queue_churn_allocates_nothing;
         ] );
       ( "memory",
         [
@@ -268,6 +332,8 @@ let () =
           Alcotest.test_case "journal replays" `Quick test_jsonl_journal_replays;
           Alcotest.test_case "events:false keeps lifecycle" `Quick
             test_jsonl_events_off_keeps_lifecycle_only;
+          Alcotest.test_case "snapshot cadence across drivers" `Quick
+            test_snapshot_cadence_matches_across_drivers;
         ] );
       ( "sweep",
         [

@@ -9,7 +9,9 @@
      (functions push pop peek is_empty length))
 (hot (file lib/engine/network.ml)
      (functions enqueue deliver_from step view mark_nonempty unmark_if_empty
-                slot))
+                slot enabled_count enabled_scan enabled_link))
 (hot (file lib/engine/scheduler.ml)
      (functions argmin_scan argmin3 rr_scan k_seq k_neg_seq k_batch k_cw_first
-                k_zero))
+                k_zero mem_scan))
+(hot (file lib/mc/mc.ml)
+     (functions bit subset replay_prefix))
