@@ -1351,7 +1351,86 @@ let e15 ~sink ~jobs ~quick =
     ns;
   print_table ~sink ~name:"e15" t
 
+(* ------------------------------------------------------------------ *)
+(* E16: transport backends — elections/sec and wall-clock latency
+   percentiles per backend, fault-free and under jitter.  Ordering is
+   load-bearing twice over: Unix.fork is forbidden for the rest of the
+   process once any domain has been spawned (OCaml 5), so bench/main.ml
+   runs E16 before every pool-using experiment, and within the table
+   the forking socket rows run before the domains rows. *)
+
+module Backend = Colring_transport.Backend
+
+let e16 ~sink ~quick =
+  section
+    "E16 Transport backends  --  elections/sec and per-election wall-clock\n\
+     latency per backend (sim / domains / socket), fault-free and under\n\
+     deterministic latency+jitter injection.  'verified' counts runs whose\n\
+     recorded schedule replayed byte-identically on the simulator.";
+  let n = 8 in
+  let trials = if quick then 8 else 32 in
+  let topo = Topology.oriented n in
+  let t =
+    Table.create
+      [
+        ("backend", Table.Left);
+        ("faults", Table.Left);
+        ("trials", Table.Right);
+        ("elections/s", Table.Right);
+        ("p50 ms", Table.Right);
+        ("p99 ms", Table.Right);
+        ("verified", Table.Right);
+        ("ok", Table.Right);
+      ]
+  in
+  let row backend (fault_label, faults) =
+    let times = Array.make trials 0.0 in
+    let verified = ref 0 and elected = ref 0 in
+    for i = 0 to trials - 1 do
+      let ids = Ids.dense (Rng.create ~seed:(50 + i)) ~n in
+      let t0 = Unix.gettimeofday () in
+      let r = Backend.elect ~seed:i ~faults backend Election.Algo2 ~topo ~ids in
+      times.(i) <- Unix.gettimeofday () -. t0;
+      if r.Backend.verified then incr verified;
+      if Election.ok r.Backend.report then incr elected
+    done;
+    let total = Array.fold_left ( +. ) 0.0 times in
+    Array.sort Float.compare times;
+    let pct p =
+      times.(min (trials - 1) (int_of_float (p *. float_of_int trials)))
+    in
+    Table.add_row t
+      [
+        Backend.name backend;
+        fault_label;
+        Table.cell_int trials;
+        Table.cell_float ~decimals:0 (float_of_int trials /. total);
+        Table.cell_float ~decimals:3 (pct 0.50 *. 1e3);
+        Table.cell_float ~decimals:3 (pct 0.99 *. 1e3);
+        Table.cell_int !verified;
+        Table.cell_int !elected;
+      ]
+  in
+  let fault_cases =
+    [
+      ("none", Transport.no_fault);
+      ( "lat=100us jit=300us",
+        Transport.faults ~seed:7 ~latency:100 ~jitter:300 () );
+    ]
+  in
+  (* Socket rows first (they fork), then the domain-spawning rows. *)
+  List.iter
+    (fun b -> List.iter (row b) fault_cases)
+    [
+      Backend.Socket { tcp = false };
+      Backend.Socket { tcp = true };
+      Backend.Sim;
+      Backend.Domains;
+    ];
+  print_table ~sink ~name:"e16" t
+
 let all ~sink ~jobs ~quick =
+  e16 ~sink ~quick;
   e1 ~sink ~jobs ~quick;
   e1_dup ~sink ~jobs ~quick;
   e2 ~sink ~jobs ~quick;

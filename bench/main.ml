@@ -18,6 +18,7 @@
    after each parallel batch drains. *)
 
 module Sink = Colring_engine.Sink
+module Cli = Colring_harness.Cli
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -25,9 +26,11 @@ let () =
     | [] -> (jobs, journal, List.rev acc)
     | ("-j" | "--jobs") :: v :: rest -> (
         match int_of_string_opt v with
-        | Some j when j >= 1 -> extract_opts acc (Some j) journal rest
-        | _ ->
-            prerr_endline ("bench: invalid -j value " ^ v);
+        | Some j ->
+            let j = Cli.exit_or ~cmd:"bench" (Cli.positive ~flag:"-j" j) in
+            extract_opts acc (Some j) journal rest
+        | None ->
+            prerr_endline ("bench: -j " ^ v ^ ": expected an integer");
             exit 2)
     | ("-j" | "--jobs") :: [] ->
         prerr_endline "bench: -j expects a value";
@@ -39,17 +42,7 @@ let () =
     | x :: rest -> extract_opts (x :: acc) jobs journal rest
   in
   let jobs_opt, journal, args = extract_opts [] None None args in
-  let jobs =
-    match jobs_opt with
-    | Some j -> j
-    | None -> Colring_runtime.Pool.default_jobs ()
-  in
-  let journal_oc = Option.map open_out journal in
-  let sink =
-    match journal_oc with
-    | None -> Sink.null
-    | Some oc -> Sink.jsonl_channel oc
-  in
+  let jobs = Cli.exit_or ~cmd:"bench" (Cli.jobs ~flag:"-j" jobs_opt) in
   let quick = List.mem "quick" args in
   let selected = List.filter (fun a -> a <> "quick") args in
   let want name = selected = [] || List.mem name selected in
@@ -59,21 +52,29 @@ let () =
      mode: %s, domains: %d\n"
     (if quick then "quick" else "full")
     jobs;
-  if want "e1" then (Experiments.e1 ~sink ~jobs ~quick; Experiments.e1_dup ~sink ~jobs ~quick);
-  if want "e2" then Experiments.e2 ~sink ~jobs ~quick;
-  if want "e3" || want "e4" then Experiments.e3_e4 ~sink ~jobs ~quick;
-  if want "e5" then Experiments.e5 ~sink ~jobs ~quick;
-  if want "e6" then (Experiments.e6 ~sink ~quick; Experiments.e6b ~sink ~quick);
-  if want "e7" then Experiments.e7 ~sink ~jobs ~quick;
-  if want "e8" then Experiments.e8 ~sink ~quick;
-  if want "e9" then Experiments.e9 ~sink ~jobs ~quick;
-  if want "e10" then Experiments.e10 ~sink ~quick;
-  if want "e11" then Experiments.e11 ~sink ~quick;
-  if want "e12" then Experiments.e12 ~sink ~jobs ~quick;
-  if want "e13" then Experiments.e13 ~sink ~jobs ~quick;
-  if want "e14" then Experiments.e14 ~sink ~jobs ~quick;
-  if want "e15" then Experiments.e15 ~sink ~jobs ~quick;
-  if want "timing" then Timing.run ()
-  else if want "throughput" then Timing.throughput ~quick ();
-  sink.Sink.flush ();
-  Option.iter close_out journal_oc
+  let run_selected sink =
+    (* E16 first: its socket backend forks, and Unix.fork is forbidden
+       once any pool-using experiment below has spawned a domain. *)
+    if want "e16" then Experiments.e16 ~sink ~quick;
+    if want "e1" then (Experiments.e1 ~sink ~jobs ~quick; Experiments.e1_dup ~sink ~jobs ~quick);
+    if want "e2" then Experiments.e2 ~sink ~jobs ~quick;
+    if want "e3" || want "e4" then Experiments.e3_e4 ~sink ~jobs ~quick;
+    if want "e5" then Experiments.e5 ~sink ~jobs ~quick;
+    if want "e6" then (Experiments.e6 ~sink ~quick; Experiments.e6b ~sink ~quick);
+    if want "e7" then Experiments.e7 ~sink ~jobs ~quick;
+    if want "e8" then Experiments.e8 ~sink ~quick;
+    if want "e9" then Experiments.e9 ~sink ~jobs ~quick;
+    if want "e10" then Experiments.e10 ~sink ~quick;
+    if want "e11" then Experiments.e11 ~sink ~quick;
+    if want "e12" then Experiments.e12 ~sink ~jobs ~quick;
+    if want "e13" then Experiments.e13 ~sink ~jobs ~quick;
+    if want "e14" then Experiments.e14 ~sink ~jobs ~quick;
+    if want "e15" then Experiments.e15 ~sink ~jobs ~quick;
+    if want "timing" then Timing.run ()
+    else if want "throughput" then Timing.throughput ~quick ()
+  in
+  (* The journal sink flushes on ALL exits (valid prefix even when an
+     experiment raises); without a journal it is the null sink. *)
+  match journal with
+  | None -> run_selected Sink.null
+  | Some path -> Sink.with_jsonl_channel path run_selected

@@ -200,6 +200,128 @@ let measure ?(min_time = 0.5) case =
     top_heap_words = s1.Gc.top_heap_words;
   }
 
+(* {2 Transport backend throughput}
+
+   Elections per second and per-election wall-clock percentiles for
+   each transport backend, with the replay verification pass included
+   in the measured work (that is the price an honest backend pays).
+   Ordering is load-bearing: the socket rows fork, and Unix.fork is
+   forbidden for the rest of the process once any domain has been
+   spawned (OCaml 5) — so this section runs before the sweep ladder
+   below, and its socket rows run before its domains rows.  When the
+   process has already spawned domains (full bench run), the socket
+   rows are skipped and recorded as such. *)
+
+module Backend = Colring_transport.Backend
+
+type transport_point = {
+  tb_backend : string;
+  tb_faults : string;
+  tb_trials : int;
+  tb_elections_per_sec : float;
+  tb_p50_ms : float;
+  tb_p99_ms : float;
+  tb_verified : int;
+}
+
+let transport_fault_cases =
+  [
+    ("none", Colring_engine.Transport.no_fault);
+    ( "lat=100us jit=300us",
+      Colring_engine.Transport.faults ~seed:7 ~latency:100 ~jitter:300 () );
+  ]
+
+let measure_backend ~trials ~n backend (fault_label, faults) =
+  let topo = Topology.oriented n in
+  let times = Array.make trials 0.0 in
+  let verified = ref 0 in
+  for i = 0 to trials - 1 do
+    let ids = Ids.dense (Rng.create ~seed:(50 + i)) ~n in
+    let t0 = Unix.gettimeofday () in
+    let r = Backend.elect ~seed:i ~faults backend Election.Algo2 ~topo ~ids in
+    times.(i) <- Unix.gettimeofday () -. t0;
+    if r.Backend.verified && Election.ok r.Backend.report then incr verified
+  done;
+  let total = Array.fold_left ( +. ) 0.0 times in
+  Array.sort Float.compare times;
+  let pct p =
+    times.(min (trials - 1) (int_of_float (p *. float_of_int trials)))
+  in
+  {
+    tb_backend = Backend.name backend;
+    tb_faults = fault_label;
+    tb_trials = trials;
+    tb_elections_per_sec = float_of_int trials /. total;
+    tb_p50_ms = pct 0.50 *. 1e3;
+    tb_p99_ms = pct 0.99 *. 1e3;
+    tb_verified = !verified;
+  }
+
+let transport_section ~quick () =
+  Printf.printf
+    "\n================================================================\n";
+  Printf.printf "Transport backends (elections/sec, per-election latency)\n";
+  Printf.printf
+    "================================================================\n\n";
+  let trials = if quick then 8 else 32 in
+  let n = 8 in
+  let points = ref [] and skipped = ref [] in
+  List.iter
+    (fun backend ->
+      List.iter
+        (fun fc ->
+          match backend with
+          | Backend.Socket _ -> (
+              match measure_backend ~trials ~n backend fc with
+              | p -> points := p :: !points
+              | exception Failure _ ->
+                  (* Socket after a domain spawn: fork unavailable. *)
+                  skipped := Backend.name backend :: !skipped)
+          | Backend.Sim | Backend.Domains ->
+              points := measure_backend ~trials ~n backend fc :: !points)
+        transport_fault_cases)
+    [
+      Backend.Socket { tcp = false };
+      Backend.Socket { tcp = true };
+      Backend.Sim;
+      Backend.Domains;
+    ];
+  let points = List.rev !points in
+  let skipped = List.sort_uniq String.compare !skipped in
+  Printf.printf "%-12s %-20s %7s %14s %10s %10s %9s\n" "backend" "faults"
+    "trials" "elections/s" "p50 ms" "p99 ms" "verified";
+  List.iter
+    (fun p ->
+      Printf.printf "%-12s %-20s %7d %14.0f %10.3f %10.3f %9d\n" p.tb_backend
+        p.tb_faults p.tb_trials p.tb_elections_per_sec p.tb_p50_ms p.tb_p99_ms
+        p.tb_verified)
+    points;
+  if skipped <> [] then
+    Printf.printf "skipped (fork unavailable after domain spawn): %s\n"
+      (String.concat ", " skipped);
+  let json_of_point p =
+    Bench_io.Obj
+      [
+        ("backend", Bench_io.String p.tb_backend);
+        ("faults", Bench_io.String p.tb_faults);
+        ("trials", Bench_io.Int p.tb_trials);
+        ("elections_per_sec", Bench_io.Float p.tb_elections_per_sec);
+        ("p50_ms", Bench_io.Float p.tb_p50_ms);
+        ("p99_ms", Bench_io.Float p.tb_p99_ms);
+        ("verified", Bench_io.Int p.tb_verified);
+      ]
+  in
+  Bench_io.Obj
+    [
+      ("ring_n", Bench_io.Int n);
+      ("results", Bench_io.List (List.map json_of_point points));
+      ( "skipped_backends",
+        Bench_io.List (List.map (fun s -> Bench_io.String s) skipped) );
+      ( "all_verified",
+        Bench_io.Bool
+          (List.for_all (fun p -> p.tb_verified = p.tb_trials) points) );
+    ]
+
 (* {2 Sweep throughput}
 
    The harness-level counterpart of the engine section: one E2-style
@@ -308,7 +430,7 @@ let sweep_section ~quick () =
    schema regresses. *)
 let validate_report path =
   let fail msg =
-    failwith (Printf.sprintf "%s: schema_version 2 check failed: %s" path msg)
+    failwith (Printf.sprintf "%s: schema_version 3 check failed: %s" path msg)
   in
   let j = try Bench_io.read_file path with
     | Bench_io.Parse_error e -> fail ("unparsable JSON: " ^ e)
@@ -318,9 +440,24 @@ let validate_report path =
   let float_field obj k =
     Option.bind (Bench_io.member k obj) Bench_io.get_float
   in
-  require (int_field j "schema_version" = Some 2) "schema_version must be 2";
+  require (int_field j "schema_version" = Some 3) "schema_version must be 3";
   require (int_field j "domains_recommended" <> None)
     "missing domains_recommended";
+  (match Bench_io.member "transport" j with
+  | None -> fail "missing transport section"
+  | Some tr -> (
+      match Option.bind (Bench_io.member "results" tr) Bench_io.get_list with
+      | Some (_ :: _ as points) ->
+          List.iter
+            (fun p ->
+              require
+                (Option.bind (Bench_io.member "backend" p) Bench_io.get_string
+                <> None)
+                "transport point missing backend";
+              require (float_field p "elections_per_sec" <> None)
+                "transport point missing elections_per_sec")
+            points
+      | _ -> fail "transport missing results list"));
   (match Option.bind (Bench_io.member "experiments" j) Bench_io.get_list with
   | Some (_ :: _ as cases) ->
       List.iter
@@ -373,20 +510,24 @@ let throughput ?(quick = false) ?(json_path = "BENCH_engine.json") () =
       Printf.printf "%-24s %6d %12d %14.0f %12.2f\n" r.case.case_name r.runs
         r.deliveries r.del_per_sec r.minor_words_per_delivery)
     results;
+  (* Transport before sweep: the sweep ladder spawns domains, after
+     which the socket rows could no longer fork. *)
+  let transport = transport_section ~quick () in
   let sweep = sweep_section ~quick () in
   Bench_io.write_file json_path
     (Bench_io.Obj
        [
-         ("schema_version", Bench_io.Int 2);
+         ("schema_version", Bench_io.Int 3);
          ("suite", Bench_io.String "colring-engine");
          ("ocaml_version", Bench_io.String Sys.ocaml_version);
          ("word_size_bits", Bench_io.Int Sys.word_size);
          ("domains_recommended", Bench_io.Int (Domain.recommended_domain_count ()));
          ("experiments", Bench_io.List (List.map json_of_result results));
+         ("transport", transport);
          ("sweep", sweep);
        ]);
   validate_report json_path;
-  Printf.printf "\nwrote %s (schema_version 2, shape validated)\n" json_path
+  Printf.printf "\nwrote %s (schema_version 3, shape validated)\n" json_path
 
 let run () =
   Printf.printf

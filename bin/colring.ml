@@ -13,12 +13,34 @@ module Classic = Colring_classic
 module Compose = Colring_compose
 module LB = Colring_lowerbound
 module Harness = Colring_harness
+module Backend = Colring_transport.Backend
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments *)
 
+(* All numeric flags go through lib/harness Cli validators, so a bad
+   value is a one-line usage error at parse time — the same rules the
+   bench runner applies — instead of a backtrace from whatever
+   constructor first chokes on it. *)
+let validated_int validate ~flag =
+  let parse s =
+    match int_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "%s %s: expected an integer" flag s))
+    | Some v -> (
+        match validate ~flag v with
+        | Ok v -> Ok v
+        | Error msg -> Error (`Msg msg))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let ring_size_conv = validated_int Harness.Cli.ring_size ~flag:"-n"
+let positive_conv ~flag = validated_int Harness.Cli.positive ~flag
+let non_negative_conv ~flag = validated_int Harness.Cli.non_negative ~flag
+
 let n_arg =
-  Arg.(value & opt int 8 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Ring size.")
+  Arg.(
+    value & opt ring_size_conv 8
+    & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Ring size (at least 2).")
 
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
@@ -53,7 +75,8 @@ let journal_arg =
 
 let snapshot_arg =
   Arg.(
-    value & opt int 10_000
+    value
+    & opt (positive_conv ~flag:"--snapshot-every") 10_000
     & info [ "snapshot-every" ] ~docv:"K"
         ~doc:
           "With $(b,--journal): emit a counter snapshot record every $(docv) \
@@ -61,19 +84,12 @@ let snapshot_arg =
            the same thing for every subcommand that accepts it.")
 
 (* Run [f] with a jsonl sink on [path] (the null sink when no journal
-   was asked for), flushing and closing afterwards. *)
+   was asked for).  Sink.with_jsonl_channel flushes on ALL exits, so a
+   run that raises still leaves a valid journal prefix behind. *)
 let with_journal path f =
   match path with
   | None -> f Sink.null
-  | Some p ->
-      let oc = open_out p in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () ->
-          let sink = Sink.jsonl_channel oc in
-          let r = f sink in
-          sink.Sink.flush ();
-          r)
+  | Some p -> Sink.with_jsonl_channel p f
 
 let diagram_arg =
   Arg.(
@@ -115,11 +131,12 @@ let print_report (r : Election.report) =
   | Some ok -> Printf.printf "termination order   %s\n" (if ok then "leader-last, ccw" else "UNEXPECTED")
   | None -> ()
 
-let print_outputs net =
+let print_output_array outs =
   Array.iteri
-    (fun v (o : Output.t) ->
-      Format.printf "  node %d: %a@." v Output.pp o)
-    (Network.outputs net)
+    (fun v (o : Output.t) -> Format.printf "  node %d: %a@." v Output.pp o)
+    outs
+
+let print_outputs net = print_output_array (Network.outputs net)
 
 let maybe_trace net want =
   if want then
@@ -151,7 +168,57 @@ let algo_arg =
           "algo1 (stabilizing), algo2 (terminating), algo3-doubled, \
            algo3-improved (non-oriented), resample (Prop. 19).")
 
-let elect n seed id_max sched_name algo trace diagram journal snapshot_every =
+let backend_conv =
+  let parse s =
+    match Backend.of_name s with Ok b -> Ok b | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf b -> Format.pp_print_string ppf (Backend.name b))
+
+let backend_arg =
+  Arg.(
+    value
+    & opt backend_conv Backend.Sim
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Transport backend: $(b,sim) (deterministic simulator), \
+           $(b,domains) (one OCaml domain per node, shared-memory pulse \
+           channels), $(b,socket) (one OS process per node over Unix \
+           sockets), $(b,socket-tcp) (same over loopback TCP). Every \
+           backend's recorded delivery schedule is replayed on the \
+           simulator and cross-checked; the journal always comes from the \
+           replay.")
+
+let latency_arg =
+  Arg.(
+    value
+    & opt (non_negative_conv ~flag:"--latency") 0
+    & info [ "latency" ] ~docv:"MICROS"
+        ~doc:
+          "Fault injection: base per-pulse link delay in microseconds \
+           (deterministic; on $(b,sim) it reorders the schedule, on the \
+           real backends it also sleeps).")
+
+let jitter_arg =
+  Arg.(
+    value
+    & opt (non_negative_conv ~flag:"--jitter") 0
+    & info [ "jitter" ] ~docv:"MICROS"
+        ~doc:
+          "Fault injection: extra per-pulse delay drawn uniformly from \
+           [0, $(docv)] by a seeded hash — the same seed gives the same \
+           delays on every backend.")
+
+let max_deliveries_arg =
+  Arg.(
+    value
+    & opt (some (positive_conv ~flag:"--max-deliveries")) None
+    & info [ "max-deliveries" ] ~docv:"K"
+        ~doc:
+          "Abort the run after $(docv) pulse deliveries (the run is then \
+           reported as exhausted and fails).")
+
+let elect n seed id_max sched_name algo trace diagram journal snapshot_every
+    backend latency jitter max_deliveries =
   let ids = make_ids ~n ~id_max ~seed in
   let topo =
     match algo with
@@ -160,34 +227,63 @@ let elect n seed id_max sched_name algo trace diagram journal snapshot_every =
         Topology.random_non_oriented (Rng.create ~seed:(seed + 1)) n
   in
   let sched = scheduler_of_name sched_name ~seed in
-  let memory =
-    if trace || diagram then Sink.memory () else Sink.null
-  in
-  let report, net =
-    with_journal journal (fun journal_sink ->
-        Election.run ~seed ~sink:(Sink.tee memory journal_sink) ~snapshot_every
-          algo ~topo ~ids ~sched)
+  let faults =
+    if latency = 0 && jitter = 0 then Transport.no_fault
+    else Transport.faults ~seed ~latency ~jitter ()
   in
   Printf.printf "ids: [%s]\n"
     (String.concat "; " (Array.to_list (Array.map string_of_int ids)));
-  print_report report;
-  print_outputs net;
-  maybe_trace net trace;
-  if diagram then begin
-    match Network.trace net with
-    | Some tr ->
-        print_endline (Diagram.render tr ~n);
-        print_endline Diagram.legend
-    | None -> ()
-  end;
-  if Election.ok report then 0 else 1
+  match backend with
+  | Backend.Sim when Transport.is_pure faults ->
+      (* The direct simulator path: no verification pass, and the only
+         one where the engine records an event trace. *)
+      let memory = if trace || diagram then Sink.memory () else Sink.null in
+      let report, net =
+        with_journal journal (fun journal_sink ->
+            Election.run ~seed ?max_deliveries
+              ~sink:(Sink.tee memory journal_sink) ~snapshot_every algo ~topo
+              ~ids ~sched)
+      in
+      print_report report;
+      print_outputs net;
+      maybe_trace net trace;
+      if diagram then begin
+        match Network.trace net with
+        | Some tr ->
+            print_endline (Diagram.render tr ~n);
+            print_endline Diagram.legend
+        | None -> ()
+      end;
+      if Election.ok report then 0 else 1
+  | spec ->
+      if trace || diagram then begin
+        prerr_endline
+          "colring elect: --trace/--diagram need the direct simulator path \
+           (--backend sim without --latency/--jitter)";
+        2
+      end
+      else begin
+        let r =
+          with_journal journal (fun sink ->
+              Backend.elect ~seed ?max_deliveries ~faults ~sink ~snapshot_every
+                ~sched spec algo ~topo ~ids)
+        in
+        Printf.printf "backend             %s%s\n" (Backend.name spec)
+          (if Transport.is_pure faults then ""
+           else Printf.sprintf " (latency %dus, jitter %dus)" latency jitter);
+        Printf.printf "replay verified     %b\n" r.Backend.verified;
+        print_report r.Backend.report;
+        print_output_array r.Backend.live.Transport.outputs;
+        if Election.ok r.Backend.report && r.Backend.verified then 0 else 1
+      end
 
 let elect_cmd =
   Cmd.v
     (Cmd.info "elect" ~doc:"Run a content-oblivious leader election.")
     Term.(
       const elect $ n_arg $ seed_arg $ id_max_arg $ sched_arg $ algo_arg
-      $ trace_arg $ diagram_arg $ journal_arg $ snapshot_arg)
+      $ trace_arg $ diagram_arg $ journal_arg $ snapshot_arg $ backend_arg
+      $ latency_arg $ jitter_arg $ max_deliveries_arg)
 
 (* ------------------------------------------------------------------ *)
 (* orient *)
@@ -405,17 +501,15 @@ let csv_arg =
 let jobs_arg =
   Arg.(
     value
-    & opt (some int) None
+    & opt (some (positive_conv ~flag:"--jobs")) None
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
           "Worker domains for the sweep. Defaults to $(b,COLRING_JOBS) if \
            set, else the machine's recommended domain count. The results \
            are bit-identical for every N.")
 
-let resolve_jobs = function
-  | Some j when j >= 1 -> j
-  | Some j -> failwith (Printf.sprintf "invalid --jobs %d (must be >= 1)" j)
-  | None -> Colring_runtime.Pool.default_jobs ()
+let resolve_jobs jobs =
+  Harness.Cli.exit_or ~cmd:"colring" (Harness.Cli.jobs ~flag:"--jobs" jobs)
 
 let sweep seed sched_name algo csv jobs journal =
   let journal_oc = Option.map open_out journal in
@@ -554,7 +648,8 @@ let target_arg =
 
 let max_states_arg =
   Arg.(
-    value & opt int 1_000_000
+    value
+    & opt (positive_conv ~flag:"--max-states") 1_000_000
     & info [ "max-states" ] ~docv:"K"
         ~doc:
           "Per-root-branch state budget. Exceeding it reports a truncated \

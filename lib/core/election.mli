@@ -108,7 +108,16 @@ val run_report :
   report
 (** {!run} without the network. *)
 
-(** {2 Pieces, exposed for tests} *)
+(** {2 Pieces, exposed for tests and transport backends} *)
+
+val program_of :
+  algorithm ->
+  id:int ->
+  Colring_engine.Network.pulse Colring_engine.Network.program
+(** The per-node program for [algorithm] with input [id] — exactly what
+    {!run} instantiates at each node.  Transport backends use it to run
+    the same node code outside the simulator (in a domain or a forked
+    process). *)
 
 val unique_leader : Colring_engine.Output.t array -> int option
 

@@ -116,10 +116,15 @@ let rec mem_scan v l i =
   else if Int.equal v.nonempty.(i) l then true
   else mem_scan v l (i + 1)
 
-let of_schedule ?(after = fifo) schedule =
+let of_schedule ?name ?(after = fifo) schedule =
   let cursor = ref 0 in
   {
-    name = Printf.sprintf "schedule-%d-then-%s" (Array.length schedule) after.name;
+    name =
+      (match name with
+      | Some n -> n
+      | None ->
+          Printf.sprintf "schedule-%d-then-%s" (Array.length schedule)
+            after.name);
     pick =
       (fun v ->
         let c = !cursor in

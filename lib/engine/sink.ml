@@ -242,6 +242,19 @@ let jsonl_channel ?events oc =
       Stdlib.flush oc);
   }
 
+let with_jsonl_channel ?events path f =
+  let oc = open_out path in
+  let sink = jsonl_channel ?events oc in
+  Fun.protect
+    ~finally:(fun () ->
+      (* Flush even when [f] raises: a journal whose run died mid-way
+         must still hold every record emitted before the failure (the
+         valid-prefix guarantee fastsim's over-budget exception and the
+         engine's own invariant failures rely on). *)
+      sink.flush ();
+      close_out oc)
+    (fun () -> f sink)
+
 let tee a b =
   if a == null then b
   else if b == null then a

@@ -108,6 +108,16 @@ val jsonl_channel : ?events:bool -> out_channel -> t
 (** {!jsonl} writing through an internal buffer to a channel; lines
     reach the channel in 64 KiB batches and on {!field-flush}. *)
 
+val with_jsonl_channel : ?events:bool -> string -> (t -> 'a) -> 'a
+(** [with_jsonl_channel path f] opens [path], runs [f] with a
+    {!jsonl_channel} sink over it, and — whether [f] returns or raises
+    — flushes the sink's internal buffer and closes the channel before
+    propagating the outcome.  This is the only safe way to journal a
+    run that may raise (e.g. [Colring_fastsim.Driver.run] past its
+    delivery budget): the buffered tail of the journal survives the
+    exception, so the file is always a valid, parseable prefix of the
+    full journal. *)
+
 val tee : t -> t -> t
 (** [tee a b] forwards everything to [a] then [b].  Returns the other
     sink unchanged when either side is {!null}. *)

@@ -10,9 +10,13 @@ let default_jobs () =
 
 (* One worker body shared by every domain (the caller included).  The
    cursor hands out [chunk]-sized index ranges; a failed job parks its
-   exception in [failure] (first writer wins) and makes every worker
+   exception in [failure] (first writer wins, which also fires the
+   caller's [on_failure] hook exactly once) and makes every worker
    stop claiming, so all domains reach their join quickly. *)
-let worker_loop ~n ~chunk ~cursor ~failure f =
+let park ~failure ~on_failure e =
+  if Atomic.compare_and_set failure None (Some e) then on_failure ()
+
+let worker_loop ~n ~chunk ~cursor ~failure ~on_failure f =
   let rec go () =
     if Atomic.get failure = None then begin
       let start = Atomic.fetch_and_add cursor chunk in
@@ -21,40 +25,55 @@ let worker_loop ~n ~chunk ~cursor ~failure f =
            for i = start to min n (start + chunk) - 1 do
              f i
            done
-         with e -> ignore (Atomic.compare_and_set failure None (Some e)));
+         with e -> park ~failure ~on_failure e);
         go ()
       end
     end
   in
   go ()
 
-let run ?(chunk = 1) ~jobs n f =
+let run ?(chunk = 1) ?(on_failure = ignore) ~jobs n f =
   if jobs < 1 then invalid_arg "Pool.run: jobs must be >= 1";
   if chunk < 1 then invalid_arg "Pool.run: chunk must be >= 1";
   if n < 0 then invalid_arg "Pool.run: negative job count";
   let jobs = min jobs (max n 1) in
-  if jobs = 1 then
-    for i = 0 to n - 1 do
-      f i
-    done
+  if jobs = 1 then (
+    try
+      for i = 0 to n - 1 do
+        f i
+      done
+    with e ->
+      on_failure ();
+      raise e)
   else begin
     let cursor = Atomic.make 0 and failure = Atomic.make None in
-    let spawned =
-      Array.init (jobs - 1) (fun _ ->
-          Domain.spawn (fun () -> worker_loop ~n ~chunk ~cursor ~failure f))
-    in
-    worker_loop ~n ~chunk ~cursor ~failure f;
-    Array.iter Domain.join spawned;
+    (* Spawn into a pre-sized option array: if [Domain.spawn] itself
+       raises mid-loop (OS domain limit), the failure is parked exactly
+       like a job's — workers already running stop claiming, every
+       domain that did spawn is joined below, and the spawn exception
+       is re-raised in the caller.  [Array.init] would leak the
+       already-spawned domains on the same failure. *)
+    let spawned = Array.make (jobs - 1) None in
+    (try
+       for d = 0 to jobs - 2 do
+         spawned.(d) <-
+           Some
+             (Domain.spawn (fun () ->
+                  worker_loop ~n ~chunk ~cursor ~failure ~on_failure f))
+       done
+     with e -> park ~failure ~on_failure e);
+    worker_loop ~n ~chunk ~cursor ~failure ~on_failure f;
+    Array.iter (function Some d -> Domain.join d | None -> ()) spawned;
     match Atomic.get failure with None -> () | Some e -> raise e
   end
 
-let map ?chunk ~jobs n f =
+let map ?chunk ?on_failure ~jobs n f =
   if n < 0 then invalid_arg "Pool.map: negative job count";
   (* An option array keeps the write per slot word-sized (no float
      unboxing surprises) and disjoint across domains; the joins in
      [run] publish every slot before the unwrap below reads it. *)
   let out = Array.make n None in
-  run ?chunk ~jobs n (fun i -> out.(i) <- Some (f i));
+  run ?chunk ?on_failure ~jobs n (fun i -> out.(i) <- Some (f i));
   Array.map
     (function Some v -> v | None -> assert false (* run covered [0,n) *))
     out

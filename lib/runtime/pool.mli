@@ -12,20 +12,33 @@
     long-lived worker state, so nested or repeated use is safe.  If a
     job raises, the remaining workers stop claiming new chunks, all
     domains are joined, and the first exception (by claim order) is
-    re-raised in the caller; the pool is never left wedged. *)
+    re-raised in the caller; the pool is never left wedged.  The same
+    holds when [Domain.spawn] itself fails mid-way (OS domain limit):
+    every domain that did spawn is joined before the spawn exception
+    propagates, so a failed call never leaks domains and the next
+    {!run}/{!map} starts from a clean slate. *)
 
 val default_jobs : unit -> int
 (** The [COLRING_JOBS] environment variable if set (must parse as a
     positive integer — [Invalid_argument] otherwise), else
     {!Domain.recommended_domain_count}. *)
 
-val run : ?chunk:int -> jobs:int -> int -> (int -> unit) -> unit
+val run :
+  ?chunk:int -> ?on_failure:(unit -> unit) -> jobs:int -> int ->
+  (int -> unit) -> unit
 (** [run ~jobs n f] evaluates [f i] exactly once for every
     [0 <= i < n], using at most [jobs] domains (the calling domain
     included).  [chunk] (default 1) is the number of consecutive
     indices claimed per queue pop; raise it when jobs are tiny.
+    [on_failure] (default a no-op) runs exactly once, in the domain
+    that recorded the first failure, the moment a job or a
+    [Domain.spawn] raises — jobs whose bodies block on shared state
+    (e.g. a transport backend's per-node loops) use it to flip their
+    own abort flag so every body unblocks and the joins can complete.
     [Invalid_argument] if [jobs < 1], [chunk < 1] or [n < 0]. *)
 
-val map : ?chunk:int -> jobs:int -> int -> (int -> 'a) -> 'a array
+val map :
+  ?chunk:int -> ?on_failure:(unit -> unit) -> jobs:int -> int ->
+  (int -> 'a) -> 'a array
 (** [map ~jobs n f] is [[| f 0; ...; f (n-1) |]] computed as {!run}
     does; slot [i] holds [f i] regardless of which domain ran it. *)

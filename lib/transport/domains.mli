@@ -1,0 +1,38 @@
+(** Shared-memory transport backend: one OCaml domain per node.
+
+    The content-oblivious channel made literal — pulses are
+    indistinguishable, so each directed link is a single atomic
+    counter: sending is an increment by the (unique) sender, delivery
+    a CAS-decrement by the (unique) receiver.  Nodes run concurrently
+    (built on {!Colring_runtime.Pool}, which joins every domain even
+    when a node program raises); the realised delivery order is
+    appended to a lock-protected schedule whose total order respects
+    send/deliver causality, so the returned
+    {!Colring_engine.Transport.trace} always replays cleanly on the
+    simulator.
+
+    Fault injection sleeps for {!Colring_engine.Transport.delay_us}
+    microseconds before a pulse is consumed; delays on the two links
+    into one node serialise through that node's loop (a modelling
+    simplification — each node consumes one delivery at a time, as in
+    the simulator).
+
+    Quiescence is detected by a single live-token counter (pending
+    starts + unconsumed pulses + in-progress activations), which hits
+    zero exactly when no activation can ever run again. *)
+
+val run :
+  ?seed:int ->
+  ?max_deliveries:int ->
+  ?faults:Colring_engine.Transport.faults ->
+  Colring_engine.Topology.t ->
+  (int -> Colring_engine.Network.pulse Colring_engine.Network.program) ->
+  Colring_engine.Transport.trace
+(** Defaults mirror {!Colring_engine.Network.run}: seed 0, delivery
+    budget 50M (exceeding it sets [exhausted] and stops every node).
+    Spawns [n] domains regardless of [COLRING_JOBS].  A raising node
+    program aborts the run cleanly (all domains joined) and re-raises
+    in the caller. *)
+
+val transport : unit -> Colring_engine.Transport.t
+(** {!run} as a {!Colring_engine.Transport.t} named ["domains"]. *)

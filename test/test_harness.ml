@@ -10,6 +10,42 @@ module Rng = Colring_stats.Rng
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
 
+(* ------------------------------------------------------------------ *)
+(* Cli: the one set of flag-validation rules both entry points use. *)
+
+let contains_sub msg sub =
+  let n = String.length msg and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+  go 0
+
+let is_error ~flag = function
+  (* The message must name the offending flag, so the user sees which
+     of several numeric options was bad. *)
+  | Error msg -> contains_sub msg flag
+  | Ok _ -> false
+
+let test_cli_validators () =
+  checkb "positive accepts 1" true (Cli.positive ~flag:"-j" 1 = Ok 1);
+  checkb "positive rejects 0" true (is_error ~flag:"-j" (Cli.positive ~flag:"-j" 0));
+  checkb "positive rejects negative" true
+    (is_error ~flag:"--max-deliveries"
+       (Cli.positive ~flag:"--max-deliveries" (-5)));
+  checkb "non_negative accepts 0" true
+    (Cli.non_negative ~flag:"--jitter" 0 = Ok 0);
+  checkb "non_negative rejects -1" true
+    (is_error ~flag:"--jitter" (Cli.non_negative ~flag:"--jitter" (-1)));
+  checkb "ring_size accepts 2" true (Cli.ring_size ~flag:"-n" 2 = Ok 2);
+  checkb "ring_size rejects 1" true
+    (is_error ~flag:"-n" (Cli.ring_size ~flag:"-n" 1));
+  checkb "ring_size rejects negative" true
+    (is_error ~flag:"-n" (Cli.ring_size ~flag:"-n" (-3)))
+
+let test_cli_jobs_default () =
+  checkb "Some 3 passes through" true (Cli.jobs ~flag:"-j" (Some 3) = Ok 3);
+  checkb "Some 0 rejected" true (is_error ~flag:"-j" (Cli.jobs ~flag:"-j" (Some 0)));
+  checkb "None resolves to default_jobs" true
+    (Cli.jobs ~flag:"-j" None = Ok (Colring_runtime.Pool.default_jobs ()))
+
 let test_workload_shapes () =
   List.iter
     (fun (w : Workload.t) ->
@@ -171,6 +207,12 @@ let test_summary_groups () =
       checkb (r.group ^ " exact") true (r.max_rel_err_vs_expected < 1e-9))
     rows
 
+let cli_tests =
+  [
+    Alcotest.test_case "validators" `Quick test_cli_validators;
+    Alcotest.test_case "jobs default" `Quick test_cli_jobs_default;
+  ]
+
 let () =
   Alcotest.run "colring-harness"
     [
@@ -195,4 +237,5 @@ let () =
             test_sweep_scheduler_seeds;
           Alcotest.test_case "summary" `Quick test_summary_groups;
         ] );
+      ("cli", cli_tests);
     ]

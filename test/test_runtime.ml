@@ -74,6 +74,49 @@ let test_exception_propagates_and_pool_survives () =
         (Pool.map ~jobs 4 (fun i -> i)))
     [ 1; 4 ]
 
+(* The domains transport backend hands the pool jobs that block on
+   shared state until every peer has progressed; if one peer raises,
+   the others would spin forever unless [on_failure] runs before the
+   failing domain stops processing.  This is that contract: the
+   blocked jobs exit as soon as the hook fires, the exception still
+   propagates, the hook ran exactly once, and the pool stays
+   reusable. *)
+let test_on_failure_unblocks_blocked_jobs () =
+  let abort = Atomic.make false in
+  let calls = Atomic.make 0 in
+  (match
+     Pool.run ~jobs:4
+       ~on_failure:(fun () ->
+         Atomic.incr calls;
+         Atomic.set abort true)
+       4
+       (fun i ->
+         if i = 0 then failwith "boom"
+         else
+           while not (Atomic.get abort) do
+             Domain.cpu_relax ()
+           done)
+   with
+  | exception Failure msg -> Alcotest.(check string) "message" "boom" msg
+  | () -> Alcotest.fail "exception was swallowed");
+  checki "on_failure ran exactly once" 1 (Atomic.get calls);
+  Alcotest.(check (array int))
+    "pool reusable after abort" [| 0; 1; 2; 3 |]
+    (Pool.map ~jobs:4 4 (fun i -> i))
+
+let test_on_failure_sequential_path () =
+  (* jobs = 1 never spawns a domain but honours the same hook. *)
+  let calls = ref 0 in
+  (match
+     Pool.run ~jobs:1
+       ~on_failure:(fun () -> incr calls)
+       3
+       (fun i -> if i = 1 then failwith "seq")
+   with
+  | exception Failure msg -> Alcotest.(check string) "message" "seq" msg
+  | () -> Alcotest.fail "exception was swallowed");
+  checki "on_failure ran exactly once" 1 !calls
+
 let test_default_jobs_env () =
   Unix.putenv "COLRING_JOBS" "3";
   checki "COLRING_JOBS=3" 3 (Pool.default_jobs ());
@@ -132,6 +175,10 @@ let () =
           Alcotest.test_case "more jobs than cells" `Quick
             test_more_jobs_than_cells;
           Alcotest.test_case "invalid args" `Quick test_invalid_args;
+          Alcotest.test_case "on_failure unblocks blocked jobs" `Quick
+            test_on_failure_unblocks_blocked_jobs;
+          Alcotest.test_case "on_failure on the sequential path" `Quick
+            test_on_failure_sequential_path;
           Alcotest.test_case "exception propagates" `Quick
             test_exception_propagates_and_pool_survives;
           Alcotest.test_case "COLRING_JOBS" `Quick test_default_jobs_env;

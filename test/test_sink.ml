@@ -242,6 +242,40 @@ let test_jsonl_events_off_keeps_lifecycle_only () =
   checkb "still frames the run" true
     (List.mem "run_start" types && List.mem "run_end" types)
 
+(* A raising run must not lose the journal's buffered tail:
+   with_jsonl_channel flushes on the exception path too, so the file
+   is a valid prefix (at least the run_start record — well under the
+   channel's 64KiB buffer, so an unflushed close would lose it all). *)
+let test_jsonl_flush_on_raise () =
+  let path = Filename.temp_file "colring_sink" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  checkb "run raises" true
+    (match
+       Sink.with_jsonl_channel path (fun sink ->
+           Fastsim.Driver.run ~sink ~max_deliveries:1 ~ids:[| 3; 7; 2; 5 |] ())
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       let l = input_line ic in
+       if l <> "" then lines := l :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  let lines = List.rev !lines in
+  checkb "journal prefix survived the raise" true (lines <> []);
+  List.iter
+    (fun l ->
+      match Bench_io.check_journal_line (Bench_io.of_string l) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail ("invalid journal line after raise: " ^ e))
+    lines;
+  checks "prefix starts at run_start" "run_start"
+    (line_type (Bench_io.of_string (List.hd lines)))
+
 (* ------------------------------------------------------------------ *)
 (* Sweep journals are byte-identical for every domain count. *)
 
@@ -334,6 +368,7 @@ let () =
             test_jsonl_events_off_keeps_lifecycle_only;
           Alcotest.test_case "snapshot cadence across drivers" `Quick
             test_snapshot_cadence_matches_across_drivers;
+          Alcotest.test_case "flush on raise" `Quick test_jsonl_flush_on_raise;
         ] );
       ( "sweep",
         [

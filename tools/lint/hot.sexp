@@ -15,3 +15,7 @@
                 k_zero mem_scan))
 (hot (file lib/mc/mc.ml)
      (functions bit subset replay_prefix))
+(hot (file lib/engine/transport.ml)
+     (functions mix delay_us fault_scan jit_scan))
+(hot (file lib/transport/domains.ml)
+     (functions try_take))
