@@ -425,12 +425,161 @@ let sweep_section ~quick () =
         Bench_io.Bool (List.for_all (fun p -> p.sw_deterministic) points) );
     ]
 
+(* {2 Batched elections (E17)}
+
+   Many independent elections per call: a loop of sequential
+   Election.run (what `colring elect` does K times) against the same
+   jobs fanned out over flocks by Harness.Batch (what `colring batch`
+   does).  Reports elections/sec and completion-latency percentiles —
+   the time from batch start until each job finishes, which is the
+   number a job-server client observes.  Flock rows at pool width 1
+   isolate the batching gain itself; wider rows add domain
+   parallelism on machines that have the cores (this container's
+   1-CPU caveat applies, see EXPERIMENTS.md). *)
+
+module Batch = Harness.Batch
+
+let batch_ring_n = 8
+let batch_sizes ~quick = if quick then [ 100; 300; 1000 ] else [ 1_000; 10_000; 100_000 ]
+
+let batch_specs size =
+  Array.init size (fun i ->
+      {
+        Batch.algorithm = Election.Algo2;
+        n = batch_ring_n;
+        seed = i + 1;
+        id_max = 2 * batch_ring_n;
+      })
+
+let batch_sched seed = Scheduler.random (Rng.create ~seed)
+
+type batch_point = {
+  bp_size : int;
+  bp_mode : string;
+  bp_jobs : int;
+  bp_wall : float;
+  bp_eps : float;
+  bp_p50_ms : float;
+  bp_p99_ms : float;
+}
+
+let batch_point ~size ~mode ~jobs ~wall lat =
+  Array.sort Float.compare lat;
+  {
+    bp_size = size;
+    bp_mode = mode;
+    bp_jobs = jobs;
+    bp_wall = wall;
+    bp_eps = float_of_int size /. wall;
+    bp_p50_ms = Batch.percentile lat 0.50 *. 1e3;
+    bp_p99_ms = Batch.percentile lat 0.99 *. 1e3;
+  }
+
+let measure_individual size =
+  let specs = batch_specs size in
+  let topo = Topology.oriented batch_ring_n in
+  let lat = Array.make size 0.0 in
+  let t0 = Unix.gettimeofday () in
+  Array.iteri
+    (fun i s ->
+      let r =
+        Election.run_report ~seed:s.Batch.seed s.Batch.algorithm ~topo
+          ~ids:(Batch.ids_of_spec s)
+          ~sched:(batch_sched s.Batch.seed)
+      in
+      assert (not r.exhausted);
+      lat.(i) <- Unix.gettimeofday () -. t0)
+    specs;
+  let wall = Unix.gettimeofday () -. t0 in
+  batch_point ~size ~mode:"individual" ~jobs:1 ~wall lat
+
+let measure_flock ~jobs size =
+  let o =
+    Batch.run ~jobs ~now:Unix.gettimeofday ~sched:batch_sched
+      (batch_specs size)
+  in
+  Array.iter (fun r -> assert (not r.Election.exhausted)) o.Batch.reports;
+  batch_point ~size
+    ~mode:(Printf.sprintf "flock -j%d" jobs)
+    ~jobs ~wall:o.Batch.elapsed
+    (Array.copy o.Batch.latencies)
+
+let batch_section ~quick () =
+  Printf.printf
+    "\n================================================================\n";
+  Printf.printf "Batched elections (algo2 n=%d, random adversary)\n"
+    batch_ring_n;
+  Printf.printf
+    "================================================================\n\n";
+  let jobs_ladder = List.sort_uniq compare [ 1; Pool.default_jobs () ] in
+  let points =
+    List.concat_map
+      (fun size ->
+        measure_individual size
+        :: List.map (fun jobs -> measure_flock ~jobs size) jobs_ladder)
+      (batch_sizes ~quick)
+  in
+  Printf.printf "%-8s %-12s %10s %14s %10s %10s\n" "batch" "mode" "wall s"
+    "elections/s" "p50 ms" "p99 ms";
+  List.iter
+    (fun p ->
+      Printf.printf "%-8d %-12s %10.3f %14.0f %10.3f %10.3f\n" p.bp_size
+        p.bp_mode p.bp_wall p.bp_eps p.bp_p50_ms p.bp_p99_ms)
+    points;
+  let speedups =
+    List.filter_map
+      (fun size ->
+        let at mode =
+          List.find_opt (fun p -> p.bp_size = size && p.bp_mode = mode) points
+        in
+        match (at "individual", at "flock -j1") with
+        | Some ind, Some fl -> Some (size, fl.bp_eps /. ind.bp_eps)
+        | _ -> None)
+      (batch_sizes ~quick)
+  in
+  List.iter
+    (fun (size, s) ->
+      Printf.printf "\nflock -j1 vs individual at batch %d: %.2fx" size s)
+    speedups;
+  print_newline ();
+  let json_of_point p =
+    Bench_io.Obj
+      [
+        ("batch_size", Bench_io.Int p.bp_size);
+        ("mode", Bench_io.String p.bp_mode);
+        ("pool_jobs", Bench_io.Int p.bp_jobs);
+        ("wall_seconds", Bench_io.Float p.bp_wall);
+        ("elections_per_sec", Bench_io.Float p.bp_eps);
+        ("p50_ms", Bench_io.Float p.bp_p50_ms);
+        ("p99_ms", Bench_io.Float p.bp_p99_ms);
+      ]
+  in
+  Bench_io.Obj
+    [
+      ("algo", Bench_io.String "algo2");
+      ("ring_n", Bench_io.Int batch_ring_n);
+      ( "batch_sizes",
+        Bench_io.List
+          (List.map (fun s -> Bench_io.Int s) (batch_sizes ~quick)) );
+      ("results", Bench_io.List (List.map json_of_point points));
+      ( "speedup_flock_j1_vs_individual",
+        Bench_io.List
+          (List.map
+             (fun (size, s) ->
+               Bench_io.Obj
+                 [
+                   ("batch_size", Bench_io.Int size);
+                   ("speedup", Bench_io.Float s);
+                 ])
+             speedups) );
+    ]
+
 (* The shape downstream tooling relies on; called on the file just
    written, so `bench/main.exe -- throughput` fails loudly if the
    schema regresses. *)
 let validate_report path =
   let fail msg =
-    failwith (Printf.sprintf "%s: schema_version 3 check failed: %s" path msg)
+    failwith (Printf.sprintf "%s: schema_version 4 check failed: %s" path msg)
   in
   let j = try Bench_io.read_file path with
     | Bench_io.Parse_error e -> fail ("unparsable JSON: " ^ e)
@@ -440,7 +589,7 @@ let validate_report path =
   let float_field obj k =
     Option.bind (Bench_io.member k obj) Bench_io.get_float
   in
-  require (int_field j "schema_version" = Some 3) "schema_version must be 3";
+  require (int_field j "schema_version" = Some 4) "schema_version must be 4";
   require (int_field j "domains_recommended" <> None)
     "missing domains_recommended";
   (match Bench_io.member "transport" j with
@@ -466,7 +615,7 @@ let validate_report path =
             "experiment entry missing deliveries_per_sec")
         cases
   | _ -> fail "missing or empty experiments list");
-  match Bench_io.member "sweep" j with
+  (match Bench_io.member "sweep" j with
   | None -> fail "missing sweep section"
   | Some sweep -> (
       require (float_field sweep "speedup_4_vs_1" <> None)
@@ -479,7 +628,24 @@ let validate_report path =
               require (float_field p "cells_per_sec" <> None)
                 "sweep point missing cells_per_sec")
             points
-      | _ -> fail "sweep missing results list")
+      | _ -> fail "sweep missing results list"));
+  match Bench_io.member "batch" j with
+  | None -> fail "missing batch section"
+  | Some batch -> (
+      match Option.bind (Bench_io.member "results" batch) Bench_io.get_list with
+      | Some (_ :: _ as points) ->
+          List.iter
+            (fun p ->
+              require (int_field p "batch_size" <> None)
+                "batch point missing batch_size";
+              require (float_field p "elections_per_sec" <> None)
+                "batch point missing elections_per_sec";
+              require (float_field p "p50_ms" <> None)
+                "batch point missing p50_ms";
+              require (float_field p "p99_ms" <> None)
+                "batch point missing p99_ms")
+            points
+      | _ -> fail "batch missing results list")
 
 let json_of_result r =
   Bench_io.Obj
@@ -514,10 +680,11 @@ let throughput ?(quick = false) ?(json_path = "BENCH_engine.json") () =
      which the socket rows could no longer fork. *)
   let transport = transport_section ~quick () in
   let sweep = sweep_section ~quick () in
+  let batch = batch_section ~quick () in
   Bench_io.write_file json_path
     (Bench_io.Obj
        [
-         ("schema_version", Bench_io.Int 3);
+         ("schema_version", Bench_io.Int 4);
          ("suite", Bench_io.String "colring-engine");
          ("ocaml_version", Bench_io.String Sys.ocaml_version);
          ("word_size_bits", Bench_io.Int Sys.word_size);
@@ -525,9 +692,10 @@ let throughput ?(quick = false) ?(json_path = "BENCH_engine.json") () =
          ("experiments", Bench_io.List (List.map json_of_result results));
          ("transport", transport);
          ("sweep", sweep);
+         ("batch", batch);
        ]);
   validate_report json_path;
-  Printf.printf "\nwrote %s (schema_version 3, shape validated)\n" json_path
+  Printf.printf "\nwrote %s (schema_version 4, shape validated)\n" json_path
 
 let run () =
   Printf.printf

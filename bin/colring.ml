@@ -2,7 +2,7 @@
    election reproduction.
 
    Subcommands: elect, orient, anonymous, solitude, compose, baseline,
-   sweep, adversary, check, fast, graph.
+   sweep, batch, serve, adversary, check, fast, graph.
    Run `colring <cmd> --help` for details. *)
 
 open Cmdliner
@@ -547,6 +547,185 @@ let sweep_cmd =
       $ journal_arg)
 
 (* ------------------------------------------------------------------ *)
+(* batch / serve: many elections over per-domain flocks *)
+
+let pool_mode_arg =
+  Arg.(
+    value
+    & opt (enum [ ("static", Colring_runtime.Pool.Static);
+                  ("steal", Colring_runtime.Pool.Steal) ])
+        Colring_runtime.Pool.Static
+    & info [ "pool" ] ~docv:"MODE"
+        ~doc:
+          "How workers claim job waves: $(b,static) (shared cursor) or \
+           $(b,steal) (per-worker deques with work stealing). Results are \
+           bit-identical either way.")
+
+let slots_arg =
+  Arg.(
+    value
+    & opt (positive_conv ~flag:"--slots") 256
+    & info [ "slots" ] ~docv:"K"
+        ~doc:"Instances per flock wave (struct-of-arrays batch width).")
+
+let journal_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal-dir" ] ~docv:"DIR"
+        ~doc:
+          "Write per-instance JSONL journals, sharded by instance index into \
+           $(docv)/shard-NNNN.jsonl (validate with $(b,colring journal)).")
+
+let shards_arg =
+  Arg.(
+    value
+    & opt (positive_conv ~flag:"--shards") 1
+    & info [ "shards" ] ~docv:"S"
+        ~doc:
+          "Number of journal shard files; instance $(i,i) of $(i,N) lands in \
+           shard $(i,i*S/N), so shard contents are independent of --jobs and \
+           --pool.")
+
+let events_arg =
+  Arg.(
+    value & flag
+    & info [ "events" ]
+        ~doc:
+          "Include per-event records (send/deliver/consume/...) in the \
+           journals, not just lifecycle records. Journals get large.")
+
+let spec_file_arg =
+  Arg.(
+    value
+    & pos 0 string "-"
+    & info [] ~docv:"SPEC"
+        ~doc:
+          "Job spec file: one $(b,algo n seed \\[id_max\\]) line per \
+           election ($(b,#) comments). $(b,-) reads standard input.")
+
+let read_spec_file path =
+  let buf = Buffer.create 4096 in
+  let ic = if path = "-" then stdin else open_in path in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> if path <> "-" then close_in ic);
+  Buffer.contents buf
+
+(* Shard [count] jobs over [shards] files in contiguous index blocks:
+   job [i] lands in shard [i * shards / count], so shard contents
+   depend only on the spec order — never on --jobs or --pool. *)
+let with_shards dir ~shards ~count f =
+  (match Sys.is_directory dir with
+  | true -> ()
+  | false -> failwith (Printf.sprintf "--journal-dir %s: not a directory" dir)
+  | exception Sys_error _ -> Sys.mkdir dir 0o755);
+  let ocs =
+    Array.init shards (fun s ->
+        open_out (Filename.concat dir (Printf.sprintf "shard-%04d.jsonl" s)))
+  in
+  Fun.protect
+    ~finally:(fun () -> Array.iter close_out ocs)
+    (fun () ->
+      f (fun i chunk ->
+          output_string ocs.(if count = 0 then 0 else i * shards / count) chunk))
+
+let print_batch_summary (o : Harness.Batch.outcome) =
+  let count = Array.length o.reports in
+  let ok = Array.fold_left (fun a r -> if Election.ok r then a + 1 else a) 0 o.reports in
+  let lat = Array.copy o.latencies in
+  Array.sort Float.compare lat;
+  Printf.printf "jobs                %d\n" count;
+  Printf.printf "ok                  %d\n" ok;
+  Printf.printf "elapsed             %.3f s\n" o.elapsed;
+  if o.elapsed > 0. then
+    Printf.printf "elections/sec       %.0f\n" (float_of_int count /. o.elapsed);
+  if Array.length lat > 0 then begin
+    Printf.printf "p50 latency         %.3f ms\n"
+      (Harness.Batch.percentile lat 0.50 *. 1e3);
+    Printf.printf "p99 latency         %.3f ms\n"
+      (Harness.Batch.percentile lat 0.99 *. 1e3)
+  end;
+  ok = count
+
+let batch spec_path sched_name jobs mode slots journal_dir shards events =
+  match Harness.Batch.parse_spec (read_spec_file spec_path) with
+  | Error msg ->
+      prerr_endline ("colring batch: " ^ msg);
+      2
+  | Ok specs ->
+      let jobs = resolve_jobs jobs in
+      let sched seed = scheduler_of_name sched_name ~seed in
+      let run journal =
+        Harness.Batch.run ~jobs ~mode ~slots ~events ?journal
+          ~now:Unix.gettimeofday ~sched specs
+      in
+      let outcome =
+        match journal_dir with
+        | None -> run None
+        | Some dir ->
+            with_shards dir ~shards ~count:(Array.length specs) (fun emit ->
+                run (Some emit))
+      in
+      if print_batch_summary outcome then 0 else 1
+
+let batch_cmd =
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Run a batch of elections over per-domain multi-instance flocks and \
+          report throughput and completion-latency percentiles.")
+    Term.(
+      const batch $ spec_file_arg $ sched_arg $ jobs_arg $ pool_mode_arg
+      $ slots_arg $ journal_dir_arg $ shards_arg $ events_arg)
+
+(* One result line per job, in the serve loop's request order. *)
+let serve_result_line (s : Harness.Batch.spec) (r : Election.report) =
+  Printf.sprintf "%s algo=%s n=%d seed=%d leader=%s sends=%d deliveries=%d"
+    (if Election.ok r then "ok" else "FAIL")
+    r.Election.algorithm r.Election.n s.Harness.Batch.seed
+    (match r.Election.leader with Some v -> string_of_int v | None -> "none")
+    r.Election.sends r.Election.deliveries
+
+let serve sched_name slots journal =
+  let sched seed = scheduler_of_name sched_name ~seed in
+  let journal_oc = Option.map open_out journal in
+  let emit = Option.map (fun oc _i chunk -> output_string oc chunk) journal_oc in
+  let bad = ref 0 in
+  (try
+     while true do
+       let line = input_line stdin in
+       match Harness.Batch.parse_line line with
+       | Ok None -> ()
+       | Error msg ->
+           incr bad;
+           print_endline ("error: " ^ msg);
+           flush stdout
+       | Ok (Some spec) ->
+           (* One-job batches reuse this domain's warm flock cache, so
+              the steady state of the loop allocates per-election
+              state only. *)
+           let o = Harness.Batch.run ~slots ?journal:emit ~sched [| spec |] in
+           if not (Election.ok o.Harness.Batch.reports.(0)) then incr bad;
+           print_endline (serve_result_line spec o.Harness.Batch.reports.(0));
+           flush stdout
+     done
+   with End_of_file -> ());
+  Option.iter close_out journal_oc;
+  if !bad = 0 then 0 else 1
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Job server: read spec lines ($(b,algo n seed \\[id_max\\])) from \
+          standard input, run each election on a warm flock, answer one \
+          result line per job.")
+    Term.(const serve $ sched_arg $ slots_arg $ journal_arg)
+
+(* ------------------------------------------------------------------ *)
 (* journal: shape-validate a JSONL run journal *)
 
 let journal_file_arg =
@@ -863,6 +1042,8 @@ let main_cmd =
       compose_cmd;
       baseline_cmd;
       sweep_cmd;
+      batch_cmd;
+      serve_cmd;
       journal_cmd;
       adversary_cmd;
       check_cmd;

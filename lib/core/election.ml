@@ -137,8 +137,11 @@ let report_fields r =
     ("ok", Bool (ok r));
   ]
 
-let run ?(seed = 0) ?max_deliveries ?record_trace ?(sink = Sink.null)
-    ?(workload = "-") ?(snapshot_every = 10_000) algorithm ~topo ~ids ~sched =
+(* Prologue shared by the single-instance and flock runners:
+   argument validation, then the run_start record — which must be
+   emitted before the network exists, because creating one already
+   emits the start-up activations (wakes and initial sends). *)
+let validate algorithm ~topo ~ids =
   let n = Topology.n topo in
   if Array.length ids <> n then invalid_arg "Election.run: |ids| <> n";
   Array.iter
@@ -149,9 +152,10 @@ let run ?(seed = 0) ?max_deliveries ?record_trace ?(sink = Sink.null)
       if not (Topology.is_oriented topo) then
         invalid_arg "Election.run: Algorithms 1 and 2 need an oriented ring"
   | Algo3 _ | Algo3_resample -> ());
-  let id_max = Ids.id_max ids in
-  (* The run_start record comes first: creating the network already
-     emits the start-up activations (wakes and initial sends). *)
+  Ids.id_max ids
+
+let emit_run_start ~(sink : Sink.t) ~seed ~workload ~sched_name algorithm ~n
+    ~id_max =
   if sink.Sink.enabled then
     sink.Sink.on_run_start
       [
@@ -160,15 +164,16 @@ let run ?(seed = 0) ?max_deliveries ?record_trace ?(sink = Sink.null)
         ("id_max", Sink.Int id_max);
         ("seed", Sink.Int seed);
         ("workload", Sink.String workload);
-        ("scheduler", Sink.String sched.Scheduler.name);
-      ];
-  let net =
-    Network.create ?record_trace ~sink ~seed topo (fun v ->
-        program_of algorithm ~id:ids.(v))
-  in
-  let result = Network.run ?max_deliveries ~snapshot_every net sched in
-  let outputs = Network.outputs net in
-  let m = Network.metrics net in
+        ("scheduler", Sink.String sched_name);
+      ]
+
+(* Epilogue shared the same way: verdicts and the report from raw
+   measurements, engine-agnostic (the flock runner feeds it its own
+   accessors). *)
+let build_report algorithm ~topo ~ids ~id_max ~sends ~sends_cw ~sends_ccw
+    ~deliveries ~quiescent ~all_terminated ~exhausted ~post_term_deliveries
+    ~causal_span ~termination_order ~outputs ~inspect =
+  let n = Topology.n topo in
   let leader = unique_leader outputs in
   let leader_is_max =
     match leader with Some v -> v = Ids.argmax ids | None -> false
@@ -181,47 +186,72 @@ let run ?(seed = 0) ?max_deliveries ?record_trace ?(sink = Sink.null)
   let termination_order_ok =
     match (algorithm, leader) with
     | Algo2, Some l ->
-        Some (result.termination_order = expected_termination_order topo ~leader:l)
+        Some (termination_order = expected_termination_order topo ~leader:l)
     | Algo2, None -> Some false
     | (Algo1 | Algo3 _ | Algo3_resample), _ -> None
   in
   let final_ids =
     Array.init n (fun v ->
-        match List.assoc_opt "id" (Network.inspect net v) with
+        match List.assoc_opt "id" (inspect v) with
         | Some id -> id
         | None -> ids.(v))
   in
-  let report =
-    {
-      algorithm = algorithm_name algorithm;
-      n;
-      id_max;
-      sends = result.sends;
-      expected_sends = expected_sends algorithm ~n ~id_max;
-      sends_cw = Metrics.sends_cw m;
-      sends_ccw = Metrics.sends_ccw m;
-      deliveries = result.deliveries;
-      quiescent = result.quiescent;
-      all_terminated = result.all_terminated;
-      exhausted = result.exhausted;
-      post_term_deliveries = Metrics.post_termination_deliveries m;
-      causal_span = Network.causal_span net;
-      leader;
-      leader_is_max;
-      roles_ok = roles_ok outputs;
-      orientation_ok;
-      termination_order_ok;
-      final_ids;
-    }
-  in
+  {
+    algorithm = algorithm_name algorithm;
+    n;
+    id_max;
+    sends;
+    expected_sends = expected_sends algorithm ~n ~id_max;
+    sends_cw;
+    sends_ccw;
+    deliveries;
+    quiescent;
+    all_terminated;
+    exhausted;
+    post_term_deliveries;
+    causal_span;
+    leader;
+    leader_is_max;
+    roles_ok = roles_ok outputs;
+    orientation_ok;
+    termination_order_ok;
+    final_ids;
+  }
+
+let emit_run_end ~(sink : Sink.t) ~metrics_assoc report =
   if sink.Sink.enabled then begin
     (* A closing snapshot at the final delivery count, so a journal
        always ends with the exact [Metrics.to_assoc] of the run, then
        the report itself. *)
-    sink.Sink.on_snapshot ~step:result.deliveries (Metrics.to_assoc m);
+    sink.Sink.on_snapshot ~step:report.deliveries metrics_assoc;
     sink.Sink.on_run_end (report_fields report);
     sink.Sink.flush ()
-  end;
+  end
+
+let run ?(seed = 0) ?max_deliveries ?record_trace ?(sink = Sink.null)
+    ?(workload = "-") ?(snapshot_every = 10_000) algorithm ~topo ~ids ~sched =
+  let n = Topology.n topo in
+  let id_max = validate algorithm ~topo ~ids in
+  emit_run_start ~sink ~seed ~workload ~sched_name:sched.Scheduler.name
+    algorithm ~n ~id_max;
+  let net =
+    Network.create ?record_trace ~sink ~seed topo (fun v ->
+        program_of algorithm ~id:ids.(v))
+  in
+  let result = Network.run ?max_deliveries ~snapshot_every net sched in
+  let m = Network.metrics net in
+  let report =
+    build_report algorithm ~topo ~ids ~id_max ~sends:result.sends
+      ~sends_cw:(Metrics.sends_cw m) ~sends_ccw:(Metrics.sends_ccw m)
+      ~deliveries:result.deliveries ~quiescent:result.quiescent
+      ~all_terminated:result.all_terminated ~exhausted:result.exhausted
+      ~post_term_deliveries:(Metrics.post_termination_deliveries m)
+      ~causal_span:(Network.causal_span net)
+      ~termination_order:result.termination_order
+      ~outputs:(Network.outputs net)
+      ~inspect:(Network.inspect net)
+  in
+  emit_run_end ~sink ~metrics_assoc:(Metrics.to_assoc m) report;
   (report, net)
 
 let run_report ?seed ?max_deliveries ?sink ?workload ?snapshot_every algorithm
@@ -229,3 +259,104 @@ let run_report ?seed ?max_deliveries ?sink ?workload ?snapshot_every algorithm
   fst
     (run ?seed ?max_deliveries ?sink ?workload ?snapshot_every algorithm ~topo
        ~ids ~sched)
+
+(* ------------------------------------------------------------------ *)
+(* Batched runs over a Flock *)
+
+type job = {
+  j_algorithm : algorithm;
+  j_ids : int array;
+  j_seed : int;
+  j_sched : Scheduler.t;
+  j_sink : Sink.t;
+  j_workload : string;
+  j_snapshot_every : int;
+  j_max_deliveries : int;
+}
+
+let job ?(seed = 0) ?(max_deliveries = 50_000_000) ?(sink = Sink.null)
+    ?(workload = "-") ?(snapshot_every = 10_000) algorithm ~ids ~sched =
+  {
+    j_algorithm = algorithm;
+    j_ids = ids;
+    j_seed = seed;
+    j_sched = sched;
+    j_sink = sink;
+    j_workload = workload;
+    j_snapshot_every = snapshot_every;
+    j_max_deliveries = max_deliveries;
+  }
+
+(* Algorithms 1 and 2 never read [api.rng] (they are deterministic
+   relays); skipping their per-node stream splits is most of the
+   per-instance setup cost the flock exists to amortise.  The Algo3
+   family keeps real streams: resampling draws, and the classification
+   is per-algorithm, not per-run, so it cannot go stale silently —
+   adding a draw to Algorithm 1/2 would have to revisit this list. *)
+let draws_randomness = function
+  | Algo1 | Algo2 -> false
+  | Algo3 _ | Algo3_resample -> true
+
+let finish_flock_job fl slot j ~id_max ~topo =
+  let report =
+    build_report j.j_algorithm ~topo ~ids:j.j_ids ~id_max
+      ~sends:(Flock.sends fl slot) ~sends_cw:(Flock.sends_cw fl slot)
+      ~sends_ccw:(Flock.sends_ccw fl slot)
+      ~deliveries:(Flock.deliveries fl slot)
+      ~quiescent:(Flock.quiescent fl slot)
+      ~all_terminated:(Flock.all_terminated fl slot)
+      ~exhausted:(Flock.exhausted fl slot)
+      ~post_term_deliveries:(Flock.post_termination_deliveries fl slot)
+      ~causal_span:(Flock.causal_span fl slot)
+      ~termination_order:(Flock.termination_order fl slot)
+      ~outputs:(Flock.outputs fl slot)
+      ~inspect:(fun v -> Flock.inspect fl ~slot ~node:v)
+  in
+  emit_run_end ~sink:j.j_sink ~metrics_assoc:(Flock.metrics_assoc fl slot)
+    report;
+  report
+
+let run_flock ?(slots = 256) ?flock ?on_complete ~topo jobs =
+  let count = Array.length jobs in
+  let fl =
+    match flock with
+    | Some fl ->
+        if Flock.size fl <> Topology.n topo then
+          invalid_arg "Election.run_flock: flock ring size <> |topo|";
+        fl
+    | None -> Flock.create ~slots:(min slots (max count 1)) topo
+  in
+  let k = Flock.slots fl in
+  (* Validate every job before any journal line is written, so a bad
+     job in the middle of a batch cannot leave half the journals
+     behind. *)
+  let id_maxes = Array.map (fun j -> validate j.j_algorithm ~topo ~ids:j.j_ids) jobs in
+  let reports = Array.make count None in
+  let base = ref 0 in
+  while !base < count do
+    let wave = min k (count - !base) in
+    for s = 0 to wave - 1 do
+      let j = jobs.(!base + s) in
+      emit_run_start ~sink:j.j_sink ~seed:j.j_seed ~workload:j.j_workload
+        ~sched_name:j.j_sched.Scheduler.name j.j_algorithm ~n:(Topology.n topo)
+        ~id_max:id_maxes.(!base + s);
+      Flock.load fl ~slot:s ~seed:j.j_seed
+        ~rng:(draws_randomness j.j_algorithm)
+        ~max_deliveries:j.j_max_deliveries
+        ~snapshot_every:j.j_snapshot_every ~sink:j.j_sink ~sched:j.j_sched
+        (fun v -> program_of j.j_algorithm ~id:j.j_ids.(v))
+    done;
+    let wave_base = !base in
+    Flock.drain fl
+      ~on_complete:(fun slot ->
+        let ix = wave_base + slot in
+        let r =
+          finish_flock_job fl slot jobs.(ix) ~id_max:id_maxes.(ix) ~topo
+        in
+        reports.(ix) <- Some r;
+        match on_complete with None -> () | Some f -> f ix r);
+    base := !base + wave
+  done;
+  Array.map
+    (function Some r -> r | None -> assert false (* drain completes slots *))
+    reports

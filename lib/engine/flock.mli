@@ -1,0 +1,132 @@
+(** Multi-instance batched engine: one struct-of-arrays state packing
+    [slots] independent election instances over a shared topology
+    shape, stepped in an interleaved batch loop.
+
+    {!Network} owns exactly one election, so a sweep of many small
+    rings pays per-instance allocation (queues, closures, RNG
+    streams) and cold caches for every run.  A flock allocates those
+    once, for [slots] instances, and recycles them: {!load} resets a
+    slot in place (buffers keep their capacity), so the steady state
+    of a long batch allocates nothing per election beyond what the
+    programs themselves allocate.
+
+    {2 Ownership and determinism}
+
+    Everything an instance touches is keyed by its {e slot index},
+    never by whichever loop or domain happens to step it: the
+    scheduler, the RNG streams, the sink, the counters and the queue
+    slabs of slot [s] belong to slot [s] alone.  Interleaving
+    therefore cannot leak state between instances, and the event
+    sequence each sink observes is byte-identical to the sequence the
+    same job produces under {!Network.create}/{!Network.run} — same
+    start-up activation order, same per-delivery callback order, same
+    snapshot cadence, same counter values (a test pins this).  A
+    flock itself is single-domain state: to use many domains, give
+    each domain its own flock.
+
+    {2 What is shared}
+
+    Only the topology shape (link -> destination tables) and, for
+    slots loaded with [~rng:false], one inert RNG that is never drawn
+    from.  Nothing an instance mutates is shared. *)
+
+type t
+
+val create : ?slots:int -> Topology.t -> t
+(** [create ~slots topo] allocates a flock of [slots] (default 256)
+    instance slots over [topo] (checked, as {!Network.create} does).
+    All slots start [Idle].  Raises [Invalid_argument] when
+    [slots < 1]. *)
+
+(** A slot's lifecycle: [Idle] (never loaded, or {!release}d),
+    [Running] (loaded, deliveries remain), [Settled] (no pulses in
+    flight — the normal end of a run), [Exhausted] (delivery budget
+    hit with pulses still in flight). *)
+type status = Idle | Running | Settled | Exhausted
+
+val status : t -> int -> status
+val slots : t -> int
+val size : t -> int
+(** Ring size [n] of the shared topology. *)
+
+val topology : t -> Topology.t
+
+val load :
+  t ->
+  slot:int ->
+  ?seed:int ->
+  ?rng:bool ->
+  ?max_deliveries:int ->
+  ?snapshot_every:int ->
+  ?sink:Sink.t ->
+  sched:Scheduler.t ->
+  (int -> Network.pulse Network.program) ->
+  unit
+(** [load t ~slot ~sched make_program] resets [slot] in place and
+    starts a new instance on it: programs are instantiated per node,
+    per-node RNG streams are split from [seed] (default 0) exactly as
+    {!Network.create} splits them, and the start-up activations run
+    (batch bump, wake, [start]) in node order — so a sink on the slot
+    sees the same event prefix a fresh network would emit.
+
+    [rng:false] (default [true]) skips the [Rng.split_at] calls and
+    leaves every api a shared inert stream; only pass it when no
+    program of the instance reads [api.rng] (Algorithms 1 and 2 —
+    splitting streams is most of the per-instance setup cost).
+
+    [max_deliveries] (default 50_000_000), [snapshot_every] (default
+    0 = never; the cadence and the [enabled] gating match
+    {!Network.run}) and [sink] (default {!Sink.null}) mean what they
+    mean there.  The slot's scheduler must be private to the slot
+    (stateful schedulers: create one per load).
+
+    Raises [Invalid_argument] on a bad slot, a [Running] slot, or a
+    non-positive budget. *)
+
+val step : t -> int -> bool
+(** [step t s] performs one delivery for slot [s]: [false] when the
+    slot is not [Running], just hit its budget (now [Exhausted]), or
+    has no pulse in flight (now [Settled]); [true] after a delivery
+    (including a post-termination drop). *)
+
+val drain : ?batch:int -> ?on_complete:(int -> unit) -> t -> unit
+(** [drain t] steps every [Running] slot, [batch] (default 64)
+    deliveries per slot per round, until none is [Running].
+    [on_complete] fires once per slot, in the round it leaves
+    [Running], with the slot index — read the slot's results there,
+    or {!load} it again after the drain.  Raises [Invalid_argument]
+    when [batch < 1]. *)
+
+val release : t -> int -> unit
+(** Mark a finished slot [Idle].  Raises [Invalid_argument] on a
+    [Running] slot. *)
+
+(** {2 Per-slot observation}
+
+    All mirror their {!Network} counterparts; indices are slot
+    numbers and are not range-checked on the counter accessors. *)
+
+val sends : t -> int -> int
+val sends_cw : t -> int -> int
+val sends_ccw : t -> int -> int
+val deliveries : t -> int -> int
+val consumes : t -> int -> int
+val wakes : t -> int -> int
+val post_termination_deliveries : t -> int -> int
+val causal_span : t -> int -> int
+val in_flight : t -> int -> int
+val mailbox_backlog : t -> int -> int
+val quiescent : t -> int -> bool
+val exhausted : t -> int -> bool
+val all_terminated : t -> int -> bool
+val terminated : t -> slot:int -> node:int -> bool
+val termination_order : t -> int -> int list
+val output : t -> slot:int -> node:int -> Output.t
+val outputs : t -> int -> Output.t array
+(** Fresh copy of the slot's output row. *)
+
+val inspect : t -> slot:int -> node:int -> (string * int) list
+
+val metrics_assoc : t -> int -> (string * int) list
+(** The slot's counters in the frozen {!Metrics.to_assoc} schema
+    (what snapshot records carry). *)

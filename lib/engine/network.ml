@@ -9,7 +9,7 @@ type 'm api = {
   send : Port.t -> 'm -> unit;
   set_output : Output.t -> unit;
   terminate : unit -> unit;
-  rng : Rng.t;
+  mutable rng : Rng.t;
 }
 
 type 'm program = {

@@ -37,7 +37,11 @@ type 'm api = {
   terminate : unit -> unit;
       (** Enter the terminating state: all later incoming pulses are
           ignored (and counted as quiescence violations). *)
-  rng : Colring_stats.Rng.t;  (** Private randomness source. *)
+  mutable rng : Colring_stats.Rng.t;
+      (** Private randomness source.  Mutable so a multi-instance
+          engine ({!Flock}) can rebind a recycled slot's per-node
+          streams without rebuilding the closure record; programs must
+          treat it as read-only. *)
 }
 
 type 'm program = {

@@ -8,35 +8,148 @@ let default_jobs () =
           invalid_arg
             (Printf.sprintf "COLRING_JOBS must be a positive integer, got %S" s))
 
-(* One worker body shared by every domain (the caller included).  The
-   cursor hands out [chunk]-sized index ranges; a failed job parks its
-   exception in [failure] (first writer wins, which also fires the
-   caller's [on_failure] hook exactly once) and makes every worker
-   stop claiming, so all domains reach their join quickly. *)
+type mode = Static | Steal
+
+(* A failed job parks its exception in [failure] (first writer wins,
+   which also fires the caller's [on_failure] hook exactly once) and
+   makes every worker stop claiming, so all domains reach their join
+   quickly. *)
 let park ~failure ~on_failure e =
   if Atomic.compare_and_set failure None (Some e) then on_failure ()
 
-let worker_loop ~n ~chunk ~cursor ~failure ~on_failure f =
-  let rec go () =
-    if Atomic.get failure = None then begin
-      let start = Atomic.fetch_and_add cursor chunk in
-      if start < n then begin
-        (try
-           for i = start to min n (start + chunk) - 1 do
-             f i
-           done
-         with e -> park ~failure ~on_failure e);
-        go ()
-      end
-    end
-  in
-  go ()
+(* ---------------------------------------------------------------- *)
+(* Static mode: one shared cursor hands out [chunk]-sized index
+   ranges.  One worker body shared by every domain (the caller
+   included). *)
 
-let run ?(chunk = 1) ?(on_failure = ignore) ~jobs n f =
+let rec static_loop ~n ~chunk ~cursor ~failure ~on_failure f =
+  if Atomic.get failure = None then begin
+    let start = Atomic.fetch_and_add cursor chunk in
+    if start < n then begin
+      (try
+         for i = start to min n (start + chunk) - 1 do
+           f i
+         done
+       with e -> park ~failure ~on_failure e);
+      static_loop ~n ~chunk ~cursor ~failure ~on_failure f
+    end
+  end
+
+(* ---------------------------------------------------------------- *)
+(* Steal mode: the index space is pre-partitioned into one contiguous
+   range per worker, each held in a single atomic as the packed pair
+   [(lo lsl 31) lor hi] for the half-open [lo, hi) (so [n] must fit in
+   31 bits).  Owners claim [chunk] indices off the front with a CAS;
+   an idle worker steals the upper half of a victim's range with a
+   CAS and installs the loot in its own (empty) slot.  The packed
+   representation is ABA-free: a slot can never hold the same pair
+   twice, because a pair recurs only if its front index [lo] comes
+   back unexecuted to the same slot, and every transition away from
+   the pair either executes [lo] or keeps it in the slot with a
+   strictly smaller [hi] — ranges split and shrink, they never
+   merge. *)
+
+let range_mask = 0x7FFF_FFFF
+let pack ~lo ~hi = (lo lsl 31) lor hi
+
+(* Claim up to [chunk] indices off the front of [deque]; the packed
+   claimed range, or -1 when the deque is empty. *)
+let rec pop_own deque ~chunk =
+  let r = Atomic.get deque in
+  let lo = r lsr 31 and hi = r land range_mask in
+  if lo >= hi then -1
+  else
+    let c = if hi - lo < chunk then hi - lo else chunk in
+    if Atomic.compare_and_set deque r (pack ~lo:(lo + c) ~hi) then
+      pack ~lo ~hi:(lo + c)
+    else pop_own deque ~chunk
+
+(* Steal the upper half (rounded up) of [deque]; the packed stolen
+   range, or -1 when the deque is empty or the CAS lost a race (the
+   scan just moves to the next victim rather than hammering one
+   slot). *)
+let try_steal deque =
+  let r = Atomic.get deque in
+  let lo = r lsr 31 and hi = r land range_mask in
+  if lo >= hi then -1
+  else
+    let mid = lo + ((hi - lo) / 2) in
+    if Atomic.compare_and_set deque r (pack ~lo ~hi:mid) then pack ~lo:mid ~hi
+    else -1
+
+(* Execute an already-claimed range; every completed index is debited
+   from [remaining] (the termination signal: deques may all look empty
+   while their contents are still being executed). *)
+let rec run_range ~remaining ~failure ~on_failure f lo hi =
+  if lo < hi && Atomic.get failure = None then begin
+    (try f lo with e -> park ~failure ~on_failure e);
+    Atomic.decr remaining;
+    run_range ~remaining ~failure ~on_failure f (lo + 1) hi
+  end
+
+(* One round-robin pass over the victims, starting after [me]; on a
+   hit, park the loot in my own slot (empty while I scan — thieves
+   only ever remove) minus a first chunk executed right away. *)
+let rec steal_scan ~deques ~remaining ~failure ~on_failure ~chunk ~me f i =
+  let jobs = Array.length deques in
+  if i < jobs then begin
+    let r = try_steal deques.((me + i) mod jobs) in
+    if r < 0 then
+      steal_scan ~deques ~remaining ~failure ~on_failure ~chunk ~me f (i + 1)
+    else begin
+      let lo = r lsr 31 and hi = r land range_mask in
+      let c = if hi - lo < chunk then hi - lo else chunk in
+      Atomic.set deques.(me) (pack ~lo:(lo + c) ~hi);
+      run_range ~remaining ~failure ~on_failure f lo (lo + c)
+    end
+  end
+
+let rec steal_loop ~deques ~remaining ~failure ~on_failure ~chunk ~me f =
+  if Atomic.get failure = None && Atomic.get remaining > 0 then begin
+    let r = pop_own deques.(me) ~chunk in
+    if r >= 0 then
+      run_range ~remaining ~failure ~on_failure f (r lsr 31)
+        (r land range_mask)
+    else begin
+      steal_scan ~deques ~remaining ~failure ~on_failure ~chunk ~me f 1;
+      if Atomic.get remaining > 0 && Atomic.get failure = None then
+        Domain.cpu_relax ()
+    end;
+    steal_loop ~deques ~remaining ~failure ~on_failure ~chunk ~me f
+  end
+
+(* ---------------------------------------------------------------- *)
+
+let spawn_all ~jobs ~failure ~on_failure body =
+  (* Spawn into a pre-sized option array: if [Domain.spawn] itself
+     raises mid-loop (OS domain limit), the failure is parked exactly
+     like a job's — workers already running stop claiming, every
+     domain that did spawn is joined below, and the spawn exception
+     is re-raised in the caller.  [Array.init] would leak the
+     already-spawned domains on the same failure. *)
+  let spawned = Array.make (jobs - 1) None in
+  (try
+     for d = 0 to jobs - 2 do
+       spawned.(d) <- Some (Domain.spawn (fun () -> body (d + 1)))
+     done
+   with e -> park ~failure ~on_failure e);
+  body 0;
+  Array.iter (function Some d -> Domain.join d | None -> ()) spawned;
+  match Atomic.get failure with None -> () | Some e -> raise e
+
+let run ?(mode = Static) ?chunk ?(on_failure = ignore) ~jobs n f =
   if jobs < 1 then invalid_arg "Pool.run: jobs must be >= 1";
-  if chunk < 1 then invalid_arg "Pool.run: chunk must be >= 1";
+  (match chunk with
+  | Some c when c < 1 -> invalid_arg "Pool.run: chunk must be >= 1"
+  | _ -> ());
   if n < 0 then invalid_arg "Pool.run: negative job count";
   let jobs = min jobs (max n 1) in
+  (* Unless the caller pins a chunk, size it so each worker claims ~8
+     times over a balanced run — enough slack for imbalance without
+     hammering the shared cursor once per index on huge [n]. *)
+  let chunk =
+    match chunk with Some c -> c | None -> max 1 (n / (jobs * 8))
+  in
   if jobs = 1 then (
     try
       for i = 0 to n - 1 do
@@ -45,35 +158,48 @@ let run ?(chunk = 1) ?(on_failure = ignore) ~jobs n f =
     with e ->
       on_failure ();
       raise e)
-  else begin
-    let cursor = Atomic.make 0 and failure = Atomic.make None in
-    (* Spawn into a pre-sized option array: if [Domain.spawn] itself
-       raises mid-loop (OS domain limit), the failure is parked exactly
-       like a job's — workers already running stop claiming, every
-       domain that did spawn is joined below, and the spawn exception
-       is re-raised in the caller.  [Array.init] would leak the
-       already-spawned domains on the same failure. *)
-    let spawned = Array.make (jobs - 1) None in
-    (try
-       for d = 0 to jobs - 2 do
-         spawned.(d) <-
-           Some
-             (Domain.spawn (fun () ->
-                  worker_loop ~n ~chunk ~cursor ~failure ~on_failure f))
-       done
-     with e -> park ~failure ~on_failure e);
-    worker_loop ~n ~chunk ~cursor ~failure ~on_failure f;
-    Array.iter (function Some d -> Domain.join d | None -> ()) spawned;
-    match Atomic.get failure with None -> () | Some e -> raise e
-  end
+  else
+    let failure = Atomic.make None in
+    match mode with
+    | Static ->
+        let cursor = Atomic.make 0 in
+        spawn_all ~jobs ~failure ~on_failure (fun _me ->
+            static_loop ~n ~chunk ~cursor ~failure ~on_failure f)
+    | Steal ->
+        if n > range_mask then
+          invalid_arg "Pool.run: Steal supports at most 2^31 - 1 jobs";
+        let deques =
+          Array.init jobs (fun w ->
+              Atomic.make (pack ~lo:(w * n / jobs) ~hi:((w + 1) * n / jobs)))
+        in
+        let remaining = Atomic.make n in
+        spawn_all ~jobs ~failure ~on_failure (fun me ->
+            steal_loop ~deques ~remaining ~failure ~on_failure ~chunk ~me f)
 
-let map ?chunk ?on_failure ~jobs n f =
+let map ?mode ?chunk ?on_failure ~jobs n f =
   if n < 0 then invalid_arg "Pool.map: negative job count";
-  (* An option array keeps the write per slot word-sized (no float
-     unboxing surprises) and disjoint across domains; the joins in
-     [run] publish every slot before the unwrap below reads it. *)
-  let out = Array.make n None in
-  run ?chunk ?on_failure ~jobs n (fun i -> out.(i) <- Some (f i));
-  Array.map
-    (function Some v -> v | None -> assert false (* run covered [0,n) *))
+  if n = 0 then [||]
+  else begin
+    (* Slot 0 runs eagerly in the caller: its value seeds the result
+       buffer, so no per-element [Some] boxing is needed.  Writes land
+       in disjoint slots (and disjoint [filled] bytes — one byte per
+       index, so no cross-domain read-modify-write), and the joins
+       inside [run] publish every slot before the check below reads
+       it. *)
+    let r0 =
+      try f 0
+      with e ->
+        (match on_failure with Some g -> g () | None -> ());
+        raise e
+    in
+    let out = Array.make n r0 in
+    let filled = Bytes.make n '\000' in
+    Bytes.set filled 0 '\001';
+    run ?mode ?chunk ?on_failure ~jobs (n - 1) (fun i ->
+        out.(i + 1) <- f (i + 1);
+        Bytes.set filled (i + 1) '\001');
+    for i = 0 to n - 1 do
+      assert (Bytes.get filled i = '\001')
+    done;
     out
+  end

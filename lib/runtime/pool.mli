@@ -1,12 +1,12 @@
 (** A minimal domain pool for embarrassingly-parallel index ranges.
 
-    Jobs are identified by their index in [0, n); workers claim chunks
-    of consecutive indices from a shared atomic cursor, so the
-    *assignment* of jobs to domains is nondeterministic but nothing
-    else is: callers that make job [i] depend only on [i] (and write
-    only to slot [i] of a result array) get bit-identical results for
-    every [jobs] value, including [jobs = 1], which runs the plain
-    sequential loop in the calling domain without spawning anything.
+    Jobs are identified by their index in [0, n); workers claim
+    indices from a shared structure, so the *assignment* of jobs to
+    domains is nondeterministic but nothing else is: callers that make
+    job [i] depend only on [i] (and write only to slot [i] of a result
+    array) get bit-identical results for every [jobs] value and either
+    {!mode}, including [jobs = 1], which runs the plain sequential
+    loop in the calling domain without spawning anything.
 
     The pool is created and joined inside each call — there is no
     long-lived worker state, so nested or repeated use is safe.  If a
@@ -23,22 +23,51 @@ val default_jobs : unit -> int
     positive integer — [Invalid_argument] otherwise), else
     {!Domain.recommended_domain_count}. *)
 
+(** How workers claim indices.  [Static] (the default): one shared
+    atomic cursor hands out [chunk]-sized ranges in order — lowest
+    contention, but a worker stuck on a long job strands nothing for
+    others to take only if chunks are small.  [Steal]: the index space
+    is pre-partitioned into one contiguous per-worker range; owners
+    pop [chunk] indices off their own front, and an idle worker steals
+    the upper half of a victim's remaining range (Chase–Lev-style
+    splitting on a single packed atomic per worker), which keeps tails
+    balanced when job durations are skewed.  [Steal] is limited to
+    [n < 2{^31}] jobs. *)
+type mode = Static | Steal
+
 val run :
-  ?chunk:int -> ?on_failure:(unit -> unit) -> jobs:int -> int ->
-  (int -> unit) -> unit
+  ?mode:mode ->
+  ?chunk:int ->
+  ?on_failure:(unit -> unit) ->
+  jobs:int ->
+  int ->
+  (int -> unit) ->
+  unit
 (** [run ~jobs n f] evaluates [f i] exactly once for every
     [0 <= i < n], using at most [jobs] domains (the calling domain
-    included).  [chunk] (default 1) is the number of consecutive
-    indices claimed per queue pop; raise it when jobs are tiny.
+    included).  [chunk] is the number of consecutive indices claimed
+    per pop; when omitted it auto-tunes to [max 1 (n / (jobs * 8))] —
+    about eight claims per worker on a balanced run — so huge-[n]
+    sweeps do not hammer the cursor one index at a time.  Pass
+    [~chunk:1] explicitly for maximal balancing of few, long jobs.
     [on_failure] (default a no-op) runs exactly once, in the domain
     that recorded the first failure, the moment a job or a
     [Domain.spawn] raises — jobs whose bodies block on shared state
     (e.g. a transport backend's per-node loops) use it to flip their
     own abort flag so every body unblocks and the joins can complete.
-    [Invalid_argument] if [jobs < 1], [chunk < 1] or [n < 0]. *)
+    [Invalid_argument] if [jobs < 1], [chunk < 1], [n < 0], or
+    [n >= 2{^31}] in [Steal] mode. *)
 
 val map :
-  ?chunk:int -> ?on_failure:(unit -> unit) -> jobs:int -> int ->
-  (int -> 'a) -> 'a array
+  ?mode:mode ->
+  ?chunk:int ->
+  ?on_failure:(unit -> unit) ->
+  jobs:int ->
+  int ->
+  (int -> 'a) ->
+  'a array
 (** [map ~jobs n f] is [[| f 0; ...; f (n-1) |]] computed as {!run}
-    does; slot [i] holds [f i] regardless of which domain ran it. *)
+    does; slot [i] holds [f i] regardless of which domain ran it.
+    [f 0] is evaluated first, in the caller (its value seeds the
+    result buffer — no per-element boxing); the remaining indices are
+    distributed as in {!run}. *)

@@ -117,6 +117,79 @@ let test_on_failure_sequential_path () =
   | () -> Alcotest.fail "exception was swallowed");
   checki "on_failure ran exactly once" 1 !calls
 
+let test_steal_matches_sequential () =
+  let f i = (i * 5) - (i * i) in
+  let expected = Array.init 211 f in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun chunk ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "steal jobs=%d chunk=%d" jobs chunk)
+            expected
+            (Pool.map ~mode:Pool.Steal ~chunk ~jobs 211 f))
+        [ 1; 4; 64 ])
+    [ 1; 2; 4; 9 ]
+
+let test_steal_covers_each_index_once () =
+  List.iter
+    (fun jobs ->
+      let n = 143 in
+      let hits = Array.make n 0 in
+      Pool.run ~mode:Pool.Steal ~jobs ~chunk:3 n (fun i ->
+          hits.(i) <- hits.(i) + 1);
+      Array.iteri (fun i h -> checki (Printf.sprintf "index %d" i) 1 h) hits;
+      (* Auto-tuned chunk covers the same set. *)
+      let hits = Array.make n 0 in
+      Pool.run ~mode:Pool.Steal ~jobs n (fun i -> hits.(i) <- hits.(i) + 1);
+      Array.iteri (fun i h -> checki (Printf.sprintf "auto %d" i) 1 h) hits)
+    [ 1; 2; 4 ]
+
+let test_auto_chunk_covers () =
+  (* No explicit chunk: the auto-tuned size must still cover every
+     index exactly once, including when it rounds to 0-remainder
+     boundaries. *)
+  List.iter
+    (fun (jobs, n) ->
+      let hits = Array.make (max n 1) 0 in
+      Pool.run ~jobs n (fun i -> hits.(i) <- hits.(i) + 1);
+      for i = 0 to n - 1 do
+        checki (Printf.sprintf "jobs=%d n=%d i=%d" jobs n i) 1 hits.(i)
+      done)
+    [ (1, 10_000); (4, 10_000); (4, 7); (3, 1); (4, 0) ]
+
+let test_steal_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      (match
+         Pool.run ~mode:Pool.Steal ~jobs 64 (fun i ->
+             if i = 11 then failwith "steal-boom")
+       with
+      | exception Failure msg ->
+          Alcotest.(check string)
+            (Printf.sprintf "message at jobs=%d" jobs)
+            "steal-boom" msg
+      | () -> Alcotest.fail "exception was swallowed");
+      Alcotest.(check (array int))
+        (Printf.sprintf "reusable at jobs=%d" jobs)
+        [| 0; 1; 2; 3 |]
+        (Pool.map ~mode:Pool.Steal ~jobs 4 (fun i -> i)))
+    [ 1; 4 ]
+
+let test_map_first_slot_failure () =
+  (* [f 0] runs eagerly in the caller; its failure must still fire
+     [on_failure] exactly once and propagate. *)
+  let calls = ref 0 in
+  (match
+     Pool.map ~jobs:4
+       ~on_failure:(fun () -> incr calls)
+       4
+       (fun i -> if i = 0 then failwith "slot0" else i)
+   with
+  | exception Failure msg -> Alcotest.(check string) "message" "slot0" msg
+  | _ -> Alcotest.fail "exception was swallowed");
+  checki "on_failure ran exactly once" 1 !calls
+
 let test_default_jobs_env () =
   Unix.putenv "COLRING_JOBS" "3";
   checki "COLRING_JOBS=3" 3 (Pool.default_jobs ());
@@ -181,6 +254,15 @@ let () =
             test_on_failure_sequential_path;
           Alcotest.test_case "exception propagates" `Quick
             test_exception_propagates_and_pool_survives;
+          Alcotest.test_case "steal matches sequential" `Quick
+            test_steal_matches_sequential;
+          Alcotest.test_case "steal covers each index once" `Quick
+            test_steal_covers_each_index_once;
+          Alcotest.test_case "auto chunk covers" `Quick test_auto_chunk_covers;
+          Alcotest.test_case "steal exception propagates" `Quick
+            test_steal_exception_propagates;
+          Alcotest.test_case "map first-slot failure" `Quick
+            test_map_first_slot_failure;
           Alcotest.test_case "COLRING_JOBS" `Quick test_default_jobs_env;
         ] );
       ( "split_at",

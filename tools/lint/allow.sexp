@@ -12,6 +12,12 @@
               the bench output, called out in EXPERIMENTS.md); every other \
               column is deterministic and jobs-independent"))
 
+(allow (rule determinism) (file bin/colring.ml)
+       (note "the batch subcommand's elections/sec and latency percentile \
+              columns are wall-clock by design; the clock is injected into \
+              Harness.Batch.run as a parameter, so lib/harness stays \
+              clock-free and reports/journals remain deterministic"))
+
 (allow (rule determinism) (file lib/transport/socket.ml)
        (note "the real-process coordinator schedules fault-injected \
               deliveries on the wall clock (select timeouts, due times, the \

@@ -7,6 +7,12 @@
      (functions push pop head_seq head_batch head_depth is_empty length))
 (hot (file lib/engine/ring.ml)
      (functions push pop peek is_empty length))
+(hot (file lib/engine/flock.ml)
+     (functions pq_push pq_pop pq_head_seq pq_head_batch mark_nonempty unmark
+                enqueue deliver step step_batch view))
+(hot (file lib/runtime/pool.ml)
+     (functions static_loop pop_own try_steal steal_scan steal_loop run_range
+                pack))
 (hot (file lib/engine/network.ml)
      (functions enqueue deliver_from step view mark_nonempty unmark_if_empty
                 slot enabled_count enabled_scan enabled_link))
