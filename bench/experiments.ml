@@ -1429,6 +1429,94 @@ let e16 ~sink ~quick =
     ];
   print_table ~sink ~name:"e16" t
 
+(* ------------------------------------------------------------------ *)
+(* E18: walk election by topology family — the general 2-edge-connected
+   election (lib/graph Gelection, DESIGN.md section 12) measured per
+   --topology family.  Pulse complexity is exactly walk * ID_max; the
+   'overhead' column is walk/n, the factor the spanning-walk
+   construction pays over Algorithm 1 on a ring of the same size
+   (where the walk IS the ring, factor 1.00).  elections/s is
+   wall-clock and varies run to run; every other column is
+   deterministic and jobs-independent. *)
+
+module Topo = Colring_harness.Topo
+module Gelection = Colring_graph.Gelection
+
+let e18_families =
+  [
+    Topo.Ring (Some 8);
+    Topo.Theta 8;
+    Topo.K4;
+    Topo.Bowtie;
+    Topo.Random2ec { n = 12; seed = 5 };
+  ]
+
+let e18 ~sink ~jobs ~quick =
+  section
+    "E18 Walk election on 2-edge-connected graphs  --  Gelection per\n\
+     topology family (DESIGN.md section 12).  Pulse complexity is\n\
+     walk*ID_max exactly; 'overhead' = walk/n, the spanning-walk cost\n\
+     over Algorithm 1 on a same-size ring.  elections/s is wall-clock.";
+  let t =
+    Table.create
+      [
+        ("topology", Table.Left);
+        ("n", Table.Right);
+        ("walk", Table.Right);
+        ("ears", Table.Right);
+        ("overhead", Table.Right);
+        ("runs", Table.Right);
+        ("ok", Table.Right);
+        ("sends=walk*IDmax", Table.Left);
+        ("mean sends", Table.Right);
+        ("elections/s", Table.Right);
+      ]
+  in
+  let seeds =
+    if quick then [ 1; 2; 3 ] else List.init 20 (fun i -> i + 1)
+  in
+  par_rows ~jobs e18_families
+    (fun spec ->
+      let g = Topo.materialize ~default_n:8 spec in
+      let n = Colring_graph.Gtopology.n g in
+      let plan = Gelection.plan g in
+      let walk = Gelection.walk_length plan in
+      let ears =
+        List.length (Colring_graph.Ears.ears (Gelection.decomposition plan))
+      in
+      let ok = ref 0 and exact = ref 0 in
+      let sends = Summary.create () in
+      let t0 = Unix.gettimeofday () in
+      List.iter
+        (fun seed ->
+          let ids =
+            Ids.distinct (Rng.create ~seed:(seed * 11 + 1)) ~n ~id_max:(2 * n)
+          in
+          let r =
+            Gelection.run_report plan ~ids ~sched:(sched_of_seed (seed + 97))
+          in
+          if Gelection.ok r then incr ok;
+          if r.Gelection.sends = r.Gelection.expected_sends then incr exact;
+          Summary.add_int sends r.Gelection.sends)
+        seeds;
+      let wall = Unix.gettimeofday () -. t0 in
+      let runs = List.length seeds in
+      [
+        Topo.to_string spec;
+        Table.cell_int n;
+        Table.cell_int walk;
+        Table.cell_int ears;
+        Table.cell_ratio (float_of_int walk /. float_of_int n);
+        Table.cell_int runs;
+        Table.cell_int !ok;
+        yes_no (!exact = runs);
+        Table.cell_float ~decimals:1 (Summary.mean sends);
+        Table.cell_float ~decimals:0
+          (float_of_int runs /. Float.max wall 1e-9);
+      ])
+  |> List.iter (Table.add_row t);
+  print_table ~sink ~name:"e18" t
+
 let all ~sink ~jobs ~quick =
   e16 ~sink ~quick;
   e1 ~sink ~jobs ~quick;
@@ -1446,4 +1534,5 @@ let all ~sink ~jobs ~quick =
   e12 ~sink ~jobs ~quick;
   e13 ~sink ~jobs ~quick;
   e14 ~sink ~jobs ~quick;
-  e15 ~sink ~jobs ~quick
+  e15 ~sink ~jobs ~quick;
+  e18 ~sink ~jobs ~quick

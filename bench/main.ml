@@ -70,6 +70,7 @@ let () =
     if want "e13" then Experiments.e13 ~sink ~jobs ~quick;
     if want "e14" then Experiments.e14 ~sink ~jobs ~quick;
     if want "e15" then Experiments.e15 ~sink ~jobs ~quick;
+    if want "e18" then Experiments.e18 ~sink ~jobs ~quick;
     if want "timing" then Timing.run ()
     else if want "throughput" then Timing.throughput ~quick ()
   in

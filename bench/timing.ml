@@ -574,12 +574,105 @@ let batch_section ~quick () =
              speedups) );
     ]
 
+(* {2 Walk elections on graphs (E18)}
+
+   The 2-edge-connected generalization (lib/graph Gelection) timed per
+   --topology family: elections/sec for the full plan-once-run-many
+   loop, plus the walk-length overhead each family pays over a
+   same-size ring (pulse complexity is walk * ID_max, so walk/n is the
+   message-cost factor vs Algorithm 1 on a ring). *)
+
+module Gelection = Colring_graph.Gelection
+module Topo = Harness.Topo
+
+type graph_point = {
+  gp_topology : string;
+  gp_n : int;
+  gp_walk : int;
+  gp_trials : int;
+  gp_ok : int;
+  gp_wall : float;
+  gp_eps : float;
+}
+
+let graph_families = [ "ring:8"; "theta:8"; "k4"; "bowtie"; "random2ec:12:5" ]
+
+let graph_section ~quick () =
+  Printf.printf
+    "\n================================================================\n";
+  Printf.printf "Walk elections on 2-edge-connected graphs (E18 families)\n";
+  Printf.printf
+    "================================================================\n\n";
+  let trials = if quick then 50 else 500 in
+  let points =
+    List.map
+      (fun name ->
+        let spec =
+          match Topo.parse name with Ok s -> s | Error e -> failwith e
+        in
+        let g = Topo.materialize ~default_n:8 spec in
+        let n = Colring_graph.Gtopology.n g in
+        let plan = Gelection.plan g in
+        let ok = ref 0 in
+        let t0 = Unix.gettimeofday () in
+        for i = 1 to trials do
+          let ids =
+            Ids.distinct (Rng.create ~seed:(i * 13 + 1)) ~n ~id_max:(2 * n)
+          in
+          let r =
+            Gelection.run_report plan ~ids ~sched:(batch_sched (i + 5))
+          in
+          if Gelection.ok r then incr ok
+        done;
+        let wall = Unix.gettimeofday () -. t0 in
+        {
+          gp_topology = name;
+          gp_n = n;
+          gp_walk = Gelection.walk_length plan;
+          gp_trials = trials;
+          gp_ok = !ok;
+          gp_wall = wall;
+          gp_eps = float_of_int trials /. Float.max wall 1e-9;
+        })
+      graph_families
+  in
+  Printf.printf "%-16s %4s %6s %10s %8s %14s\n" "topology" "n" "walk"
+    "overhead" "ok" "elections/s";
+  List.iter
+    (fun p ->
+      Printf.printf "%-16s %4d %6d %10.2f %5d/%-3d %14.0f\n" p.gp_topology
+        p.gp_n p.gp_walk
+        (float_of_int p.gp_walk /. float_of_int p.gp_n)
+        p.gp_ok p.gp_trials p.gp_eps)
+    points;
+  let json_of_point p =
+    Bench_io.Obj
+      [
+        ("topology", Bench_io.String p.gp_topology);
+        ("n", Bench_io.Int p.gp_n);
+        ("walk_len", Bench_io.Int p.gp_walk);
+        ( "walk_overhead",
+          Bench_io.Float (float_of_int p.gp_walk /. float_of_int p.gp_n) );
+        ("trials", Bench_io.Int p.gp_trials);
+        ("ok", Bench_io.Int p.gp_ok);
+        ("wall_seconds", Bench_io.Float p.gp_wall);
+        ("elections_per_sec", Bench_io.Float p.gp_eps);
+      ]
+  in
+  Bench_io.Obj
+    [
+      ("algorithm", Bench_io.String "walk-election");
+      ("results", Bench_io.List (List.map json_of_point points));
+      ( "all_ok",
+        Bench_io.Bool (List.for_all (fun p -> p.gp_ok = p.gp_trials) points) );
+    ]
+
 (* The shape downstream tooling relies on; called on the file just
    written, so `bench/main.exe -- throughput` fails loudly if the
    schema regresses. *)
 let validate_report path =
   let fail msg =
-    failwith (Printf.sprintf "%s: schema_version 4 check failed: %s" path msg)
+    failwith (Printf.sprintf "%s: schema_version 5 check failed: %s" path msg)
   in
   let j = try Bench_io.read_file path with
     | Bench_io.Parse_error e -> fail ("unparsable JSON: " ^ e)
@@ -589,7 +682,7 @@ let validate_report path =
   let float_field obj k =
     Option.bind (Bench_io.member k obj) Bench_io.get_float
   in
-  require (int_field j "schema_version" = Some 4) "schema_version must be 4";
+  require (int_field j "schema_version" = Some 5) "schema_version must be 5";
   require (int_field j "domains_recommended" <> None)
     "missing domains_recommended";
   (match Bench_io.member "transport" j with
@@ -629,7 +722,7 @@ let validate_report path =
                 "sweep point missing cells_per_sec")
             points
       | _ -> fail "sweep missing results list"));
-  match Bench_io.member "batch" j with
+  (match Bench_io.member "batch" j with
   | None -> fail "missing batch section"
   | Some batch -> (
       match Option.bind (Bench_io.member "results" batch) Bench_io.get_list with
@@ -645,7 +738,26 @@ let validate_report path =
               require (float_field p "p99_ms" <> None)
                 "batch point missing p99_ms")
             points
-      | _ -> fail "batch missing results list")
+      | _ -> fail "batch missing results list"));
+  match Bench_io.member "graph" j with
+  | None -> fail "missing graph section"
+  | Some graph -> (
+      match Option.bind (Bench_io.member "results" graph) Bench_io.get_list with
+      | Some (_ :: _ as points) ->
+          List.iter
+            (fun p ->
+              require
+                (Option.bind (Bench_io.member "topology" p) Bench_io.get_string
+                <> None)
+                "graph point missing topology";
+              require (int_field p "walk_len" <> None)
+                "graph point missing walk_len";
+              require (float_field p "walk_overhead" <> None)
+                "graph point missing walk_overhead";
+              require (float_field p "elections_per_sec" <> None)
+                "graph point missing elections_per_sec")
+            points
+      | _ -> fail "graph missing results list")
 
 let json_of_result r =
   Bench_io.Obj
@@ -681,10 +793,11 @@ let throughput ?(quick = false) ?(json_path = "BENCH_engine.json") () =
   let transport = transport_section ~quick () in
   let sweep = sweep_section ~quick () in
   let batch = batch_section ~quick () in
+  let graph = graph_section ~quick () in
   Bench_io.write_file json_path
     (Bench_io.Obj
        [
-         ("schema_version", Bench_io.Int 4);
+         ("schema_version", Bench_io.Int 5);
          ("suite", Bench_io.String "colring-engine");
          ("ocaml_version", Bench_io.String Sys.ocaml_version);
          ("word_size_bits", Bench_io.Int Sys.word_size);
@@ -693,9 +806,10 @@ let throughput ?(quick = false) ?(json_path = "BENCH_engine.json") () =
          ("transport", transport);
          ("sweep", sweep);
          ("batch", batch);
+         ("graph", graph);
        ]);
   validate_report json_path;
-  Printf.printf "\nwrote %s (schema_version 4, shape validated)\n" json_path
+  Printf.printf "\nwrote %s (schema_version 5, shape validated)\n" json_path
 
 let run () =
   Printf.printf

@@ -96,6 +96,30 @@ let diagram_arg =
     value & flag
     & info [ "diagram" ] ~doc:"Print an ASCII space-time diagram of the run.")
 
+let topo_conv =
+  let parse s =
+    match Harness.Topo.parse s with
+    | Ok t -> Ok t
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv
+    (parse, fun ppf t -> Format.pp_print_string ppf (Harness.Topo.to_string t))
+
+(* The shared --topology grammar (elect, sweep, check, batch): rings
+   are the default and keep their legacy engine path byte-for-byte;
+   anything else materializes a graph and runs the walk election. *)
+let topology_doc =
+  "Network topology: $(b,ring)[:N] (the default; the ring engine exactly as \
+   before), $(b,theta:N), $(b,k4), $(b,bowtie) (alias two-ear), \
+   $(b,random2ec:N:SEED). Non-ring topologies run the content-oblivious walk \
+   election on the graph engine."
+
+let topology_arg =
+  Arg.(
+    value
+    & opt topo_conv (Harness.Topo.Ring None)
+    & info [ "topology" ] ~docv:"TOPO" ~doc:topology_doc)
+
 let scheduler_of_name name ~seed =
   match name with
   | "random" -> Scheduler.random (Rng.create ~seed)
@@ -110,6 +134,10 @@ let scheduler_of_name name ~seed =
 let make_ids ~n ~id_max ~seed =
   let id_max = Option.value ~default:(2 * n) id_max in
   Ids.distinct (Rng.create ~seed) ~n ~id_max
+
+let fmt_ids ids =
+  Printf.sprintf "[%s]"
+    (String.concat "; " (Array.to_list (Array.map string_of_int ids)))
 
 let print_report (r : Election.report) =
   Printf.printf "algorithm           %s\n" r.algorithm;
@@ -217,8 +245,65 @@ let max_deliveries_arg =
           "Abort the run after $(docv) pulse deliveries (the run is then \
            reported as exhausted and fails).")
 
+let print_greport (r : Colring_graph.Gelection.report) =
+  Printf.printf "algorithm           %s\n" r.algorithm;
+  Printf.printf "nodes               %d (covered %d)\n" r.n r.covered;
+  Printf.printf "walk length         %d (%d ears beyond the base cycle)\n"
+    r.walk_len r.num_ears;
+  Printf.printf "ID_max              %d\n" r.id_max;
+  Printf.printf "pulses sent         %d (walk formula: %d)\n" r.sends
+    r.expected_sends;
+  Printf.printf "leader              %s\n"
+    (match r.leader with
+    | Some v ->
+        Printf.sprintf "node %d%s" v (if r.leader_is_max then " (max ID)" else "")
+    | None -> "NONE");
+  Printf.printf "quiescent           %b\n" r.quiescent;
+  Printf.printf "post-term pulses    %d\n" r.post_term_deliveries;
+  Printf.printf "roles               %s\n"
+    (if r.roles_ok then "consistent" else "INCONSISTENT")
+
+(* elect on a non-ring topology: the walk election on the graph
+   engine.  Only the direct simulator path exists here — the transport
+   backends, fault injection and the trace/diagram renderers are ring
+   machinery. *)
+let gelect topo_spec ~n ~seed ~id_max ~sched_name ~journal ~snapshot_every
+    ~max_deliveries =
+  let g = Harness.Topo.materialize ~default_n:n topo_spec in
+  let module G = Colring_graph.Gtopology in
+  let n = G.n g in
+  let ids = make_ids ~n ~id_max ~seed in
+  let sched = scheduler_of_name sched_name ~seed in
+  let plan = Colring_graph.Gelection.plan g in
+  Printf.printf "topology: %s (%d nodes, %d links)\n"
+    (Harness.Topo.to_string topo_spec)
+    n (G.num_links g);
+  Printf.printf "ids: %s\n" (fmt_ids ids);
+  let report, net =
+    with_journal journal (fun sink ->
+        Colring_graph.Gelection.run ~seed ?max_deliveries ~sink ~snapshot_every
+          ~workload:(Harness.Topo.to_string topo_spec) plan ~ids ~sched)
+  in
+  print_greport report;
+  print_output_array (Colring_graph.Gnetwork.outputs net);
+  if Colring_graph.Gelection.ok report then 0 else 1
+
 let elect n seed id_max sched_name algo trace diagram journal snapshot_every
-    backend latency jitter max_deliveries =
+    backend latency jitter max_deliveries topology =
+  if not (Harness.Topo.is_ring topology) then begin
+    if backend <> Backend.Sim || latency <> 0 || jitter <> 0 || trace || diagram
+    then begin
+      prerr_endline
+        "colring elect: a non-ring --topology needs the direct simulator path \
+         (--backend sim, no --latency/--jitter/--trace/--diagram)";
+      2
+    end
+    else
+      gelect topology ~n ~seed ~id_max ~sched_name ~journal ~snapshot_every
+        ~max_deliveries
+  end
+  else
+  let n = Harness.Topo.node_count ~default_n:n topology in
   let ids = make_ids ~n ~id_max ~seed in
   let topo =
     match algo with
@@ -283,7 +368,7 @@ let elect_cmd =
     Term.(
       const elect $ n_arg $ seed_arg $ id_max_arg $ sched_arg $ algo_arg
       $ trace_arg $ diagram_arg $ journal_arg $ snapshot_arg $ backend_arg
-      $ latency_arg $ jitter_arg $ max_deliveries_arg)
+      $ latency_arg $ jitter_arg $ max_deliveries_arg $ topology_arg)
 
 (* ------------------------------------------------------------------ *)
 (* orient *)
@@ -511,7 +596,65 @@ let jobs_arg =
 let resolve_jobs jobs =
   Harness.Cli.exit_or ~cmd:"colring" (Harness.Cli.jobs ~flag:"--jobs" jobs)
 
-let sweep seed sched_name algo csv jobs journal =
+let sweep_topology_arg =
+  Arg.(
+    value & opt_all topo_conv []
+    & info [ "topology" ] ~docv:"TOPO"
+        ~doc:
+          (topology_doc
+         ^ " Repeatable; with at least one $(b,--topology) the sweep runs the \
+            walk election over the given topology grid instead of the ring \
+            algorithm grid."))
+
+(* The graph sweep: topology × seed × scheduler cells of the walk
+   election (rings included — here they run through the graph engine,
+   the walk of a ring being the ring itself). *)
+let gsweep topos seed sched_name csv jobs journal =
+  let journal_oc = Option.map open_out journal in
+  let ms =
+    Harness.Sweep.gelection ~jobs
+      ?journal:(Option.map (fun oc -> output_string oc) journal_oc)
+      ~topologies:topos
+      ~seeds:[ seed; seed + 1; seed + 2 ]
+      ~schedulers:[ (fun s -> scheduler_of_name sched_name ~seed:s) ]
+      ()
+  in
+  Option.iter close_out journal_oc;
+  if csv then print_string (Harness.Sweep.gelection_to_csv ms)
+  else begin
+    Printf.printf "%-24s %6s %6s %6s %6s %10s\n" "topology" "n" "walk" "runs"
+      "ok" "max sends";
+    let groups =
+      List.fold_left
+        (fun acc (m : Harness.Sweep.gmeasurement) ->
+          if List.mem m.g_topology acc then acc else m.g_topology :: acc)
+        [] ms
+      |> List.rev
+    in
+    List.iter
+      (fun name ->
+        let same =
+          List.filter
+            (fun (m : Harness.Sweep.gmeasurement) -> m.g_topology = name)
+            ms
+        in
+        let one = List.hd same in
+        Printf.printf "%-24s %6d %6d %6d %6d %10d\n" name one.g_n
+          one.g_walk_len (List.length same)
+          (List.length
+             (List.filter (fun (m : Harness.Sweep.gmeasurement) -> m.g_ok) same))
+          (List.fold_left
+             (fun acc (m : Harness.Sweep.gmeasurement) -> max acc m.g_sends)
+             0 same))
+      groups
+  end;
+  if List.for_all (fun (m : Harness.Sweep.gmeasurement) -> m.g_ok) ms then 0
+  else 1
+
+let sweep seed sched_name algo csv jobs journal topologies =
+  if topologies <> [] then
+    gsweep topologies seed sched_name csv (resolve_jobs jobs) journal
+  else
   let journal_oc = Option.map open_out journal in
   let measurements =
     Harness.Sweep.election
@@ -544,7 +687,7 @@ let sweep_cmd =
        ~doc:"Sweep message counts over workloads and ring sizes (summary or CSV).")
     Term.(
       const sweep $ seed_arg $ sched_arg $ algo_arg $ csv_arg $ jobs_arg
-      $ journal_arg)
+      $ journal_arg $ sweep_topology_arg)
 
 (* ------------------------------------------------------------------ *)
 (* batch / serve: many elections over per-domain flocks *)
@@ -650,11 +793,76 @@ let print_batch_summary (o : Harness.Batch.outcome) =
   end;
   ok = count
 
-let batch spec_path sched_name jobs mode slots journal_dir shards events =
+(* batch on a non-ring topology: one walk election per spec line on
+   the single materialized graph (the line's seed draws the ids and
+   the adversary; its algorithm and n fields are ring machinery and
+   are ignored), fanned out job-per-job over the domain pool. *)
+let gbatch topo_spec specs sched_name jobs journal_dir shards events =
+  let module GE = Colring_graph.Gelection in
+  let g = Harness.Topo.materialize ~default_n:8 topo_spec in
+  let plan = GE.plan g in
+  let gn = Colring_graph.Gtopology.n g in
+  let count = Array.length specs in
+  let t0 = Unix.gettimeofday () in
+  let run_jobs want_journal =
+    Colring_runtime.Pool.map ~jobs count (fun i ->
+        let s = specs.(i) in
+        let seed = s.Harness.Batch.seed in
+        let ids =
+          Ids.distinct (Rng.create ~seed) ~n:gn
+            ~id_max:(max gn s.Harness.Batch.id_max)
+        in
+        let buf = Buffer.create 512 in
+        let sink =
+          if want_journal then Sink.jsonl_buffer ~events buf else Sink.null
+        in
+        let r =
+          GE.run_report plan ~ids ~sched:(scheduler_of_name sched_name ~seed)
+            ~sink ~seed
+            ~workload:(Harness.Topo.to_string topo_spec)
+        in
+        (r, Buffer.contents buf, Unix.gettimeofday () -. t0))
+  in
+  let out =
+    match journal_dir with
+    | None -> run_jobs false
+    | Some dir ->
+        with_shards dir ~shards ~count (fun emit ->
+            let out = run_jobs true in
+            Array.iteri (fun i (_, chunk, _) -> emit i chunk) out;
+            out)
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let ok =
+    Array.fold_left (fun a (r, _, _) -> if GE.ok r then a + 1 else a) 0 out
+  in
+  let lat = Array.map (fun (_, _, l) -> l) out in
+  Array.sort Float.compare lat;
+  Printf.printf "topology            %s (%d nodes)\n"
+    (Harness.Topo.to_string topo_spec)
+    gn;
+  Printf.printf "jobs                %d\n" count;
+  Printf.printf "ok                  %d\n" ok;
+  Printf.printf "elapsed             %.3f s\n" elapsed;
+  if elapsed > 0. then
+    Printf.printf "elections/sec       %.0f\n" (float_of_int count /. elapsed);
+  if Array.length lat > 0 then begin
+    Printf.printf "p50 latency         %.3f ms\n"
+      (Harness.Batch.percentile lat 0.50 *. 1e3);
+    Printf.printf "p99 latency         %.3f ms\n"
+      (Harness.Batch.percentile lat 0.99 *. 1e3)
+  end;
+  if ok = count then 0 else 1
+
+let batch spec_path sched_name jobs mode slots journal_dir shards events
+    topology =
   match Harness.Batch.parse_spec (read_spec_file spec_path) with
   | Error msg ->
       prerr_endline ("colring batch: " ^ msg);
       2
+  | Ok specs when not (Harness.Topo.is_ring topology) ->
+      gbatch topology specs sched_name (resolve_jobs jobs) journal_dir shards
+        events
   | Ok specs ->
       let jobs = resolve_jobs jobs in
       let sched seed = scheduler_of_name sched_name ~seed in
@@ -679,7 +887,7 @@ let batch_cmd =
           report throughput and completion-latency percentiles.")
     Term.(
       const batch $ spec_file_arg $ sched_arg $ jobs_arg $ pool_mode_arg
-      $ slots_arg $ journal_dir_arg $ shards_arg $ events_arg)
+      $ slots_arg $ journal_dir_arg $ shards_arg $ events_arg $ topology_arg)
 
 (* One result line per job, in the serve loop's request order. *)
 let serve_result_line (s : Harness.Batch.spec) (r : Election.report) =
@@ -813,6 +1021,7 @@ let adversary_cmd =
 
 module Mc = Colring_mc.Mc
 module McSpec = Colring_mc.Spec
+module GSpec = Colring_mc.Gspec
 
 let target_arg =
   Arg.(
@@ -823,7 +1032,11 @@ let target_arg =
            ablation (ablation:no-lag, ablation:same-virtual-ids, \
            ablation:no-absorption — these MUST yield a counterexample), or a \
            classic baseline (chang-roberts, lelann, hirschberg-sinclair, \
-           peterson, franklin).")
+           peterson, franklin). Graph targets with fixed tiny instances: \
+           walk:theta3, walk:k4, walk:bowtie, ablation:bridge (the walk \
+           election beyond a bridge MUST yield a counterexample); any \
+           non-ring $(b,--topology) instead checks the walk election on \
+           that graph.")
 
 let max_states_arg =
   Arg.(
@@ -838,15 +1051,17 @@ let fmt_schedule schedule =
   Printf.sprintf "[%s]"
     (String.concat "; " (Array.to_list (Array.map string_of_int schedule)))
 
-let check_packed n seed id_max ids jobs max_states journal
-    (McSpec.Packed spec) =
+(* Everything below the [check] call is engine-independent: the
+   result/stats/counterexample types live outside the Mc functor, so
+   the ring and graph checkers share this reporting path.
+   [replay_violates] re-runs a minimized schedule on a fresh instance
+   of whichever engine produced it. *)
+let report_check ~name ~expect_violation ~replay_violates ~ids_str ~n ~seed
+    ~id_max ~jobs ~journal (r : Mc.result) =
   Printf.printf
-    "model-checking %s on ids [%s]: every delivery schedule, %d worker%s\n"
-    spec.Mc.name
-    (String.concat "; " (Array.to_list (Array.map string_of_int ids)))
-    jobs
+    "model-checking %s on ids %s: every delivery schedule, %d worker%s\n" name
+    ids_str jobs
     (if jobs = 1 then "" else "s");
-  let r = Mc.check ~jobs ~max_states spec in
   let s = r.Mc.stats in
   Printf.printf "states expanded     %d\n" s.Mc.states;
   Printf.printf "schedules           %d\n" s.Mc.schedules;
@@ -865,15 +1080,14 @@ let check_packed n seed id_max ids jobs max_states journal
         Printf.printf "violation           %s\n" ce.Mc.violation;
         (* Replay the minimized schedule on a fresh instance — the
            counterexample is only reported if it reproduces. *)
-        let _, replayed = Mc.replay spec ce.Mc.schedule in
-        let again = replayed <> None in
+        let again = replay_violates ce.Mc.schedule in
         Printf.printf "replay reproduces   %b\n" again;
         again
   in
   with_journal journal (fun sink ->
       sink.Sink.on_row ~table:"check"
         [
-          ("target", Sink.String spec.Mc.name);
+          ("target", Sink.String name);
           ("n", Sink.Int n);
           ("id_max", Sink.Int id_max);
           ("seed", Sink.Int seed);
@@ -897,7 +1111,7 @@ let check_packed n seed id_max ids jobs max_states journal
               | Some ce -> ce.Mc.violation) );
         ]);
   let found = r.Mc.counterexample <> None in
-  if spec.Mc.expect_violation then begin
+  if expect_violation then begin
     if found && confirmed then begin
       Printf.printf "verdict             broken as predicted (counterexample found)\n";
       0
@@ -917,15 +1131,58 @@ let check_packed n seed id_max ids jobs max_states journal
     1
   end
 
-let check n seed id_max target jobs max_states journal =
-  let id_max = Option.value ~default:n id_max in
-  let ids = Ids.distinct (Rng.create ~seed) ~n ~id_max in
+let check_packed n seed id_max ids jobs max_states journal
+    (McSpec.Packed spec) =
+  report_check ~name:spec.Mc.name ~expect_violation:spec.Mc.expect_violation
+    ~replay_violates:(fun sched -> snd (Mc.replay spec sched) <> None)
+    ~ids_str:(fmt_ids ids) ~n ~seed ~id_max ~jobs ~journal
+    (Mc.check ~jobs ~max_states spec)
+
+let check_gspec n seed id_max ~ids_str jobs max_states journal
+    (spec : unit GSpec.Gmc.spec) =
+  report_check ~name:spec.GSpec.Gmc.name
+    ~expect_violation:spec.GSpec.Gmc.expect_violation
+    ~replay_violates:(fun sched -> snd (GSpec.Gmc.replay spec sched) <> None)
+    ~ids_str ~n ~seed ~id_max ~jobs ~journal
+    (GSpec.Gmc.check ~jobs ~max_states spec)
+
+let check n seed id_max target jobs max_states journal topology =
   let jobs = resolve_jobs jobs in
-  match McSpec.of_target target ~ids ~topo_seed:(seed + 1) with
-  | exception Invalid_argument msg ->
-      Printf.eprintf "colring check: %s\n" msg;
-      1
-  | packed -> check_packed n seed id_max ids jobs max_states journal packed
+  if not (Harness.Topo.is_ring topology) then begin
+    (* A non-ring topology: exhaustively verify the walk election on
+       the materialized graph (distinct seeded ids, like elect). *)
+    let g = Harness.Topo.materialize ~default_n:n topology in
+    let gn = Colring_graph.Gtopology.n g in
+    let id_max = Option.value ~default:gn id_max in
+    let ids = Ids.distinct (Rng.create ~seed) ~n:gn ~id_max in
+    match
+      GSpec.walk_election
+        ~name:("walk:" ^ Harness.Topo.to_string topology)
+        g ~ids
+    with
+    | exception Invalid_argument msg ->
+        Printf.eprintf "colring check: %s\n" msg;
+        1
+    | spec ->
+        check_gspec gn seed id_max ~ids_str:(fmt_ids ids) jobs max_states
+          journal spec
+  end
+  else if List.mem target GSpec.targets then
+    (* The named graph targets carry their own fixed tiny instance. *)
+    check_gspec n seed
+      (Option.value ~default:n id_max)
+      ~ids_str:"(fixed instance)" jobs max_states journal
+      (GSpec.of_target target)
+  else begin
+    let n = Harness.Topo.node_count ~default_n:n topology in
+    let id_max = Option.value ~default:n id_max in
+    let ids = Ids.distinct (Rng.create ~seed) ~n ~id_max in
+    match McSpec.of_target target ~ids ~topo_seed:(seed + 1) with
+    | exception Invalid_argument msg ->
+        Printf.eprintf "colring check: %s\n" msg;
+        1
+    | packed -> check_packed n seed id_max ids jobs max_states journal packed
+  end
 
 let check_cmd =
   Cmd.v
@@ -937,7 +1194,7 @@ let check_cmd =
           into a replayable delivery sequence.")
     Term.(
       const check $ n_arg $ seed_arg $ id_max_arg $ target_arg $ jobs_arg
-      $ max_states_arg $ journal_arg)
+      $ max_states_arg $ journal_arg $ topology_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fast: the analytical simulator at scale *)

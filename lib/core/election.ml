@@ -228,15 +228,14 @@ let emit_run_end ~(sink : Sink.t) ~metrics_assoc report =
     sink.Sink.flush ()
   end
 
-let run ?(seed = 0) ?max_deliveries ?record_trace ?(sink = Sink.null)
-    ?(workload = "-") ?(snapshot_every = 10_000) algorithm ~topo ~ids ~sched =
+let run ?(seed = 0) ?max_deliveries ?(sink = Sink.null) ?(workload = "-")
+    ?(snapshot_every = 10_000) algorithm ~topo ~ids ~sched =
   let n = Topology.n topo in
   let id_max = validate algorithm ~topo ~ids in
   emit_run_start ~sink ~seed ~workload ~sched_name:sched.Scheduler.name
     algorithm ~n ~id_max;
   let net =
-    Network.create ?record_trace ~sink ~seed topo (fun v ->
-        program_of algorithm ~id:ids.(v))
+    Network.create ~sink ~seed topo (fun v -> program_of algorithm ~id:ids.(v))
   in
   let result = Network.run ?max_deliveries ~snapshot_every net sched in
   let m = Network.metrics net in

@@ -67,7 +67,6 @@ val report_fields : report -> (string * Colring_engine.Sink.value) list
 val run :
   ?seed:int ->
   ?max_deliveries:int ->
-  ?record_trace:(bool[@deprecated "pass ~sink:(Sink.memory ()) instead"]) ->
   ?sink:Colring_engine.Sink.t ->
   ?workload:string ->
   ?snapshot_every:int ->
@@ -87,13 +86,10 @@ val run :
     snapshot every [snapshot_every] deliveries (default 10_000; the
     final snapshot at the last delivery is always emitted), and a
     run_end record carrying {!report_fields}.  The sink is flushed
-    before returning.
-
-    [record_trace] is deprecated (enforced by the [deprecated-arg]
-    lint rule; removal timeline in DESIGN.md §6): pass a
-    {!Colring_engine.Sink.memory} sink instead and read the buffer
-    back with {!Colring_engine.Network.trace} (or
-    {!Colring_engine.Sink.trace}). *)
+    before returning.  (The pre-sink [?record_trace] switch was
+    removed on the DESIGN.md §6 timeline: pass
+    [~sink:(Colring_engine.Sink.memory ())] and read the buffer back
+    with {!Colring_engine.Network.trace}.) *)
 
 val run_report :
   ?seed:int ->

@@ -1,0 +1,51 @@
+(* The topology-parameterized engine surface.  See engine_intf.mli —
+   this module only declares types and module types, so the two files
+   are textually identical. *)
+
+type run_result = {
+  sends : int;
+  deliveries : int;
+  quiescent : bool;
+  all_terminated : bool;
+  exhausted : bool;
+  termination_order : int list;
+}
+
+module type NETWORK = sig
+  type topology
+  type 'm t
+  type 'm api
+  type 'm program
+
+  val create :
+    ?sink:Sink.t -> ?seed:int -> topology -> (int -> 'm program) -> 'm t
+
+  val run :
+    ?max_deliveries:int ->
+    ?snapshot_every:int ->
+    ?probe:(step:int -> unit) ->
+    'm t ->
+    Scheduler.t ->
+    run_result
+
+  val step : 'm t -> Scheduler.t -> bool
+  val force_step : 'm t -> link:int -> unit
+  val enabled_count : 'm t -> int
+  val enabled_link : 'm t -> after:int -> int
+  val fingerprint : 'm t -> string
+  val topology : 'm t -> topology
+  val size : 'm t -> int
+  val num_links : topology -> int
+  val link_dst_node : topology -> int -> int
+  val output : 'm t -> int -> Output.t
+  val outputs : 'm t -> Output.t array
+  val terminated : 'm t -> int -> bool
+  val all_terminated : 'm t -> bool
+  val termination_order : 'm t -> int list
+  val inspect : 'm t -> int -> (string * int) list
+  val inspect_counter : 'm t -> int -> string -> int
+  val metrics : 'm t -> Metrics.t
+  val in_flight : 'm t -> int
+  val mailbox_backlog : 'm t -> int
+  val is_quiescent : 'm t -> bool
+end

@@ -1,0 +1,81 @@
+(** The topology-parameterized engine surface.
+
+    Rings ({!Network}) and general multigraphs
+    ([Colring_graph.Gnetwork]) implement the same simulator contract:
+    build a network of per-node programs over a topology, deliver
+    in-flight pulses one at a time under a {!Scheduler}, observe the
+    run through a {!Sink}, and expose the enabled-set/force-step hooks
+    the model checker drives.  {!NETWORK} is that contract, written
+    down once so the duplication is structural rather than accidental:
+    the ring engine is the degree-2 instantiation ([Unify.Ring_network])
+    and the graph engine the general one
+    ([Colring_graph.Unified.Graph_network]); generic drivers — the
+    model-checker functor [Colring_mc.Mc.Make] in particular — are
+    functors over it.
+
+    Per-topology capabilities stay out of this signature on purpose:
+    blocking receives, traces, diagrams, injection and causal clocks
+    are ring-engine extras, exactly as scheduler direction bias is an
+    optional capability (a view's [travels_cw] may answer [None]). *)
+
+type run_result = {
+  sends : int;  (** Total pulses sent — the paper's message complexity. *)
+  deliveries : int;
+  quiescent : bool;
+      (** Nothing in flight and every mailbox empty when the run ended. *)
+  all_terminated : bool;
+  exhausted : bool;  (** Stopped by [max_deliveries] instead of quiescence. *)
+  termination_order : int list;  (** Chronological. *)
+}
+(** One run's outcome, shared by every engine (each re-exports it with
+    a type equation, so results cross engine boundaries without
+    conversion). *)
+
+(** The simulator contract.  See {!Network} for the reference
+    semantics of each operation; conforming engines must match them
+    observably (budget semantics, sink emission order, enabled-set
+    enumeration order). *)
+module type NETWORK = sig
+  type topology
+  type 'm t
+  type 'm api
+  type 'm program
+
+  val create :
+    ?sink:Sink.t -> ?seed:int -> topology -> (int -> 'm program) -> 'm t
+
+  val run :
+    ?max_deliveries:int ->
+    ?snapshot_every:int ->
+    ?probe:(step:int -> unit) ->
+    'm t ->
+    Scheduler.t ->
+    run_result
+
+  val step : 'm t -> Scheduler.t -> bool
+  val force_step : 'm t -> link:int -> unit
+  val enabled_count : 'm t -> int
+  val enabled_link : 'm t -> after:int -> int
+
+  val fingerprint : 'm t -> string
+  (** A canonical string of the observable configuration (channel and
+      mailbox depths, termination flags, outputs, inspect counters) —
+      equal iff the states are observably equal.  The model checker's
+      dedup key builds on it. *)
+
+  val topology : 'm t -> topology
+  val size : 'm t -> int
+  val num_links : topology -> int
+  val link_dst_node : topology -> int -> int
+  val output : 'm t -> int -> Output.t
+  val outputs : 'm t -> Output.t array
+  val terminated : 'm t -> int -> bool
+  val all_terminated : 'm t -> bool
+  val termination_order : 'm t -> int list
+  val inspect : 'm t -> int -> (string * int) list
+  val inspect_counter : 'm t -> int -> string -> int
+  val metrics : 'm t -> Metrics.t
+  val in_flight : 'm t -> int
+  val mailbox_backlog : 'm t -> int
+  val is_quiescent : 'm t -> bool
+end

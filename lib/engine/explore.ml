@@ -7,34 +7,10 @@ type stats = {
   max_depth : int;
 }
 
-let fingerprint net =
-  let buf = Buffer.create 128 in
-  let n = Network.size net in
-  let topo = Network.topology net in
-  for link = 0 to Topology.num_links topo - 1 do
-    Buffer.add_string buf (string_of_int (Network.channel_length net ~link));
-    Buffer.add_char buf ','
-  done;
-  Buffer.add_char buf '|';
-  for v = 0 to n - 1 do
-    Buffer.add_string buf
-      (string_of_int (Network.mailbox_length net ~node:v ~port:Port.P0));
-    Buffer.add_char buf ':';
-    Buffer.add_string buf
-      (string_of_int (Network.mailbox_length net ~node:v ~port:Port.P1));
-    Buffer.add_char buf ';';
-    Buffer.add_string buf (if Network.terminated net v then "T" else "t");
-    Buffer.add_string buf (Format.asprintf "%a" Output.pp (Network.output net v));
-    List.iter
-      (fun (k, x) ->
-        Buffer.add_string buf k;
-        Buffer.add_char buf '=';
-        Buffer.add_string buf (string_of_int x);
-        Buffer.add_char buf ' ')
-      (Network.inspect net v);
-    Buffer.add_char buf '|'
-  done;
-  Buffer.contents buf
+(* The canonical fingerprint moved into the engine itself so every
+   {!Engine_intf.NETWORK} provides it; this alias survives for the
+   explorer's historical callers. *)
+let fingerprint = Network.fingerprint
 
 let replay make path =
   let net = make () in

@@ -55,7 +55,6 @@ type t = {
      every instance, so link -> destination lookups are one array
      read instead of a [Topology.link_dst] tuple). *)
   dst_node : int array;
-  dst_port : Port.t array;
   dst_port_ix : int array;
   cw : bool array;
   (* Per (slot, link): channel queues and the incremental
@@ -161,12 +160,12 @@ let deliver t s link =
   if t.term.(nv) then begin
     t.post_term.(s) <- t.post_term.(s) + 1;
     if t.observed.(s) then
-      t.sinks.(s).Sink.on_drop ~node:dst ~port:t.dst_port.(link) ~seq
+      t.sinks.(s).Sink.on_drop ~node:dst ~port:t.dst_port_ix.(link) ~seq
   end
   else begin
     t.deliveries.(s) <- t.deliveries.(s) + 1;
     if t.observed.(s) then
-      t.sinks.(s).Sink.on_deliver ~node:dst ~port:t.dst_port.(link) ~seq;
+      t.sinks.(s).Sink.on_deliver ~node:dst ~port:t.dst_port_ix.(link) ~seq;
     t.mcount.((nv * 2) + t.dst_port_ix.(link)) <-
       t.mcount.((nv * 2) + t.dst_port_ix.(link)) + 1;
     t.backlog.(s) <- t.backlog.(s) + 1;
@@ -248,7 +247,7 @@ let make_view t s =
     count = 0;
     head_seq = (fun link -> pq_head_seq t.chans.(base + link));
     head_batch = (fun link -> pq_head_batch t.chans.(base + link));
-    travels_cw = (fun link -> t.cw.(link));
+    travels_cw = (fun link -> if t.cw.(link) then Some true else Some false);
     dst_node = (fun link -> t.dst_node.(link));
     step = 0;
   }
@@ -264,7 +263,8 @@ let make_api t s v =
   let consume p =
     t.backlog.(s) <- t.backlog.(s) - 1;
     t.consumes.(s) <- t.consumes.(s) + 1;
-    if t.observed.(s) then t.sinks.(s).Sink.on_consume ~node:v ~port:p
+    if t.observed.(s) then
+      t.sinks.(s).Sink.on_consume ~node:v ~port:(Port.index p)
   in
   let cell p = match p with Port.P0 -> mb0 | Port.P1 -> mb1 in
   let recv p =
@@ -292,7 +292,7 @@ let make_api t s v =
     if t.term.(nv) then failwith "Network: send after terminate";
     enqueue t s
       ~link:(match p with Port.P0 -> l0 | Port.P1 -> l1)
-      ~node:v ~nv ~port:p
+      ~node:v ~nv ~port:(Port.index p)
   in
   let set_output o =
     if not (Output.equal t.outputs.(nv) o) then begin
@@ -327,7 +327,7 @@ let dummy_view =
     count = 0;
     head_seq = (fun _ -> 0);
     head_batch = (fun _ -> 0);
-    travels_cw = (fun _ -> false);
+    travels_cw = (fun _ -> None);
     dst_node = (fun _ -> 0);
     step = 0;
   }
@@ -346,7 +346,6 @@ let create ?(slots = 256) topo =
       links;
       slots = k;
       dst_node = Array.init links (fun l -> fst (Topology.link_dst topo l));
-      dst_port = Array.init links (fun l -> snd (Topology.link_dst topo l));
       dst_port_ix =
         Array.init links (fun l -> Port.index (snd (Topology.link_dst topo l)));
       cw = Array.init links (fun l -> Topology.link_travels_cw topo l);

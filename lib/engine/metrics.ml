@@ -5,13 +5,14 @@ type t = {
   mutable consumes : int;
   mutable wakes : int;
   mutable post_term : int;
+  ports : int; (* per-node port stride of [delivered]/[consumed] *)
   sends_by_node : int array;
   sends_by_link : int array;
-  delivered : int array; (* node * 2 + port *)
+  delivered : int array; (* node * ports + port *)
   consumed : int array;
 }
 
-let create ~n_nodes ~n_links =
+let create ?(ports_per_node = 2) ~n_nodes ~n_links () =
   {
     sends = 0;
     sends_cw = 0;
@@ -19,10 +20,11 @@ let create ~n_nodes ~n_links =
     consumes = 0;
     wakes = 0;
     post_term = 0;
+    ports = ports_per_node;
     sends_by_node = Array.make n_nodes 0;
     sends_by_link = Array.make n_links 0;
-    delivered = Array.make (n_nodes * 2) 0;
-    consumed = Array.make (n_nodes * 2) 0;
+    delivered = Array.make (n_nodes * ports_per_node) 0;
+    consumed = Array.make (n_nodes * ports_per_node) 0;
   }
 
 let on_send t ~link ~node ~cw =
@@ -33,12 +35,12 @@ let on_send t ~link ~node ~cw =
 
 let on_deliver t ~node ~port_index =
   t.deliveries <- t.deliveries + 1;
-  let i = (node * 2) + port_index in
+  let i = (node * t.ports) + port_index in
   t.delivered.(i) <- t.delivered.(i) + 1
 
 let on_consume t ~node ~port_index =
   t.consumes <- t.consumes + 1;
-  let i = (node * 2) + port_index in
+  let i = (node * t.ports) + port_index in
   t.consumed.(i) <- t.consumed.(i) + 1
 
 let on_post_termination_delivery t = t.post_term <- t.post_term + 1
@@ -52,8 +54,8 @@ let consumes t = t.consumes
 let wakes t = t.wakes
 let sends_by t ~node = t.sends_by_node.(node)
 let sends_on_link t ~link = t.sends_by_link.(link)
-let delivered_to t ~node ~port_index = t.delivered.((node * 2) + port_index)
-let consumed_by t ~node ~port_index = t.consumed.((node * 2) + port_index)
+let delivered_to t ~node ~port_index = t.delivered.((node * t.ports) + port_index)
+let consumed_by t ~node ~port_index = t.consumed.((node * t.ports) + port_index)
 let post_termination_deliveries t = t.post_term
 
 (* Stable schema: snake_case keys in alphabetical order (see the .mli;

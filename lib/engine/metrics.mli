@@ -7,7 +7,10 @@
 
 type t
 
-val create : n_nodes:int -> n_links:int -> t
+val create : ?ports_per_node:int -> n_nodes:int -> n_links:int -> unit -> t
+(** [ports_per_node] sizes the per-port counter arrays (default [2],
+    the ring stride; general-graph engines pass their maximum degree).
+    Port indices at or above the stride are out of bounds. *)
 
 val on_send : t -> link:int -> node:int -> cw:bool -> unit
 val on_deliver : t -> node:int -> port_index:int -> unit

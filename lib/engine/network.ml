@@ -95,13 +95,13 @@ let enqueue t ~link ~node ~port m =
   Envq.push t.channels.(link) m ~seq ~batch:t.next_batch
     ~depth:(t.local_clock.(node) + 1);
   t.in_flight <- t.in_flight + 1;
-  t.sink.Sink.on_send ~node ~port ~seq ~link
+  t.sink.Sink.on_send ~node ~port:(Port.index port) ~seq ~link
     ~cw:(Topology.link_travels_cw t.topo link)
 
 let make_api t v rng =
   let consume v p =
     t.mailbox_backlog <- t.mailbox_backlog - 1;
-    t.sink.Sink.on_consume ~node:v ~port:p
+    t.sink.Sink.on_consume ~node:v ~port:(Port.index p)
   in
   let recv p =
     let mb = t.mailboxes.(slot v p) in
@@ -145,17 +145,13 @@ let make_api t v rng =
   in
   { node = v; recv; recv_pulse; peek; pending; send; set_output; terminate; rng }
 
-let create ?(record_trace = false) ?(sink = Sink.null) ?(seed = 0) topo
-    make_program =
+let create ?(sink = Sink.null) ?(seed = 0) topo make_program =
   Topology.check topo;
   let n = Topology.n topo in
   let num_links = Topology.num_links topo in
   let programs = Array.init n make_program in
-  let metrics = Metrics.create ~n_nodes:n ~n_links:num_links in
-  (* [record_trace] is the deprecated spelling of a memory sink. *)
-  let user_sink =
-    if record_trace then Sink.tee (Sink.memory ()) sink else sink
-  in
+  let metrics = Metrics.create ~n_nodes:n ~n_links:num_links () in
+  let user_sink = sink in
   let t =
     {
       topo;
@@ -184,7 +180,7 @@ let create ?(record_trace = false) ?(sink = Sink.null) ?(seed = 0) topo
           count = 0;
           head_seq = (fun _ -> 0);
           head_batch = (fun _ -> 0);
-          travels_cw = (fun _ -> false);
+          travels_cw = (fun _ -> None);
           dst_node = (fun _ -> 0);
           step = 0;
         };
@@ -199,7 +195,12 @@ let create ?(record_trace = false) ?(sink = Sink.null) ?(seed = 0) topo
       count = 0;
       head_seq = (fun link -> Envq.head_seq t.channels.(link));
       head_batch = (fun link -> Envq.head_batch t.channels.(link));
-      travels_cw = (fun link -> Topology.link_travels_cw t.topo link);
+      travels_cw =
+        (* Static [Some] constants: the per-pick closure must not
+           allocate. *)
+        (fun link ->
+          if Topology.link_travels_cw t.topo link then Some true
+          else Some false);
       dst_node = (fun link -> fst (Topology.link_dst t.topo link));
       step = 0;
     };
@@ -229,9 +230,9 @@ let deliver_from t link =
   if t.term.(dst) then
     (* Terminated nodes ignore pulses; each such arrival is a
        violation of quiescent termination, which tests assert away. *)
-    t.sink.Sink.on_drop ~node:dst ~port:dst_port ~seq
+    t.sink.Sink.on_drop ~node:dst ~port:(Port.index dst_port) ~seq
   else begin
-    t.sink.Sink.on_deliver ~node:dst ~port:dst_port ~seq;
+    t.sink.Sink.on_deliver ~node:dst ~port:(Port.index dst_port) ~seq;
     Ring.push t.mailboxes.(slot dst dst_port) payload;
     t.mailbox_backlog <- t.mailbox_backlog + 1;
     if depth > t.local_clock.(dst) then t.local_clock.(dst) <- depth;
@@ -282,7 +283,7 @@ let mailbox_length t ~node ~port = Ring.length t.mailboxes.(slot node port)
 let inject t ~node ~port m =
   enqueue t ~link:(Topology.link_id t.topo node port) ~node ~port m
 
-type run_result = {
+type run_result = Engine_intf.run_result = {
   sends : int;
   deliveries : int;
   quiescent : bool;
@@ -341,6 +342,40 @@ let inspect_counter t v name =
 
 let metrics t = t.metrics
 let trace t = Sink.trace t.sink
+let num_links topo = Topology.num_links topo
+let link_dst_node topo link = fst (Topology.link_dst topo link)
+
+(* Canonical observable-state string; {!Explore.fingerprint} and the
+   model checker's dedup key delegate here.  Covers channel depths,
+   per-port mailbox depths, termination flags, outputs and inspect
+   counters — everything a monitor can see. *)
+let fingerprint t =
+  let buf = Buffer.create 128 in
+  let n = size t in
+  for link = 0 to Topology.num_links t.topo - 1 do
+    Buffer.add_string buf (string_of_int (channel_length t ~link));
+    Buffer.add_char buf ','
+  done;
+  Buffer.add_char buf '|';
+  for v = 0 to n - 1 do
+    Buffer.add_string buf
+      (string_of_int (mailbox_length t ~node:v ~port:Port.P0));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf
+      (string_of_int (mailbox_length t ~node:v ~port:Port.P1));
+    Buffer.add_char buf ';';
+    Buffer.add_string buf (if terminated t v then "T" else "t");
+    Buffer.add_string buf (Format.asprintf "%a" Output.pp (output t v));
+    List.iter
+      (fun (k, x) ->
+        Buffer.add_string buf k;
+        Buffer.add_char buf '=';
+        Buffer.add_string buf (string_of_int x);
+        Buffer.add_char buf ' ')
+      (inspect t v);
+    Buffer.add_char buf '|'
+  done;
+  Buffer.contents buf
 
 type pulse = unit
 

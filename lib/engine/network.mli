@@ -59,12 +59,7 @@ val silent_program : 'm program
 (** {2 Construction} *)
 
 val create :
-  ?record_trace:(bool[@deprecated "pass ~sink:(Sink.memory ()) instead"]) ->
-  ?sink:Sink.t ->
-  ?seed:int ->
-  Topology.t ->
-  (int -> 'm program) ->
-  'm t
+  ?sink:Sink.t -> ?seed:int -> Topology.t -> (int -> 'm program) -> 'm t
 (** [create topo make_program] instantiates [make_program v] for every
     node [v] and runs each program's [start].  [seed] derives every
     node's private {!Colring_stats.Rng.t} stream (default 0).
@@ -73,15 +68,13 @@ val create :
     The engine tees its own {!Sink.counters} over [sink], so
     {!metrics} is a by-product of the same emission path; with the
     default null sink the steady-state hot path allocates nothing.
-
-    [record_trace] is deprecated (enforced by the [deprecated-arg]
-    lint rule; removal timeline in DESIGN.md §6): it tees a
-    {!Sink.memory} sink over [sink] (retrieve the buffer with
-    {!trace}).  Pass a memory sink explicitly instead. *)
+    (The pre-sink [?record_trace] switch was removed on the DESIGN.md
+    §6 timeline: pass [~sink:(Sink.memory ())] and read the buffer
+    back with {!trace}.) *)
 
 (** {2 Execution} *)
 
-type run_result = {
+type run_result = Engine_intf.run_result = {
   sends : int;  (** Total pulses sent — the paper's message complexity. *)
   deliveries : int;
   quiescent : bool;
@@ -90,6 +83,8 @@ type run_result = {
   exhausted : bool;  (** Stopped by [max_deliveries] instead of quiescence. *)
   termination_order : int list;  (** Chronological. *)
 }
+(** Re-export of {!Engine_intf.run_result}, the outcome record every
+    engine shares. *)
 
 val run :
   ?max_deliveries:int ->
@@ -163,9 +158,23 @@ val inspect_counter : 'm t -> int -> string -> int
 
 val metrics : 'm t -> Metrics.t
 
+val fingerprint : 'm t -> string
+(** Canonical observable-state string ({!Engine_intf.NETWORK}'s
+    contract): channel and mailbox depths, termination flags, outputs
+    and inspect counters.  Two states print equal iff no monitor can
+    tell them apart. *)
+
+val num_links : Topology.t -> int
+(** {!Topology.num_links}, re-exported so the ring engine satisfies
+    {!Engine_intf.NETWORK} verbatim. *)
+
+val link_dst_node : Topology.t -> int -> int
+(** The destination node of a directed link (the node component of
+    {!Topology.link_dst}). *)
+
 val trace : 'm t -> Trace.t option
-(** The buffer of the memory sink attached to this network via [?sink]
-    or the deprecated [?record_trace], if any. *)
+(** The buffer of the memory sink attached to this network via [?sink],
+    if any. *)
 
 val in_flight : 'm t -> int
 (** Messages in channels (sent, not yet delivered). *)

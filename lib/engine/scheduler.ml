@@ -3,7 +3,7 @@ type view = {
   mutable count : int;
   head_seq : int -> int;
   head_batch : int -> int;
-  travels_cw : int -> bool;
+  travels_cw : int -> bool option;
   dst_node : int -> int;
   mutable step : int;
 }
@@ -43,7 +43,10 @@ let argmin3 key1 key2 key3 v =
 let k_seq v l = v.head_seq l
 let k_neg_seq v l = -v.head_seq l
 let k_batch v l = v.head_batch l
-let k_cw_first v l = if v.travels_cw l then 0 else 1
+(* Direction keys read the optional ground truth: links without a
+   defined direction (general graphs report [None]) sort with the
+   non-preferred class, so direction bias degrades to FIFO there. *)
+let k_cw_first v l = match v.travels_cw l with Some true -> 0 | _ -> 1
 let k_zero _ _ = 0
 
 (* Key tuples are ordered lexicographically as (key1, key2, key3). *)
@@ -82,7 +85,9 @@ let random rng =
   }
 
 let bias_direction ~cw =
-  let k_pref v l = if Bool.equal (v.travels_cw l) cw then 0 else 1 in
+  let k_pref v l =
+    match v.travels_cw l with Some d when Bool.equal d cw -> 0 | _ -> 1
+  in
   {
     name = (if cw then "bias-cw" else "bias-ccw");
     pick = argmin3 k_pref k_seq k_zero;

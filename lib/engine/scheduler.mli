@@ -29,7 +29,11 @@ type view = {
   head_batch : int -> int;
       (** Send batch (one per node activation) of a link's oldest
           pulse; pulses of one batch were sent "at the same time". *)
-  travels_cw : int -> bool;  (** Ground-truth direction of a link. *)
+  travels_cw : int -> bool option;
+      (** Ground-truth direction of a link, for topologies that define
+          one ([Some] on rings).  General graphs report [None];
+          direction-biased schedulers then treat every link as
+          non-preferred and degrade to their FIFO tie-break. *)
   dst_node : int -> int;  (** Receiving node of a link. *)
   mutable step : int;  (** Deliveries performed so far. *)
 }

@@ -3,10 +3,10 @@ type value = Bool of bool | Int of int | Float of float | String of string
 type t = {
   name : string;
   enabled : bool;
-  on_send : node:int -> port:Port.t -> seq:int -> link:int -> cw:bool -> unit;
-  on_deliver : node:int -> port:Port.t -> seq:int -> unit;
-  on_drop : node:int -> port:Port.t -> seq:int -> unit;
-  on_consume : node:int -> port:Port.t -> unit;
+  on_send : node:int -> port:int -> seq:int -> link:int -> cw:bool -> unit;
+  on_deliver : node:int -> port:int -> seq:int -> unit;
+  on_drop : node:int -> port:int -> seq:int -> unit;
+  on_consume : node:int -> port:int -> unit;
   on_wake : node:int -> unit;
   on_decide : node:int -> output:Output.t -> unit;
   on_terminate : node:int -> unit;
@@ -44,14 +44,14 @@ let memory () =
     name = "memory";
     enabled = true;
     on_send = (fun ~node ~port ~seq ~link:_ ~cw:_ ->
-      Trace.record tr (Trace.Send { node; port; seq }));
+      Trace.record tr (Trace.Send { node; port = Port.of_index port; seq }));
     on_deliver = (fun ~node ~port ~seq ->
-      Trace.record tr (Trace.Deliver { node; port; seq }));
+      Trace.record tr (Trace.Deliver { node; port = Port.of_index port; seq }));
     (* No [on_drop]: the pre-sink [Trace] recorded nothing for
        post-termination arrivals, and solitude extraction depends on
        consumed-port sequences only. *)
     on_consume = (fun ~node ~port ->
-      Trace.record tr (Trace.Consume { node; port }));
+      Trace.record tr (Trace.Consume { node; port = Port.of_index port }));
     on_decide = (fun ~node ~output ->
       Trace.record tr (Trace.Decide { node; output }));
     on_terminate = (fun ~node -> Trace.record tr (Trace.Terminate { node }));
@@ -66,11 +66,11 @@ let counters m =
     on_send = (fun ~node ~port:_ ~seq:_ ~link ~cw ->
       Metrics.on_send m ~link ~node ~cw);
     on_deliver = (fun ~node ~port ~seq:_ ->
-      Metrics.on_deliver m ~node ~port_index:(Port.index port));
+      Metrics.on_deliver m ~node ~port_index:port);
     on_drop = (fun ~node:_ ~port:_ ~seq:_ ->
       Metrics.on_post_termination_delivery m);
     on_consume = (fun ~node ~port ->
-      Metrics.on_consume m ~node ~port_index:(Port.index port));
+      Metrics.on_consume m ~node ~port_index:port);
     on_wake = (fun ~node:_ -> Metrics.on_wake m);
   }
 
@@ -135,7 +135,7 @@ let jsonl ?(events = true) ~emit () =
   let event3 typ ~node ~port ~seq =
     start typ;
     int_field "node" node;
-    int_field "port" (Port.index port);
+    int_field "port" port;
     int_field "seq" seq;
     finish ()
   in
@@ -185,7 +185,7 @@ let jsonl ?(events = true) ~emit () =
       on_send = (fun ~node ~port ~seq ~link ~cw ->
         start "send";
         int_field "node" node;
-        int_field "port" (Port.index port);
+        int_field "port" port;
         int_field "seq" seq;
         int_field "link" link;
         Buffer.add_string buf (if cw then ",\"cw\":true" else ",\"cw\":false");
@@ -195,7 +195,7 @@ let jsonl ?(events = true) ~emit () =
       on_consume = (fun ~node ~port ->
         start "consume";
         int_field "node" node;
-        int_field "port" (Port.index port);
+        int_field "port" port;
         finish ());
       on_wake = (fun ~node ->
         start "wake";

@@ -41,16 +41,19 @@ type t = {
           check this before building argument lists for the record
           callbacks ([on_run_start] and friends), so a null sink costs
           one branch and zero allocation. *)
-  on_send : node:int -> port:Port.t -> seq:int -> link:int -> cw:bool -> unit;
-      (** [node] emitted pulse [seq] from its local [port] onto
-          directed link [link]; [cw] is the ground-truth direction. *)
-  on_deliver : node:int -> port:Port.t -> seq:int -> unit;
+  on_send : node:int -> port:int -> seq:int -> link:int -> cw:bool -> unit;
+      (** [node] emitted pulse [seq] from its local port (as an
+          integer index — ring engines pass [Port.index], general
+          graphs their native port number) onto directed link [link];
+          [cw] is the ground-truth direction when the topology defines
+          one ([false] on general graphs, which have none). *)
+  on_deliver : node:int -> port:int -> seq:int -> unit;
       (** Pulse [seq] moved from the channel into [node]'s mailbox. *)
-  on_drop : node:int -> port:Port.t -> seq:int -> unit;
+  on_drop : node:int -> port:int -> seq:int -> unit;
       (** Pulse [seq] arrived at [node] after it terminated and was
           discarded — a quiescence violation.  {!Trace} never recorded
           these; {!memory} ignores them for compatibility. *)
-  on_consume : node:int -> port:Port.t -> unit;
+  on_consume : node:int -> port:int -> unit;
       (** The program at [node] consumed one pulse from the mailbox of
           its local [port]. *)
   on_wake : node:int -> unit;
@@ -82,8 +85,10 @@ val null : t
 val memory : unit -> t
 (** Records Send/Deliver/Consume/Decide/Terminate events into a fresh
     {!Trace.t} (retrieve it with {!trace}).  Drops, wakes and
-    lifecycle records are ignored, so the resulting trace is exactly
-    what [~record_trace:true] used to produce. *)
+    lifecycle records are ignored.  Ring engines only: {!Trace}
+    events name ports as {!Port.t}, so a port index outside [{0,1}]
+    (a general-graph node of higher degree) raises
+    [Invalid_argument]. *)
 
 val counters : Metrics.t -> t
 (** Routes events into a {!Metrics.t}: sends, deliveries, consumes,

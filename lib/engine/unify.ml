@@ -1,0 +1,11 @@
+(* The conformance witness: sealing [Network] to the unified signature
+   in unify.mli is what actually checks — at compile time — that the
+   ring engine satisfies the contract generic drivers are written
+   against.  [Colring_graph.Unified] does the same for the graph
+   engine. *)
+
+module Ring_network = struct
+  type topology = Topology.t
+
+  include Network
+end

@@ -1,0 +1,19 @@
+(** The ring engine, sealed to the unified {!Engine_intf.NETWORK}
+    contract.
+
+    [Ring_network] is {!Network} viewed through the
+    topology-parameterized signature — the degree-2 instantiation of
+    the one engine surface.  The type equations keep it interchangeable
+    with plain {!Network} values, so generic code (the model-checker
+    functor [Colring_mc.Mc.Make], conformance tests) composes with
+    ring-specific code without conversion.  Ring-only capabilities
+    (blocking receives, traces, injection, diagrams, causal clocks)
+    are deliberately outside the shared signature: reach them through
+    {!Network} directly. *)
+
+module Ring_network :
+  Engine_intf.NETWORK
+    with type topology = Topology.t
+     and type 'm t = 'm Network.t
+     and type 'm api = 'm Network.api
+     and type 'm program = 'm Network.program

@@ -1,0 +1,196 @@
+type ear = {
+  anchor : int;
+  close : int;
+  inner : int list;
+  links : int list;
+}
+
+type t = {
+  topo : Gtopology.t;
+  base_cycle : int list;
+  ears : ear list;
+  covered : bool array;
+  walk : int array;
+}
+
+(* A chain of Schmidt's decomposition, still in node/edge form: the
+   start vertex, the end vertex (first already-covered vertex the
+   parent walk hits), the newly covered inner vertices in path order,
+   and the edge instances along the path (back edge first). *)
+type chain = { c_start : int; c_end : int; c_inner : int list; c_edges : int list }
+
+let decompose ?(require_2ec = true) topo =
+  if require_2ec && not (Gtopology.is_two_edge_connected topo) then
+    invalid_arg "Ears.decompose: graph is not 2-edge-connected";
+  let n = Gtopology.n topo in
+  if n < 2 then invalid_arg "Ears.decompose: need at least 2 nodes";
+  let parent = Array.make n (-1) in
+  let parent_edge = Array.make n (-1) in
+  let disc = Array.make n (-1) in
+  let order_rev = ref [] in
+  (* Back edges keyed by their ANCESTOR endpoint (Schmidt processes
+     each chain from there); recorded while scanning the descendant. *)
+  let back = Array.make n [] in
+  let time = ref 0 in
+  let rec dfs v =
+    disc.(v) <- !time;
+    incr time;
+    order_rev := v :: !order_rev;
+    for p = 0 to Gtopology.degree topo v - 1 do
+      let link = Gtopology.link_id topo ~node:v ~port:p in
+      let e = Gtopology.edge_of_link topo link in
+      let w = fst (Gtopology.link_dst topo link) in
+      if disc.(w) < 0 then begin
+        parent.(w) <- v;
+        parent_edge.(w) <- e;
+        dfs w
+      end
+      else if e <> parent_edge.(v) && disc.(w) < disc.(v) then
+        back.(w) <- (v, e) :: back.(w)
+    done
+  in
+  dfs 0;
+  let covered = Array.make n false in
+  (* Build one chain: down the back edge [s -> t], then up the DFS tree
+     from [t] until the first already-covered vertex, covering as we
+     go.  [s] is covered before the climb, so a chain that returns to
+     its own start closes there (a closed ear — or the base cycle). *)
+  let build_chain s (t, e) =
+    let rec climb u nodes_rev edges_rev =
+      if covered.(u) then (u, List.rev nodes_rev, List.rev edges_rev)
+      else begin
+        covered.(u) <- true;
+        climb parent.(u) (u :: nodes_rev) (parent_edge.(u) :: edges_rev)
+      end
+    in
+    let c_end, c_inner, up_edges = climb t [] [] in
+    { c_start = s; c_end; c_inner; c_edges = e :: up_edges }
+  in
+  let chains_rev = ref [] in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun be ->
+          let fresh_root = not covered.(s) in
+          if fresh_root then covered.(s) <- true;
+          chains_rev := (fresh_root, build_chain s be) :: !chains_rev)
+        (List.rev back.(s)))
+    (List.rev !order_rev);
+  let chains = List.rev !chains_rev in
+  (* Only chains anchored (transitively) on the DFS root's structure
+     join the walk: chains opening a fresh root other than node 0 live
+     beyond a bridge, and Schmidt's climb never crosses a bridge, so
+     with [require_2ec:false] those components simply stay uncovered —
+     the ablation the model checker refutes. *)
+  let in_root = Array.make n false in
+  let base_cycle, ears_rev =
+    List.fold_left
+      (fun (base, ears) (fresh_root, c) ->
+        match base with
+        | None ->
+            if not (fresh_root && c.c_start = 0) then
+              invalid_arg "Ears.decompose: no cycle through the DFS root";
+            in_root.(0) <- true;
+            List.iter (fun v -> in_root.(v) <- true) c.c_inner;
+            (* The base cycle is traversed in full: back edge from the
+               root, then the tree path back up to it. *)
+            let srcs = c.c_start :: c.c_inner in
+            let links =
+              List.map2
+                (fun e src -> Gtopology.link_of_edge topo ~edge:e ~src)
+                c.c_edges srcs
+            in
+            (Some links, ears)
+        | Some _ when fresh_root || not in_root.(c.c_start) ->
+            (base, ears) (* beyond a bridge: dropped *)
+        | Some _ ->
+            List.iter (fun v -> in_root.(v) <- true) c.c_inner;
+            let k = List.length c.c_inner in
+            let links =
+              if k = 0 then
+                (* A chord between covered vertices adds no vertex, so
+                   the walk skips it entirely. *)
+                []
+              else if c.c_start = c.c_end then begin
+                (* Closed ear: one full loop from the anchor. *)
+                let srcs = c.c_start :: c.c_inner in
+                List.map2
+                  (fun e src -> Gtopology.link_of_edge topo ~edge:e ~src)
+                  c.c_edges srcs
+              end
+              else begin
+                (* Open ear: out to the last inner vertex and back over
+                   the reverse links; the far anchor edge is never
+                   walked (the far anchor is already covered). *)
+                let fwd_edges = List.filteri (fun i _ -> i < k) c.c_edges in
+                let srcs =
+                  c.c_start :: List.filteri (fun i _ -> i < k - 1) c.c_inner
+                in
+                let fwd =
+                  List.map2
+                    (fun e src -> Gtopology.link_of_edge topo ~edge:e ~src)
+                    fwd_edges srcs
+                in
+                fwd @ List.rev_map (Gtopology.reverse_link topo) fwd
+              end
+            in
+            ( base,
+              { anchor = c.c_start; close = c.c_end; inner = c.c_inner; links }
+              :: ears ))
+      (None, []) chains
+  in
+  let base_cycle =
+    match base_cycle with
+    | Some l -> l
+    | None -> invalid_arg "Ears.decompose: no cycle through the DFS root"
+  in
+  let ears = List.rev ears_rev in
+  (* Splice each ear's detour into the walk at the first position whose
+     source is the ear's anchor; ears are processed in chain order, so
+     an ear anchored on an earlier ear's inner vertex finds it. *)
+  let src l = fst (Gtopology.link_src topo l) in
+  let walk =
+    List.fold_left
+      (fun w ear ->
+        match ear.links with
+        | [] -> w
+        | detour ->
+            let rec ins = function
+              | [] -> invalid_arg "Ears: anchor not on walk"
+              | l :: rest when src l = ear.anchor -> detour @ (l :: rest)
+              | l :: rest -> l :: ins rest
+            in
+            ins w)
+      base_cycle ears
+  in
+  { topo; base_cycle; ears; covered = in_root; walk = Array.of_list walk }
+
+let topo t = t.topo
+let base_cycle t = t.base_cycle
+let ears t = t.ears
+let covered t v = t.covered.(v)
+let num_covered t = Array.fold_left (fun a c -> if c then a + 1 else a) 0 t.covered
+let all_covered t = Array.for_all Fun.id t.covered
+let walk t = Array.copy t.walk
+let walk_length t = Array.length t.walk
+
+let pp ppf t =
+  let g = t.topo in
+  Format.fprintf ppf "@[<v>base cycle:";
+  List.iter
+    (fun l -> Format.fprintf ppf " %d" (fst (Gtopology.link_src g l)))
+    t.base_cycle;
+  Format.fprintf ppf "@,";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%s ear at %d:"
+        (if e.anchor = e.close then "closed" else "open")
+        e.anchor;
+      List.iter (fun v -> Format.fprintf ppf " %d" v) e.inner;
+      Format.fprintf ppf "@,")
+    t.ears;
+  Format.fprintf ppf "walk (%d):" (Array.length t.walk);
+  Array.iter
+    (fun l -> Format.fprintf ppf " %d" (fst (Gtopology.link_src g l)))
+    t.walk;
+  Format.fprintf ppf "@]"

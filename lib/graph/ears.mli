@@ -1,0 +1,64 @@
+(** Ear decomposition and the closed spanning walk the general-graph
+    election runs on.
+
+    Schmidt's chain decomposition (DFS + back edges) splits a
+    2-edge-connected multigraph into a base cycle through the DFS root
+    plus a sequence of ears — open (two distinct anchors) or closed
+    (both anchors the same cut vertex).  Bridges belong to no chain,
+    which is exactly the characterisation of 2-edge-connectivity the
+    paper's context ([8], arXiv:2507.08348) builds on.
+
+    From the decomposition this module derives a {b closed spanning
+    walk}: the base cycle traversed once, with each ear spliced in as
+    a detour at its anchor — a closed ear walked around in full, an
+    open ear walked out to its last inner vertex and back over the
+    reverse links (the far anchor is already covered, so its edge is
+    skipped; chords between covered vertices contribute nothing).
+    Every directed link appears at most once in the walk, so the walk
+    is a virtual unidirectional ring over the graph: content-oblivious
+    ring algorithms run on it unchanged, which is how {!Gelection}
+    lifts the paper's election beyond rings. *)
+
+type ear = {
+  anchor : int;  (** Start vertex — always already covered. *)
+  close : int;  (** End vertex; equals [anchor] for a closed ear. *)
+  inner : int list;  (** Newly covered vertices, in path order. *)
+  links : int list;
+      (** The walk detour: directed links from [anchor] back to
+          [anchor].  Empty for a chord (no inner vertex). *)
+}
+
+type t
+
+val decompose : ?require_2ec:bool -> Gtopology.t -> t
+(** Decompose rooted at node 0.  With [require_2ec] (the default) a
+    graph that is not 2-edge-connected raises [Invalid_argument].
+    With [~require_2ec:false] the decomposition proceeds anyway and
+    covers exactly the root's 2-edge-connected component: chains never
+    cross a bridge, so everything beyond one stays uncovered — the
+    ablation whose election failure the model checker exhibits.
+    Raises [Invalid_argument] when no cycle passes through node 0. *)
+
+val topo : t -> Gtopology.t
+
+val base_cycle : t -> int list
+(** Directed links of the root cycle, in traversal order. *)
+
+val ears : t -> ear list
+(** In chain order (the order their detours were spliced). *)
+
+val covered : t -> int -> bool
+(** Whether a node is on the walk.  All nodes iff the graph is
+    2-edge-connected. *)
+
+val num_covered : t -> int
+val all_covered : t -> bool
+
+val walk : t -> int array
+(** The closed spanning walk as directed link ids: consecutive links
+    share a vertex, the last link returns to the first's source, every
+    covered vertex is the source of at least one link, and no directed
+    link repeats. *)
+
+val walk_length : t -> int
+val pp : Format.formatter -> t -> unit

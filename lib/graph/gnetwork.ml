@@ -28,16 +28,45 @@ type 'm t = {
   mailboxes : 'm Queue.t array; (* by link id of the RECEIVING endpoint *)
   outputs : Output.t array;
   term : bool array;
-  mutable sends : int;
-  mutable deliveries : int;
-  mutable post_term : int;
+  mutable term_order_rev : int list;
+  metrics : Metrics.t;
+  (* Same sink discipline as the ring engine: the engine's own
+     [Sink.counters] teed with the caller's sink, so counting and user
+     telemetry are one emission path and E14/E18 graph runs journal
+     through the same [colring journal] validator as ring runs. *)
+  sink : Sink.t;
+  observed : bool;
   mutable next_seq : int;
   mutable next_batch : int;
   mutable in_flight : int;
   mutable backlog : int;
-  nonempty_buf : int array;
+  (* Non-empty-link set maintained incrementally (the ring engine's
+     scheme): the first [nonempty_count] entries of [nonempty] are the
+     links with messages in flight, [link_pos] the inverse permutation
+     (-1 when absent).  [nonempty] doubles as the view's buffer. *)
+  nonempty : int array;
+  link_pos : int array;
+  mutable nonempty_count : int;
   mutable view : Scheduler.view;
 }
+
+let mark_nonempty t link =
+  if t.link_pos.(link) < 0 then begin
+    t.nonempty.(t.nonempty_count) <- link;
+    t.link_pos.(link) <- t.nonempty_count;
+    t.nonempty_count <- t.nonempty_count + 1
+  end
+
+let unmark_if_empty t link =
+  if Queue.is_empty t.channels.(link) then begin
+    let pos = t.link_pos.(link) in
+    let last = t.nonempty_count - 1 in
+    let moved = t.nonempty.(last) in
+    t.nonempty.(pos) <- moved;
+    t.link_pos.(moved) <- pos;
+    t.link_pos.(link) <- -1;
+    t.nonempty_count <- last
+  end
 
 let make_api t v rng =
   let mailbox p = t.mailboxes.(Gtopology.link_id t.topo ~node:v ~port:p) in
@@ -45,6 +74,7 @@ let make_api t v rng =
     match Queue.take_opt (mailbox p) with
     | Some m ->
         t.backlog <- t.backlog - 1;
+        t.sink.Sink.on_consume ~node:v ~port:p;
         Some m
     | None -> None
   in
@@ -52,15 +82,28 @@ let make_api t v rng =
   let send p m =
     if t.term.(v) then failwith "Gnetwork: send after terminate";
     let link = Gtopology.link_id t.topo ~node:v ~port:p in
-    Queue.add
-      { payload = m; seq = t.next_seq; batch = t.next_batch }
-      t.channels.(link);
-    t.next_seq <- t.next_seq + 1;
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    Queue.add { payload = m; seq; batch = t.next_batch } t.channels.(link);
+    mark_nonempty t link;
     t.in_flight <- t.in_flight + 1;
-    t.sends <- t.sends + 1
+    (* No global direction exists on a general graph, so every send is
+       reported [cw:false]; [Metrics.sends_cw] stays 0. *)
+    t.sink.Sink.on_send ~node:v ~port:p ~seq ~link ~cw:false
   in
-  let set_output o = t.outputs.(v) <- o in
-  let terminate () = t.term.(v) <- true in
+  let set_output o =
+    if not (Output.equal t.outputs.(v) o) then begin
+      t.outputs.(v) <- o;
+      t.sink.Sink.on_decide ~node:v ~output:o
+    end
+  in
+  let terminate () =
+    if not t.term.(v) then begin
+      t.term.(v) <- true;
+      t.term_order_rev <- v :: t.term_order_rev;
+      t.sink.Sink.on_terminate ~node:v
+    end
+  in
   {
     node = v;
     degree = Gtopology.degree t.topo v;
@@ -72,9 +115,21 @@ let make_api t v rng =
     rng;
   }
 
-let create ?(seed = 0) topo make_program =
+let max_degree topo =
+  let d = ref 1 in
+  for v = 0 to Gtopology.n topo - 1 do
+    if Gtopology.degree topo v > !d then d := Gtopology.degree topo v
+  done;
+  !d
+
+let create ?(sink = Sink.null) ?(seed = 0) topo make_program =
   let n = Gtopology.n topo in
   let links = Gtopology.num_links topo in
+  let metrics =
+    Metrics.create ~ports_per_node:(max_degree topo) ~n_nodes:n ~n_links:links
+      ()
+  in
+  let user_sink = sink in
   let t =
     {
       topo;
@@ -84,21 +139,24 @@ let create ?(seed = 0) topo make_program =
       mailboxes = Array.init links (fun _ -> Queue.create ());
       outputs = Array.make n Output.empty;
       term = Array.make n false;
-      sends = 0;
-      deliveries = 0;
-      post_term = 0;
+      term_order_rev = [];
+      metrics;
+      sink = Sink.tee (Sink.counters metrics) user_sink;
+      observed = user_sink.Sink.enabled;
       next_seq = 0;
       next_batch = 0;
       in_flight = 0;
       backlog = 0;
-      nonempty_buf = Array.make links 0;
+      nonempty = Array.make links 0;
+      link_pos = Array.make links (-1);
+      nonempty_count = 0;
       view =
         {
           Scheduler.nonempty = [||];
           count = 0;
           head_seq = (fun _ -> 0);
           head_batch = (fun _ -> 0);
-          travels_cw = (fun _ -> false);
+          travels_cw = (fun _ -> None);
           dst_node = (fun _ -> 0);
           step = 0;
         };
@@ -106,11 +164,13 @@ let create ?(seed = 0) topo make_program =
   in
   t.view <-
     {
-      Scheduler.nonempty = t.nonempty_buf;
+      Scheduler.nonempty = t.nonempty;
       count = 0;
       head_seq = (fun link -> (Queue.peek t.channels.(link)).seq);
       head_batch = (fun link -> (Queue.peek t.channels.(link)).batch);
-      travels_cw = (fun _ -> false);
+      (* General graphs have no global direction; direction-biased
+         schedulers degrade gracefully on [None]. *)
+      travels_cw = (fun _ -> None);
       dst_node = (fun link -> fst (Gtopology.link_dst t.topo link));
       step = 0;
     };
@@ -118,77 +178,109 @@ let create ?(seed = 0) topo make_program =
   t.apis <- Array.init n (fun v -> make_api t v (Rng.split_at root_rng v));
   for v = 0 to n - 1 do
     t.next_batch <- t.next_batch + 1;
+    t.sink.Sink.on_wake ~node:v;
     t.programs.(v).start t.apis.(v)
   done;
   t
 
-(* The graph simulator is not a hot path: it refreshes the reusable
-   view by rescanning channels rather than maintaining the non-empty
-   set incrementally. *)
 let view t =
-  let k = ref 0 in
-  Array.iteri
-    (fun link q ->
-      if not (Queue.is_empty q) then begin
-        t.nonempty_buf.(!k) <- link;
-        incr k
-      end)
-    t.channels;
   let v = t.view in
-  v.Scheduler.count <- !k;
-  v.Scheduler.step <- t.deliveries;
+  v.Scheduler.count <- t.nonempty_count;
+  v.Scheduler.step <- Metrics.deliveries t.metrics;
   v
+
+let deliver_from t link =
+  let env = Queue.take t.channels.(link) in
+  unmark_if_empty t link;
+  t.in_flight <- t.in_flight - 1;
+  let dst, dst_port = Gtopology.link_dst t.topo link in
+  if t.term.(dst) then
+    t.sink.Sink.on_drop ~node:dst ~port:dst_port ~seq:env.seq
+  else begin
+    t.sink.Sink.on_deliver ~node:dst ~port:dst_port ~seq:env.seq;
+    Queue.add env.payload
+      t.mailboxes.(Gtopology.link_id t.topo ~node:dst ~port:dst_port);
+    t.backlog <- t.backlog + 1;
+    t.next_batch <- t.next_batch + 1;
+    t.sink.Sink.on_wake ~node:dst;
+    t.programs.(dst).wake t.apis.(dst)
+  end
 
 let step t (sched : Scheduler.t) =
   if t.in_flight = 0 then false
   else begin
-    let link = sched.pick (view t) in
-    let env = Queue.take t.channels.(link) in
-    t.in_flight <- t.in_flight - 1;
-    let dst, dst_port = Gtopology.link_dst t.topo link in
-    if t.term.(dst) then t.post_term <- t.post_term + 1
-    else begin
-      t.deliveries <- t.deliveries + 1;
-      Queue.add env.payload
-        t.mailboxes.(Gtopology.link_id t.topo ~node:dst ~port:dst_port);
-      t.backlog <- t.backlog + 1;
-      t.next_batch <- t.next_batch + 1;
-      t.programs.(dst).wake t.apis.(dst)
-    end;
+    deliver_from t (sched.pick (view t));
     true
   end
 
-type run_result = {
+let force_step t ~link =
+  if Queue.is_empty t.channels.(link) then
+    invalid_arg "Gnetwork.force_step: empty link";
+  deliver_from t link
+
+let enabled_count t = t.nonempty_count
+
+let rec enabled_scan t link i best =
+  if i >= t.nonempty_count then best
+  else
+    let l = t.nonempty.(i) in
+    if l > link && (best < 0 || l < best) then enabled_scan t link (i + 1) l
+    else enabled_scan t link (i + 1) best
+
+let enabled_link t ~after = enabled_scan t after 0 (-1)
+let channel_length t ~link = Queue.length t.channels.(link)
+
+let mailbox_length t ~node ~port =
+  Queue.length t.mailboxes.(Gtopology.link_id t.topo ~node ~port)
+
+type run_result = Engine_intf.run_result = {
   sends : int;
   deliveries : int;
   quiescent : bool;
   all_terminated : bool;
   exhausted : bool;
+  termination_order : int list;
 }
 
+let all_terminated t = Array.for_all Fun.id t.term
+let in_flight t = t.in_flight
+let mailbox_backlog t = t.backlog
 let is_quiescent t = t.in_flight = 0 && t.backlog = 0
 
-let run ?(max_deliveries = 50_000_000) (t : _ t) sched =
+let run ?(max_deliveries = 50_000_000) ?(snapshot_every = 0) ?probe t sched =
   let exhausted = ref false in
   let continue = ref true in
   while !continue do
-    if t.deliveries >= max_deliveries then begin
+    if Metrics.deliveries t.metrics >= max_deliveries then begin
       exhausted := true;
       continue := false
     end
     else if not (step t sched) then continue := false
+    else begin
+      (if snapshot_every > 0 && t.observed then
+         let d = Metrics.deliveries t.metrics in
+         if d mod snapshot_every = 0 then
+           t.sink.Sink.on_snapshot ~step:d (Metrics.to_assoc t.metrics));
+      match probe with
+      | None -> ()
+      | Some f -> f ~step:(Metrics.deliveries t.metrics)
+    end
   done;
   {
-    sends = t.sends;
-    deliveries = t.deliveries;
+    sends = Metrics.sends t.metrics;
+    deliveries = Metrics.deliveries t.metrics;
     quiescent = is_quiescent t;
-    all_terminated = Array.for_all Fun.id t.term;
+    all_terminated = all_terminated t;
     exhausted = !exhausted;
+    termination_order = List.rev t.term_order_rev;
   }
 
 let topology t = t.topo
+let size t = Gtopology.n t.topo
 let output t v = t.outputs.(v)
 let outputs t = Array.copy t.outputs
+let terminated t v = t.term.(v)
+let termination_order t = List.rev t.term_order_rev
 let inspect t v = t.programs.(v).inspect ()
 
 let inspect_counter t v name =
@@ -196,5 +288,41 @@ let inspect_counter t v name =
   | Some x -> x
   | None -> raise Not_found
 
-let sends (t : _ t) = t.sends
-let post_termination_deliveries (t : _ t) = t.post_term
+let metrics t = t.metrics
+let sends (t : _ t) = Metrics.sends t.metrics
+
+let post_termination_deliveries (t : _ t) =
+  Metrics.post_termination_deliveries t.metrics
+
+let num_links topo = Gtopology.num_links topo
+let link_dst_node topo link = fst (Gtopology.link_dst topo link)
+
+(* Same canonical shape as [Network.fingerprint], generalised to
+   arbitrary degree: channel depths, per-port mailbox depths,
+   termination flag, output, inspect counters. *)
+let fingerprint t =
+  let buf = Buffer.create 128 in
+  let n = size t in
+  for link = 0 to Gtopology.num_links t.topo - 1 do
+    Buffer.add_string buf (string_of_int (channel_length t ~link));
+    Buffer.add_char buf ','
+  done;
+  Buffer.add_char buf '|';
+  for v = 0 to n - 1 do
+    for p = 0 to Gtopology.degree t.topo v - 1 do
+      if p > 0 then Buffer.add_char buf ':';
+      Buffer.add_string buf (string_of_int (mailbox_length t ~node:v ~port:p))
+    done;
+    Buffer.add_char buf ';';
+    Buffer.add_string buf (if terminated t v then "T" else "t");
+    Buffer.add_string buf (Format.asprintf "%a" Output.pp (output t v));
+    List.iter
+      (fun (k, x) ->
+        Buffer.add_string buf k;
+        Buffer.add_char buf '=';
+        Buffer.add_string buf (string_of_int x);
+        Buffer.add_char buf ' ')
+      (inspect t v);
+    Buffer.add_char buf '|'
+  done;
+  Buffer.contents buf

@@ -32,6 +32,20 @@ let link_src t id =
 let link_dst t id = t.dst.(id)
 let peer t ~node ~port = t.dst.(link_id t ~node ~port)
 let edges t = t.edge_list
+let edge_of_link t id = t.edge_of_link.(id)
+
+let reverse_link t id =
+  let w, q = t.dst.(id) in
+  t.offsets.(w) + q
+
+let link_of_edge t ~edge ~src =
+  let rec scan p =
+    if p >= t.degrees.(src) then
+      invalid_arg "Gtopology.link_of_edge: edge not incident to src"
+    else if t.edge_of_link.(t.offsets.(src) + p) = edge then t.offsets.(src) + p
+    else scan (p + 1)
+  in
+  scan 0
 
 let of_edges ~n:size edge_list =
   if size < 1 then invalid_arg "Gtopology.of_edges: empty graph";
@@ -95,6 +109,12 @@ let theta a b c =
   let e2 = path b in
   let e3 = path c in
   of_edges ~n:!next (e1 @ e2 @ e3)
+
+let bowtie () =
+  (* Two triangles sharing node 0 — the smallest graph whose ear
+     decomposition has a closed ear (the second triangle, anchored at
+     the cut vertex 0).  2-edge-connected but not 2-vertex-connected. *)
+  of_edges ~n:5 [ (0, 1); (1, 2); (2, 0); (0, 3); (3, 4); (4, 0) ]
 
 let complete size =
   if size < 3 then invalid_arg "Gtopology.complete: n must be >= 3";

@@ -28,6 +28,12 @@ val theta : int -> int -> int -> t
     of inner nodes ([>= 0] each; at most one path may have 0 inner
     nodes).  The simplest 2-edge-connected non-ring. *)
 
+val bowtie : unit -> t
+(** Two triangles sharing node 0 (a "two-ear" graph): 2-edge-connected
+    but not 2-vertex-connected, so its ear decomposition contains a
+    closed ear anchored at the cut vertex.  The smallest graph that
+    exercises the closed-ear branch of {!Ears.decompose}. *)
+
 val complete : int -> t
 (** K_n, [n >= 3]. *)
 
@@ -43,6 +49,21 @@ val link_id : t -> node:int -> port:int -> int
 val link_src : t -> int -> int * int
 val link_dst : t -> int -> int * int
 val peer : t -> node:int -> port:int -> int * int
+
+val reverse_link : t -> int -> int
+(** The directed link running the opposite way along the same edge
+    instance: if link [l] goes from [(v,p)] to [(w,q)], then
+    [reverse_link t l] goes from [(w,q)] to [(v,p)]. *)
+
+val edge_of_link : t -> int -> int
+(** The undirected edge index (position in {!edges}) a directed link
+    belongs to. *)
+
+val link_of_edge : t -> edge:int -> src:int -> int
+(** The directed link leaving [src] along edge instance [edge]; raises
+    [Invalid_argument] if [src] is not an endpoint of that edge.  Well
+    defined on multigraphs because every edge instance occupies exactly
+    one port at each endpoint. *)
 
 val edges : t -> (int * int) list
 (** One entry per undirected edge, endpoints in insertion order. *)

@@ -1,0 +1,11 @@
+(* The graph half of the conformance pair: sealing [Gnetwork] to
+   [Engine_intf.NETWORK] in unified.mli proves at compile time that the
+   general-graph engine presents the same surface generic drivers (the
+   model-checker functor, conformance tests) are written against.
+   [Colring_engine.Unify.Ring_network] is the ring half. *)
+
+module Graph_network = struct
+  type topology = Gtopology.t
+
+  include Gnetwork
+end

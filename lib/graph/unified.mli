@@ -1,0 +1,18 @@
+(** The graph engine, sealed to the unified
+    {!Colring_engine.Engine_intf.NETWORK} contract.
+
+    [Graph_network] is {!Gnetwork} viewed through the
+    topology-parameterized signature; together with
+    [Colring_engine.Unify.Ring_network] it witnesses that rings really
+    are just the degree-2 instantiation of one engine surface.  The
+    type equations keep it interchangeable with plain {!Gnetwork}
+    values.  Graph-specific extras ([sends],
+    [post_termination_deliveries], per-port [channel_length] /
+    [mailbox_length]) stay reachable through {!Gnetwork} directly. *)
+
+module Graph_network :
+  Colring_engine.Engine_intf.NETWORK
+    with type topology = Gtopology.t
+     and type 'm t = 'm Gnetwork.t
+     and type 'm api = 'm Gnetwork.api
+     and type 'm program = 'm Gnetwork.program

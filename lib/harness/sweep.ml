@@ -138,6 +138,97 @@ let election ?(id_max_cap = 100_000) ?(jobs = 1) ?(shared_adversary = false)
       Array.iter (fun (_, chunk) -> if chunk <> "" then write chunk) out);
   List.filter_map (fun (m, _) -> m) (Array.to_list out)
 
+(* ------------------------------------------------------------------ *)
+(* The graph sweep: walk election over topology families *)
+
+type gmeasurement = {
+  g_topology : string;
+  g_n : int;
+  g_covered : int;
+  g_walk_len : int;
+  g_id_max : int;
+  g_seed : int;
+  g_scheduler : string;
+  g_sends : int;
+  g_expected : int;
+  g_deliveries : int;
+  g_ok : bool;
+}
+
+(* One walk-election cell, self-contained like its ring counterpart:
+   ids regenerate from the (topology, seed) stream and the scheduler
+   seed folds in the scheduler index via [split_at], so the grid is
+   bit-identical for every [jobs] value. *)
+let run_gcell ~schedulers ~journal (topo_spec, seed, sched_ix) =
+  let g = Topo.materialize ~default_n:8 topo_spec in
+  let module G = Colring_graph.Gtopology in
+  let n = G.n g in
+  let rng = Rng.create ~seed:(seed + (n * 65_537)) in
+  let ids = Ids.distinct rng ~n ~id_max:(2 * n) in
+  let sched_seed = Rng.bits (Rng.split_at rng sched_ix) 62 in
+  let sched = (schedulers : _ array).(sched_ix) sched_seed in
+  let buf = if journal then Some (Buffer.create 512) else None in
+  let sink =
+    match buf with
+    | None -> Sink.null
+    | Some b -> Sink.jsonl_buffer ~events:false b
+  in
+  let plan = Colring_graph.Gelection.plan g in
+  let r =
+    Colring_graph.Gelection.run_report plan ~ids ~sched ~sink ~seed
+      ~workload:(Topo.to_string topo_spec)
+  in
+  ( {
+      g_topology = Topo.to_string topo_spec;
+      g_n = n;
+      g_covered = r.Colring_graph.Gelection.covered;
+      g_walk_len = r.walk_len;
+      g_id_max = r.id_max;
+      g_seed = seed;
+      g_scheduler = sched.Scheduler.name;
+      g_sends = r.sends;
+      g_expected = r.expected_sends;
+      g_deliveries = r.deliveries;
+      g_ok = Colring_graph.Gelection.ok r;
+    },
+    match buf with None -> "" | Some b -> Buffer.contents b )
+
+let gelection ?(jobs = 1) ?journal ~topologies ~seeds ~schedulers () =
+  let schedulers = Array.of_list schedulers in
+  let cells = ref [] in
+  List.iter
+    (fun topo_spec ->
+      List.iter
+        (fun seed ->
+          for sched_ix = 0 to Array.length schedulers - 1 do
+            cells := (topo_spec, seed, sched_ix) :: !cells
+          done)
+        seeds)
+    topologies;
+  let cells = Array.of_list (List.rev !cells) in
+  let out =
+    Pool.map ~jobs (Array.length cells) (fun i ->
+        run_gcell ~schedulers ~journal:(journal <> None) cells.(i))
+  in
+  (match journal with
+  | None -> ()
+  | Some write ->
+      Array.iter (fun (_, chunk) -> if chunk <> "" then write chunk) out);
+  List.map fst (Array.to_list out)
+
+let gelection_to_csv ms =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "topology,n,covered,walk_len,id_max,seed,scheduler,sends,expected,deliveries,ok\n";
+  List.iter
+    (fun m ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%d,%d,%d,%d,%d,%s,%d,%d,%d,%b\n" m.g_topology m.g_n
+           m.g_covered m.g_walk_len m.g_id_max m.g_seed m.g_scheduler m.g_sends
+           m.g_expected m.g_deliveries m.g_ok))
+    ms;
+  Buffer.contents buf
+
 let to_csv ms =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf

@@ -60,6 +60,38 @@ val election :
 val to_csv : measurement list -> string
 (** Header plus one line per measurement. *)
 
+type gmeasurement = {
+  g_topology : string;  (** {!Topo.to_string} of the family instance. *)
+  g_n : int;
+  g_covered : int;
+  g_walk_len : int;
+  g_id_max : int;
+  g_seed : int;
+  g_scheduler : string;
+  g_sends : int;
+  g_expected : int;  (** [walk_len * id_max], the walk closed form. *)
+  g_deliveries : int;
+  g_ok : bool;  (** {!Colring_graph.Gelection.ok}. *)
+}
+
+val gelection :
+  ?jobs:int ->
+  ?journal:(string -> unit) ->
+  topologies:Topo.t list ->
+  seeds:int list ->
+  schedulers:(int -> Colring_engine.Scheduler.t) list ->
+  unit ->
+  gmeasurement list
+(** The graph analogue of {!election}: run the walk election over a
+    topology × seed × scheduler grid.  Each cell materializes its
+    topology, draws distinct ids with [id_max = 2n] from the
+    (topology, seed) stream, and derives its scheduler seed via
+    {!Colring_stats.Rng.split_at} — so the measurement list and the
+    optional JSONL [journal] (per-cell lifecycle chunks, concatenated
+    in cell order) are bit-identical for every [jobs] value. *)
+
+val gelection_to_csv : gmeasurement list -> string
+
 type summary_row = {
   group : string;  (** "algorithm/workload". *)
   group_n : int;

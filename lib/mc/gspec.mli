@@ -1,0 +1,38 @@
+(** Walk-election specs for the graph-engine checker.
+
+    {!Gmc} is {!Mc.Make} on the unified graph engine
+    ({!Colring_graph.Unified.Graph_network}); the builders here are
+    the graph analogue of {!Spec}: exhaustive verdicts for the walk
+    election of {!Colring_graph.Gelection} on graphs small enough to
+    explore completely, plus the bridge ablation the checker must
+    refute. *)
+
+open Colring_graph
+
+module Gmc : Mc.S with type 'm net = 'm Gnetwork.t
+
+val walk_election :
+  ?name:string -> Gtopology.t -> ids:int array -> unit Gmc.spec
+(** The full walk-election verdict on a 2-edge-connected [topo]:
+    per-step send bound [walk_length * covered_id_max], and at
+    quiescence exact sends with every node decided and the unique
+    Leader at the maximum id. *)
+
+val barbell : unit -> Gtopology.t
+(** Two triangles joined by a bridge (n = 6): the canonical
+    not-2-edge-connected instance. *)
+
+val bridge_ablation : ids:int array -> unit Gmc.spec
+(** The walk election on {!barbell} (decomposed with
+    [require_2ec:false]) against the {e whole-graph} election verdict:
+    nodes beyond the bridge stay Undecided at every quiescent state,
+    and the checker exhibits the minimized roles violation
+    ([expect_violation = true]). *)
+
+val targets : string list
+(** Graph check targets accepted by the CLI:
+    [walk:theta3], [walk:k4], [walk:bowtie], [ablation:bridge]. *)
+
+val of_target : string -> unit Gmc.spec
+(** Fixed small instance for a named target; raises [Invalid_argument]
+    on unknown names. *)

@@ -1,14 +1,14 @@
-(** Stateless model checking over the deterministic engine.
+(** Stateless model checking over the deterministic engines.
 
-    The engine's only nondeterminism is which non-empty link delivers
+    The engines' only nondeterminism is which non-empty link delivers
     next, and a run is a deterministic function of its choice
     sequence, so a recorded sequence of link ids {e is} a state
     snapshot: any state is rebuilt by replaying its prefix on a fresh
     network.  {!check} walks the choice tree depth-first with exactly
-    one live network — descending is a
-    {!Colring_engine.Network.force_step}, backtracking replays the
-    prefix — and evaluates a per-step safety monitor after {e every}
-    delivery plus a terminal predicate at every quiescent state.
+    one live network — descending is a [force_step], backtracking
+    replays the prefix — and evaluates a per-step safety monitor after
+    {e every} delivery plus a terminal predicate at every quiescent
+    state.
 
     Two reductions keep the tree tractable (DESIGN.md section 9 has
     the soundness argument):
@@ -19,42 +19,24 @@
       node; sleep sets are [int] bit masks over link ids (hence at
       most 60 links, i.e. rings up to n = 30 — far beyond what
       exhaustive exploration can visit anyway).
-    - {b State caching}: states that merge across interleavings
-      ({!Colring_engine.Explore.fingerprint} extended with the
-      monotone send/delivery/drop counters) are pruned when revisited
-      under a sleep set that includes one they were already expanded
-      under.  Disable it ({!type-spec} [dedup = false]) for
-      content-carrying protocols, whose payloads the fingerprint
-      cannot see.
+    - {b State caching}: states that merge across interleavings (the
+      engine fingerprint extended with the monotone
+      send/delivery/drop counters) are pruned when revisited under a
+      sleep set that includes one they were already expanded under.
+      Disable it ({!type-spec} [dedup = false]) for content-carrying
+      protocols, whose payloads the fingerprint cannot see.
 
     Counterexamples are choice sequences; {!minimize} shrinks them
     greedily and {!Colring_engine.Scheduler.of_schedule} replays them
-    through the ordinary run loop. *)
+    through the ordinary run loop.
 
-type 'm spec = {
-  name : string;  (** For reports and journals. *)
-  make : unit -> 'm Colring_engine.Network.t;
-      (** A fresh instance.  Must be deterministic: every call builds
-          the identical initial state (fixed topology, ids, seed). *)
-  monitor : unit -> 'm Colring_engine.Network.t -> string option;
-      (** [monitor ()] creates one safety monitor per path walk; the
-          returned closure is applied after every delivery (and once
-          to the initial state) and returns a violation description,
-          or [None].  It may keep state across the calls of one walk
-          (e.g. previously seen outputs); with [dedup] it must remain
-          a function of the observed state on violation-free paths. *)
-  terminal : 'm Colring_engine.Network.t -> string option;
-      (** Checked at every state with nothing in flight. *)
-  max_depth : int;
-      (** Delivery budget per schedule; exceeding it is itself a
-          violation ({!depth_violation}) — the checker's termination
-          invariant. *)
-  dedup : bool;  (** Enable state caching (see above). *)
-  expect_violation : bool;
-      (** Whether a counterexample is the {e desired} outcome — true
-          for the {!Colring_core.Ablation} variants, which a checker
-          worth its salt must catch. *)
-}
+    The checker is a functor over the unified
+    {!Colring_engine.Engine_intf.NETWORK} surface — {!Make} on any
+    conforming engine yields the same algorithm; the toplevel
+    [Mc.check] and friends are its ring instantiation
+    ({!Colring_engine.Unify.Ring_network}), so historical callers
+    compile unchanged, and [Gspec] instantiates it on the graph
+    engine. *)
 
 type stats = {
   states : int;  (** States expanded (post-pruning). *)
@@ -76,26 +58,66 @@ type result = { stats : stats; counterexample : counterexample option }
 val depth_violation : string
 (** The violation reported when a schedule exceeds [max_depth]. *)
 
-val check : ?jobs:int -> ?max_states:int -> ?minimized:bool -> 'm spec -> result
-(** Explore the schedule space of [spec].  The root branches fan out
-    over the {!Colring_runtime.Pool} domain pool ([jobs], default 1);
-    results are bit-identical for every [jobs] value.  [max_states]
-    (default 1_000_000) bounds the states expanded {e per root
-    branch}; exceeding it sets {!stats.truncated} (the budgeted
-    frontier used for n = 5).  The first counterexample in
-    deterministic DFS-and-branch order is returned, minimized via
-    {!minimize} unless [minimized:false]. *)
+(** The checker's interface, shared by every engine instantiation. *)
+module type S = sig
+  type 'm net
+  (** The network type of the underlying engine. *)
 
-val replay : 'm spec -> int array -> 'm Colring_engine.Network.t * string option
-(** Replay a schedule on a fresh instance: the resulting network and
-    the first violation observed (monitor during the walk, terminal
-    at the end if quiescent, {!depth_violation} if the schedule
-    reaches [max_depth] without violating otherwise).  Raises
-    [Invalid_argument] if the schedule does not fit the run. *)
+  type 'm spec = {
+    name : string;  (** For reports and journals. *)
+    make : unit -> 'm net;
+        (** A fresh instance.  Must be deterministic: every call builds
+            the identical initial state (fixed topology, ids, seed). *)
+    monitor : unit -> 'm net -> string option;
+        (** [monitor ()] creates one safety monitor per path walk; the
+            returned closure is applied after every delivery (and once
+            to the initial state) and returns a violation description,
+            or [None].  It may keep state across the calls of one walk
+            (e.g. previously seen outputs); with [dedup] it must remain
+            a function of the observed state on violation-free paths. *)
+    terminal : 'm net -> string option;
+        (** Checked at every state with nothing in flight. *)
+    max_depth : int;
+        (** Delivery budget per schedule; exceeding it is itself a
+            violation ({!depth_violation}) — the checker's termination
+            invariant. *)
+    dedup : bool;  (** Enable state caching (see above). *)
+    expect_violation : bool;
+        (** Whether a counterexample is the {e desired} outcome — true
+            for the ablation variants, which a checker worth its salt
+            must catch. *)
+  }
 
-val minimize : 'm spec -> counterexample -> counterexample
-(** Greedy shrinking: truncate at the first violating step, then
-    repeatedly try dropping single deliveries (skipping infeasible
-    candidates) until no removal preserves a violation.  The result
-    is 1-minimal — every single-element removal is violation-free —
-    though not necessarily globally minimal. *)
+  val check :
+    ?jobs:int -> ?max_states:int -> ?minimized:bool -> 'm spec -> result
+  (** Explore the schedule space of [spec].  The root branches fan out
+      over the {!Colring_runtime.Pool} domain pool ([jobs], default 1);
+      results are bit-identical for every [jobs] value.  [max_states]
+      (default 1_000_000) bounds the states expanded {e per root
+      branch}; exceeding it sets {!stats.truncated} (the budgeted
+      frontier used for n = 5).  The first counterexample in
+      deterministic DFS-and-branch order is returned, minimized via
+      {!minimize} unless [minimized:false]. *)
+
+  val replay : 'm spec -> int array -> 'm net * string option
+  (** Replay a schedule on a fresh instance: the resulting network and
+      the first violation observed (monitor during the walk, terminal
+      at the end if quiescent, {!depth_violation} if the schedule
+      reaches [max_depth] without violating otherwise).  Raises
+      [Invalid_argument] if the schedule does not fit the run. *)
+
+  val minimize : 'm spec -> counterexample -> counterexample
+  (** Greedy shrinking: truncate at the first violating step, then
+      repeatedly try dropping single deliveries (skipping infeasible
+      candidates) until no removal preserves a violation.  The result
+      is 1-minimal — every single-element removal is violation-free —
+      though not necessarily globally minimal. *)
+end
+
+module Make (N : Colring_engine.Engine_intf.NETWORK) :
+  S with type 'm net = 'm N.t
+(** Instantiate the checker on any unified engine. *)
+
+include S with type 'm net = 'm Colring_engine.Network.t
+(** The historical ring-engine API ([Mc.spec], [Mc.check], …):
+    {!Make} applied to {!Colring_engine.Unify.Ring_network}. *)

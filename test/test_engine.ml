@@ -474,10 +474,43 @@ let synthetic_view links =
     count = Array.length links;
     head_seq = (fun l -> l);
     head_batch = (fun _ -> 0);
-    travels_cw = (fun _ -> false);
+    travels_cw = (fun _ -> None);
     dst_node = (fun _ -> 0);
     step = 0;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Direction keys over the optional ground truth *)
+
+(* Even link ids travel cw, odd ids ccw, and links >= 100 belong to a
+   directionless (general-graph) topology. *)
+let directed_view links =
+  {
+    (synthetic_view links) with
+    Scheduler.head_batch = (fun _ -> 0);
+    head_seq = (fun l -> l);
+    travels_cw =
+      (fun l -> if l >= 100 then None else Some (l mod 2 = 0));
+  }
+
+let test_direction_bias_option () =
+  (* fifo breaks batch ties cw-first; [None] links count as
+     non-preferred, so the oldest cw link wins over both. *)
+  let v = directed_view [| 101; 3; 4; 2 |] in
+  checki "fifo prefers oldest cw" 2 (Scheduler.fifo.Scheduler.pick v);
+  let v = directed_view [| 101; 3; 5 |] in
+  checki "fifo falls back to seq among non-cw" 3
+    (Scheduler.fifo.Scheduler.pick v);
+  let bias_ccw = Scheduler.bias_direction ~cw:false in
+  let v = directed_view [| 101; 2; 5; 3 |] in
+  checki "bias-ccw prefers oldest ccw" 3 (bias_ccw.Scheduler.pick v);
+  let bias_cw = Scheduler.bias_direction ~cw:true in
+  (* A directionless view never satisfies either bias: both degrade to
+     their seq tie-break over the whole link set. *)
+  let v = synthetic_view [| 104; 101; 103 |] in
+  checki "bias-cw degrades to seq on None" 101 (bias_cw.Scheduler.pick v);
+  let v = synthetic_view [| 104; 101; 103 |] in
+  checki "bias-ccw degrades to seq on None" 101 (bias_ccw.Scheduler.pick v)
 
 let test_round_robin_fairness () =
   (* Over a static link set every link must be picked equally often,
@@ -780,6 +813,8 @@ let () =
           Alcotest.test_case "round-robin fairness" `Quick
             test_round_robin_fairness;
           Alcotest.test_case "round-robin wrap" `Quick test_round_robin_wrap;
+          Alcotest.test_case "direction bias option" `Quick
+            test_direction_bias_option;
           Alcotest.test_case "picks are members" `Quick
             test_all_schedulers_pick_members;
           Alcotest.test_case "same seed, same run" `Quick

@@ -86,6 +86,236 @@ let prop_cycle_with_chords_2ec =
       Gtopology.is_two_edge_connected g)
 
 (* ------------------------------------------------------------------ *)
+(* Ear decomposition and the closed spanning walk *)
+
+(* Structural validity of a walk: non-empty, consecutive links chain
+   (dst of one = src of the next, cyclically), no directed link
+   repeats, and every covered node appears as a source. *)
+let check_walk g d =
+  let w = Ears.walk d in
+  let len = Array.length w in
+  checkb "walk nonempty" true (len > 0);
+  for i = 0 to len - 1 do
+    let dst = fst (Gtopology.link_dst g w.(i)) in
+    let src_next = fst (Gtopology.link_src g w.((i + 1) mod len)) in
+    checki (Printf.sprintf "chained at %d" i) dst src_next
+  done;
+  let sorted = Array.copy w in
+  Array.sort compare sorted;
+  for i = 1 to len - 1 do
+    checkb "no directed link repeats" true (sorted.(i) <> sorted.(i - 1))
+  done;
+  let seen = Array.make (Gtopology.n g) false in
+  Array.iter (fun l -> seen.(fst (Gtopology.link_src g l)) <- true) w;
+  for v = 0 to Gtopology.n g - 1 do
+    checkb
+      (Printf.sprintf "coverage agrees at %d" v)
+      (Ears.covered d v) seen.(v)
+  done
+
+let test_ears_ring () =
+  let g = Gtopology.ring 5 in
+  let d = Ears.decompose g in
+  check_walk g d;
+  checki "ring walk = n" 5 (Ears.walk_length d);
+  checki "no ears" 0 (List.length (Ears.ears d));
+  checkb "all covered" true (Ears.all_covered d)
+
+let test_ears_theta () =
+  let g = Gtopology.theta 0 1 1 in
+  let d = Ears.decompose g in
+  check_walk g d;
+  (* Base 3-cycle plus one open ear with one inner node, walked out
+     and back: 3 + 2 links.  A third chain is a chord (the direct hub
+     edge), contributing nothing. *)
+  checki "walk length" 5 (Ears.walk_length d);
+  checkb "all covered" true (Ears.all_covered d)
+
+let test_ears_bowtie () =
+  let g = Gtopology.bowtie () in
+  let d = Ears.decompose g in
+  check_walk g d;
+  checki "walk length" 6 (Ears.walk_length d);
+  (match Ears.ears d with
+  | [ e ] ->
+      checkb "closed ear" true (e.Ears.anchor = e.Ears.close);
+      checki "two inner nodes" 2 (List.length e.Ears.inner)
+  | l -> Alcotest.failf "expected 1 ear, got %d" (List.length l));
+  checkb "all covered" true (Ears.all_covered d)
+
+let test_ears_k4 () =
+  let g = Gtopology.complete 4 in
+  let d = Ears.decompose g in
+  check_walk g d;
+  checkb "all covered" true (Ears.all_covered d);
+  (* Base triangle + one open ear out-and-back for the 4th node; the
+     remaining chords contribute nothing. *)
+  checki "walk length" 5 (Ears.walk_length d)
+
+let test_ears_bridge_ablation () =
+  (* Barbell: root triangle {0,1,2}, bridge (2,3), far triangle
+     {3,4,5}.  The decomposition never crosses the bridge, so only the
+     root component is covered. *)
+  let g =
+    Gtopology.of_edges ~n:6
+      [ (0, 1); (1, 2); (2, 0); (2, 3); (3, 4); (4, 5); (5, 3) ]
+  in
+  Alcotest.check_raises "2ec required by default"
+    (Invalid_argument "Ears.decompose: graph is not 2-edge-connected")
+    (fun () -> ignore (Ears.decompose g));
+  let d = Ears.decompose ~require_2ec:false g in
+  check_walk g d;
+  checki "root component covered" 3 (Ears.num_covered d);
+  for v = 0 to 2 do
+    checkb "triangle covered" true (Ears.covered d v)
+  done;
+  for v = 3 to 5 do
+    checkb "beyond the bridge uncovered" false (Ears.covered d v)
+  done
+
+let prop_ears_random2ec =
+  QCheck.Test.make ~name:"random 2EC graphs decompose and walk" ~count:60
+    (QCheck.make
+       ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d" n seed)
+       QCheck.Gen.(pair (int_range 4 20) (int_range 0 10_000)))
+    (fun (n, seed) ->
+      let g =
+        Gtopology.cycle_with_chords (Rng.create ~seed) ~n ~chords:(seed mod 5)
+      in
+      let d = Ears.decompose g in
+      check_walk g d;
+      Ears.all_covered d)
+
+(* ------------------------------------------------------------------ *)
+(* The walk election *)
+
+let gelection_ok_on g ~seed =
+  let n = Gtopology.n g in
+  let rng = Rng.create ~seed in
+  let ids = Ids.distinct rng ~n ~id_max:(n + Rng.int rng 10) in
+  let p = Gelection.plan g in
+  let r =
+    Gelection.run_report p ~ids ~sched:(Scheduler.random (Rng.split rng))
+  in
+  Gelection.ok r
+
+let test_gelection_families () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun seed ->
+          checkb (Printf.sprintf "%s seed %d" name seed) true
+            (gelection_ok_on g ~seed))
+        [ 1; 2; 3 ])
+    [
+      ("ring5", Gtopology.ring 5);
+      ("digon", Gtopology.ring 2);
+      ("theta011", Gtopology.theta 0 1 1);
+      ("theta123", Gtopology.theta 1 2 3);
+      ("bowtie", Gtopology.bowtie ());
+      ("K4", Gtopology.complete 4);
+      ("K5", Gtopology.complete 5);
+    ]
+
+let test_gelection_sends_exact () =
+  (* The closed form: walk_len * id_max, independent of scheduling. *)
+  let g = Gtopology.complete 4 in
+  let p = Gelection.plan g in
+  let ids = [| 3; 7; 2; 5 |] in
+  List.iter
+    (fun sched ->
+      let r = Gelection.run_report p ~ids ~sched in
+      checki "sends" (Gelection.walk_length p * 7) r.Gelection.sends;
+      checkb "quiescent" true r.Gelection.quiescent;
+      Alcotest.(check (option int)) "leader" (Some 1) r.Gelection.leader)
+    [ Scheduler.fifo; Scheduler.lifo; Scheduler.global_fifo ]
+
+let test_gelection_ablation () =
+  let g =
+    Gtopology.of_edges ~n:6
+      [ (0, 1); (1, 2); (2, 0); (2, 3); (3, 4); (4, 5); (5, 3) ]
+  in
+  let p = Gelection.plan ~require_2ec:false g in
+  let ids = [| 4; 2; 6; 9; 8; 7 |] in
+  let r, net = Gelection.run p ~ids ~sched:Scheduler.fifo in
+  checkb "walk part behaves" true r.Gelection.roles_ok;
+  checkb "but the election fails" false (Gelection.ok r);
+  checki "covered" 3 r.Gelection.covered;
+  (* Node 3 carries the global max id yet never decides: content-
+     oblivious election cannot reach across a bridge. *)
+  checkb "global max undecided" true
+    (Output.equal_role (Gnetwork.output net 3).Output.role Output.Undecided);
+  Alcotest.(check (option int)) "covered max leads" (Some 2) r.Gelection.leader
+
+let prop_gelection_random2ec =
+  QCheck.Test.make ~name:"walk election ok on random 2EC graphs" ~count:60
+    (QCheck.make
+       ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d" n seed)
+       QCheck.Gen.(pair (int_range 4 16) (int_range 0 10_000)))
+    (fun (n, seed) ->
+      let g =
+        Gtopology.cycle_with_chords (Rng.create ~seed) ~n ~chords:(seed mod 4)
+      in
+      gelection_ok_on g ~seed)
+
+(* ------------------------------------------------------------------ *)
+(* Rings as the Topology special case of the unified API *)
+
+(* One Algorithm 1 run on an oriented ring, journaled (events
+   included), driven either through the legacy [Network] module or
+   through the [Engine_intf.NETWORK] witness the unified API exposes
+   for rings. *)
+let ring_journal ~via_unified ~n ~seed =
+  let ids = Ids.distinct (Rng.create ~seed) ~n ~id_max:(2 * n) in
+  let topo = Topology.oriented n in
+  let buf = Buffer.create 1024 in
+  let sink = Sink.jsonl_buffer ~events:true buf in
+  let sched = Scheduler.random (Rng.create ~seed:(seed + 7)) in
+  (if via_unified then begin
+     let module N = Unify.Ring_network in
+     let net = N.create ~sink topo (fun v -> Algo1.program ~id:ids.(v)) in
+     ignore (N.run net sched)
+   end
+   else begin
+     let net = Network.create ~sink topo (fun v -> Algo1.program ~id:ids.(v)) in
+     ignore (Network.run net sched)
+   end);
+  sink.Sink.flush ();
+  Buffer.contents buf
+
+let prop_ring_journal_byte_identity =
+  QCheck.Test.make
+    ~name:"ring journals byte-identical through the unified API" ~count:40
+    (QCheck.make
+       ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d" n seed)
+       QCheck.Gen.(pair (int_range 2 10) (int_range 0 10_000)))
+    (fun (n, seed) ->
+      String.equal
+        (ring_journal ~via_unified:false ~n ~seed)
+        (ring_journal ~via_unified:true ~n ~seed))
+
+(* The walk election on a ring IS Algorithm 1: the walk is the ring,
+   so the send total matches the paper's Corollary 13 closed form and
+   the max-id node leads. *)
+let prop_ring_walk_is_algo1 =
+  QCheck.Test.make ~name:"walk election on ring:N matches Algorithm 1"
+    ~count:40
+    (QCheck.make
+       ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d" n seed)
+       QCheck.Gen.(pair (int_range 2 10) (int_range 0 10_000)))
+    (fun (n, seed) ->
+      let rng = Rng.create ~seed in
+      let ids = Ids.distinct rng ~n ~id_max:(2 * n) in
+      let plan = Gelection.plan (Gtopology.ring n) in
+      let r =
+        Gelection.run_report plan ~ids
+          ~sched:(Scheduler.random (Rng.split rng))
+      in
+      Gelection.ok r
+      && r.Gelection.sends = Formulas.algo1_total ~n ~id_max:(Ids.id_max ids)
+      && r.Gelection.leader = Some (Ids.argmax ids))
+
+(* ------------------------------------------------------------------ *)
 (* Gnetwork semantics *)
 
 let test_gnetwork_fifo_and_drop () =
@@ -292,6 +522,27 @@ let () =
           Alcotest.test_case "disconnected" `Quick test_disconnected;
           Alcotest.test_case "validation" `Quick test_of_edges_validation;
           QCheck_alcotest.to_alcotest prop_cycle_with_chords_2ec;
+        ] );
+      ( "ears",
+        [
+          Alcotest.test_case "ring" `Quick test_ears_ring;
+          Alcotest.test_case "theta" `Quick test_ears_theta;
+          Alcotest.test_case "bowtie" `Quick test_ears_bowtie;
+          Alcotest.test_case "K4" `Quick test_ears_k4;
+          Alcotest.test_case "bridge ablation" `Quick test_ears_bridge_ablation;
+          QCheck_alcotest.to_alcotest prop_ears_random2ec;
+        ] );
+      ( "walk election",
+        [
+          Alcotest.test_case "families" `Quick test_gelection_families;
+          Alcotest.test_case "exact sends" `Quick test_gelection_sends_exact;
+          Alcotest.test_case "bridge ablation" `Quick test_gelection_ablation;
+          QCheck_alcotest.to_alcotest prop_gelection_random2ec;
+        ] );
+      ( "ring special case",
+        [
+          QCheck_alcotest.to_alcotest prop_ring_journal_byte_identity;
+          QCheck_alcotest.to_alcotest prop_ring_walk_is_algo1;
         ] );
       ( "gnetwork",
         [

@@ -207,10 +207,83 @@ let test_summary_groups () =
       checkb (r.group ^ " exact") true (r.max_rel_err_vs_expected < 1e-9))
     rows
 
+(* ------------------------------------------------------------------ *)
+(* Topo: the shared --topology grammar and its materializer *)
+
+let test_topo_parse_round_trip () =
+  List.iter
+    (fun s ->
+      match Topo.parse s with
+      | Ok t -> Alcotest.(check string) (s ^ " round-trips") s (Topo.to_string t)
+      | Error msg -> Alcotest.failf "%s rejected: %s" s msg)
+    [ "ring"; "ring:6"; "theta:8"; "k4"; "bowtie"; "random2ec:12:5" ];
+  checkb "two-ear is bowtie" true (Topo.parse "two-ear" = Ok Topo.Bowtie);
+  List.iter
+    (fun s ->
+      checkb (s ^ " rejected, naming the flag") true
+        (match Topo.parse s with
+        | Error msg -> contains_sub msg "--topology"
+        | Ok _ -> false))
+    [ "ring:1"; "theta:3"; "theta"; "random2ec:12"; "random2ec:3:5"; "k5"; "" ]
+
+let test_topo_materialize () =
+  let module G = Colring_graph.Gtopology in
+  List.iter
+    (fun (s, expect_n) ->
+      let t = Result.get_ok (Topo.parse s) in
+      let g = Topo.materialize ~default_n:8 t in
+      checki (s ^ " node count") expect_n (G.n g);
+      checki (s ^ " node_count agrees") expect_n (Topo.node_count ~default_n:8 t);
+      checkb (s ^ " 2ec") true (G.is_two_edge_connected g))
+    [
+      ("ring", 8);
+      ("ring:5", 5);
+      ("theta:4", 4);
+      ("theta:9", 9);
+      ("k4", 4);
+      ("bowtie", 5);
+      ("random2ec:12:5", 12);
+    ];
+  checkb "ring is ring" true (Topo.is_ring (Result.get_ok (Topo.parse "ring:5")));
+  checkb "theta is not ring" false
+    (Topo.is_ring (Result.get_ok (Topo.parse "theta:4")))
+
+let test_gelection_sweep_determinism () =
+  let grid jobs =
+    let chunks = Buffer.create 256 in
+    let ms =
+      Sweep.gelection ~jobs
+        ~journal:(Buffer.add_string chunks)
+        ~topologies:
+          [ Topo.Theta 5; Topo.K4; Topo.Bowtie; Topo.Ring (Some 6) ]
+        ~seeds:[ 1; 2 ]
+        ~schedulers:
+          [
+            (fun s -> Scheduler.random (Rng.create ~seed:s));
+            (fun _ -> Scheduler.fifo);
+          ]
+        ()
+    in
+    (ms, Buffer.contents chunks)
+  in
+  let ms1, j1 = grid 1 in
+  let ms4, j4 = grid 4 in
+  checkb "measurements identical across jobs" true (ms1 = ms4);
+  checkb "journal identical across jobs" true (String.equal j1 j4);
+  checki "grid size" (4 * 2 * 2) (List.length ms1);
+  List.iter
+    (fun (m : Sweep.gmeasurement) ->
+      checkb (m.g_topology ^ " ok") true m.g_ok;
+      checki (m.g_topology ^ " exact sends") m.g_expected m.g_sends;
+      checkb (m.g_topology ^ " covered") true (m.g_covered = m.g_n))
+    ms1
+
 let cli_tests =
   [
     Alcotest.test_case "validators" `Quick test_cli_validators;
     Alcotest.test_case "jobs default" `Quick test_cli_jobs_default;
+    Alcotest.test_case "topology grammar" `Quick test_topo_parse_round_trip;
+    Alcotest.test_case "topology materializer" `Quick test_topo_materialize;
   ]
 
 let () =
@@ -236,6 +309,8 @@ let () =
           Alcotest.test_case "scheduler seeds" `Quick
             test_sweep_scheduler_seeds;
           Alcotest.test_case "summary" `Quick test_summary_groups;
+          Alcotest.test_case "graph sweep determinism" `Quick
+            test_gelection_sweep_determinism;
         ] );
       ("cli", cli_tests);
     ]

@@ -106,6 +106,87 @@ let test_ablations_yield_minimized_counterexamples () =
     ablation_targets
 
 (* ------------------------------------------------------------------ *)
+(* Graph checking: the Mc functor on the graph engine (Gspec.Gmc) *)
+
+let graph_correct_targets = [ "walk:theta3"; "walk:k4"; "walk:bowtie" ]
+
+let test_graph_targets_verify_exhaustively () =
+  List.iter
+    (fun target ->
+      let spec = Gspec.of_target target in
+      checkb (target ^ " does not expect a violation") false
+        spec.Gspec.Gmc.expect_violation;
+      let r = Gspec.Gmc.check ~jobs:2 spec in
+      checkb (target ^ " explored exhaustively") false r.Mc.stats.Mc.truncated;
+      checkb
+        (target ^ " reached at least one terminal state")
+        true
+        (r.Mc.stats.Mc.schedules >= 1);
+      checkb (target ^ " has no counterexample") true
+        (r.Mc.counterexample = None);
+      checkb
+        (target ^ " sleep sets pruned something")
+        true
+        (r.Mc.stats.Mc.sleep_pruned > 0))
+    graph_correct_targets
+
+let gviolation_of spec schedule =
+  match Gspec.Gmc.replay spec schedule with
+  | _, v -> v
+  | exception Invalid_argument _ -> None
+
+let test_bridge_ablation_minimized_counterexample () =
+  let spec = Gspec.of_target "ablation:bridge" in
+  checkb "expects a violation" true spec.Gspec.Gmc.expect_violation;
+  let r = Gspec.Gmc.check spec in
+  match r.Mc.counterexample with
+  | None -> Alcotest.fail "ablation:bridge: no counterexample found"
+  | Some ce ->
+      (* Replayable on a fresh instance with the same violation. *)
+      (match Gspec.Gmc.replay spec ce.Mc.schedule with
+      | _, Some v -> Alcotest.(check string) "reproduces" ce.Mc.violation v
+      | _, None -> Alcotest.fail "counterexample does not replay");
+      (* 1-minimal: quiescence needs every pulse delivered, so the
+         minimal schedule is one complete run of the covered walk. *)
+      Array.iteri
+        (fun i _ ->
+          checkb
+            (Printf.sprintf "minimal at %d" i)
+            true
+            (gviolation_of spec (drop_one ce.Mc.schedule i) = None))
+        ce.Mc.schedule
+
+let test_graph_check_jobs_independence () =
+  List.iter
+    (fun target ->
+      let spec = Gspec.of_target target in
+      let r1 = Gspec.Gmc.check ~jobs:1 spec in
+      let r4 = Gspec.Gmc.check ~jobs:4 spec in
+      checkb (target ^ " identical for -j 1 and -j 4") true (r1 = r4))
+    [ "walk:k4"; "ablation:bridge" ]
+
+(* The functor applied to the ring engine IS the toplevel Mc API: a
+   ring spec checked through an explicit [Mc.Make (Unify.Ring_network)]
+   instantiation agrees with [Mc.check] result-for-result. *)
+module Ring_mc = Mc.Make (Unify.Ring_network)
+
+let test_ring_instantiation_agrees_with_toplevel () =
+  let spec = Spec.election Election.Algo2 ~ids:(ids 3) ~topo_seed:2 in
+  let via_functor =
+    Ring_mc.check
+      {
+        Ring_mc.name = spec.Mc.name;
+        make = spec.Mc.make;
+        monitor = spec.Mc.monitor;
+        terminal = spec.Mc.terminal;
+        max_depth = spec.Mc.max_depth;
+        dedup = spec.Mc.dedup;
+        expect_violation = spec.Mc.expect_violation;
+      }
+  in
+  checkb "same result through Make" true (via_functor = Mc.check spec)
+
+(* ------------------------------------------------------------------ *)
 (* Worker-count independence *)
 
 let test_results_independent_of_jobs () =
@@ -227,6 +308,17 @@ let () =
         [
           Alcotest.test_case "minimized counterexamples" `Quick
             test_ablations_yield_minimized_counterexamples;
+        ] );
+      ( "graphs",
+        [
+          Alcotest.test_case "walk election verified exhaustively" `Quick
+            test_graph_targets_verify_exhaustively;
+          Alcotest.test_case "bridge ablation counterexample" `Quick
+            test_bridge_ablation_minimized_counterexample;
+          Alcotest.test_case "graph jobs independence" `Quick
+            test_graph_check_jobs_independence;
+          Alcotest.test_case "ring functor instantiation" `Quick
+            test_ring_instantiation_agrees_with_toplevel;
         ] );
       ( "determinism",
         [

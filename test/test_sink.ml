@@ -1,8 +1,9 @@
 (* Tests for the telemetry sink layer: the frozen Metrics schema, the
-   allocation guarantee of the null sink, memory-sink compatibility
-   with the deprecated [?record_trace], jsonl journals (shape-checked
-   and replayed back into counters), sweep journal determinism across
-   domain counts, and the fast simulator's lifecycle records. *)
+   allocation guarantee of the null sink, memory-sink tracing (the one
+   event-buffer path since [?record_trace] was removed), jsonl
+   journals (shape-checked and replayed back into counters), sweep
+   journal determinism across domain counts, and the fast simulator's
+   lifecycle records. *)
 
 open Colring_engine
 open Colring_core
@@ -19,7 +20,7 @@ let checks = Alcotest.(check string)
 (* The frozen counter schema. *)
 
 let test_metrics_schema () =
-  let m = Metrics.create ~n_nodes:2 ~n_links:4 in
+  let m = Metrics.create ~n_nodes:2 ~n_links:4 () in
   Metrics.on_send m ~link:0 ~node:0 ~cw:true;
   Metrics.on_deliver m ~node:1 ~port_index:0;
   Alcotest.(check (list string))
@@ -94,26 +95,35 @@ let test_pop_heavy_queue_churn_allocates_nothing () =
     true (dw < 64.0)
 
 (* ------------------------------------------------------------------ *)
-(* Memory sink ≡ deprecated [?record_trace]. *)
+(* Memory sinks are the one tracing path ([?record_trace] is gone). *)
 
-let run_algo2 ?record_trace ?sink () =
+let run_algo2 ?sink () =
   let n = 6 in
   let ids = Ids.distinct (Rng.create ~seed:11) ~n ~id_max:15 in
-  Election.run Election.Algo2 ~seed:3 ?record_trace ?sink
-    ~topo:(Topology.oriented n) ~ids
+  Election.run Election.Algo2 ~seed:3 ?sink ~topo:(Topology.oriented n) ~ids
     ~sched:(Scheduler.random (Rng.create ~seed:5))
 
-let test_memory_sink_matches_record_trace () =
-  let _, net_old = run_algo2 ~record_trace:true () in
+let test_memory_sink_traces () =
   let mem = Sink.memory () in
-  let _, net_new = run_algo2 ~sink:mem () in
-  let events tr = Trace.events tr in
-  let old_tr = Option.get (Network.trace net_old) in
-  let new_tr = Option.get (Sink.trace mem) in
-  checki "same length" (Trace.length old_tr) (Trace.length new_tr);
-  checkb "same events" true (events old_tr = events new_tr);
+  let report, net = run_algo2 ~sink:mem () in
+  let tr = Option.get (Sink.trace mem) in
+  checkb "trace is non-empty" true (Trace.length tr > 0);
+  (* Every send of the run reached the buffer: the trace and the
+     metrics count the same pulses. *)
+  let sends =
+    List.length
+      (List.filter
+         (function Trace.Send _ -> true | _ -> false)
+         (Trace.events tr))
+  in
+  checki "trace sends = report sends" report.Election.sends sends;
   checkb "network exposes the sink's buffer" true
-    (match Network.trace net_new with Some tr -> tr == new_tr | None -> false)
+    (match Network.trace net with Some t -> t == tr | None -> false);
+  (* Two identically-seeded runs buffer identical event lists. *)
+  let mem2 = Sink.memory () in
+  let _, _ = run_algo2 ~sink:mem2 () in
+  checkb "same events across identical runs" true
+    (Trace.events tr = Trace.events (Option.get (Sink.trace mem2)))
 
 let test_tee () =
   let mem = Sink.memory () in
@@ -357,8 +367,8 @@ let () =
         ] );
       ( "memory",
         [
-          Alcotest.test_case "matches record_trace" `Quick
-            test_memory_sink_matches_record_trace;
+          Alcotest.test_case "memory sink traces" `Quick
+            test_memory_sink_traces;
           Alcotest.test_case "tee" `Quick test_tee;
         ] );
       ( "jsonl",

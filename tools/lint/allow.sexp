@@ -2,10 +2,6 @@
 ; carry a note saying why the exception is sound; entries that stop
 ; suppressing anything, or whose file disappears, fail the lint run.
 
-(allow (rule deprecated-arg) (file test/test_sink.ml)
-       (note "the sink/record_trace equivalence test exists to exercise the \
-              deprecated argument until its removal (DESIGN.md section 6)"))
-
 (allow (rule determinism) (file bench/experiments.ml)
        (note "E15/E16 are throughput tables: their time and per-sec columns \
               are wall-clock by design (the only nondeterministic cells in \

@@ -19,6 +19,9 @@
 (hot (file lib/engine/scheduler.ml)
      (functions argmin_scan argmin3 rr_scan k_seq k_neg_seq k_batch k_cw_first
                 k_zero mem_scan))
+(hot (file lib/graph/gnetwork.ml)
+     (functions mark_nonempty unmark_if_empty view deliver_from step
+                enabled_count enabled_scan enabled_link))
 (hot (file lib/mc/mc.ml)
      (functions bit subset replay_prefix))
 (hot (file lib/engine/transport.ml)
