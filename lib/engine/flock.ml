@@ -1,5 +1,14 @@
 module Rng = Colring_stats.Rng
 
+(* Domain-safety contract (enforced by the shared-state lint,
+   tools/lint/lint_domain.ml): a flock is single-domain.  Nothing in
+   this file is declared in shared.sexp on purpose — every mutable
+   below (the struct-of-arrays slots, queues, mailboxes) belongs to
+   whichever domain built the flock, and cross-domain reuse goes
+   through [Harness.Batch]'s per-domain [Domain.DLS] cache, which
+   hands each domain its own instance.  Sharing one [Flock.t] across
+   domains is a bug the lint would flag at the spawn site. *)
+
 (* Slot statuses, kept as ints so the stepping loop compares against
    immediates: 0 = idle (never loaded or released), 1 = running,
    2 = settled (no pulses in flight), 3 = exhausted (delivery budget

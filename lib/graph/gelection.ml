@@ -83,6 +83,30 @@ let validate plan ~ids =
     invalid_arg "Gelection: covered nodes need a unique maximum id";
   m
 
+(* One full drain of walk port [p]: the per-delivery hot path
+   (registered in hot.sexp), so it recurses instead of looping over a
+   heap-allocated [continue] ref — the body must not allocate. *)
+let rec walk_step plan ~v ~id rho (api : unit Gnetwork.api) p =
+  match api.Gnetwork.recv p with
+  | None -> ()
+  | Some () ->
+      let out = plan.out_port.(v).(p) in
+      (if out < 0 then () (* off-walk pulse: impossible by design *)
+       else if p = plan.active_port.(v) then begin
+         incr rho;
+         if !rho = id then
+           (* Absorb: the pulse that completes this node's count is
+              not relayed; the node (transiently) claims leadership
+              and keeps it iff no later pulse comes. *)
+           api.Gnetwork.set_output Output.leader
+         else begin
+           api.Gnetwork.set_output Output.non_leader;
+           api.Gnetwork.send out ()
+         end
+       end
+       else api.Gnetwork.send out ());
+      walk_step plan ~v ~id rho api p
+
 let program_of plan ~ids v =
   let rho = ref 0 in
   let id = ids.(v) in
@@ -91,27 +115,7 @@ let program_of plan ~ids v =
   in
   let wake (api : _ Gnetwork.api) =
     for p = 0 to api.Gnetwork.degree - 1 do
-      let continue = ref true in
-      while !continue do
-        match api.Gnetwork.recv p with
-        | None -> continue := false
-        | Some () ->
-            let out = plan.out_port.(v).(p) in
-            if out < 0 then () (* off-walk pulse: impossible by design *)
-            else if p = plan.active_port.(v) then begin
-              incr rho;
-              if !rho = id then
-                (* Absorb: the pulse that completes this node's count
-                   is not relayed; the node (transiently) claims
-                   leadership and keeps it iff no later pulse comes. *)
-                api.Gnetwork.set_output Output.leader
-              else begin
-                api.Gnetwork.set_output Output.non_leader;
-                api.Gnetwork.send out ()
-              end
-            end
-            else api.Gnetwork.send out ()
-      done
+      walk_step plan ~v ~id rho api p
     done
   in
   let inspect () = [ ("id", id); ("rho", !rho) ] in

@@ -62,7 +62,12 @@ let rec pop_own deque ~chunk =
     let c = if hi - lo < chunk then hi - lo else chunk in
     if Atomic.compare_and_set deque r (pack ~lo:(lo + c) ~hi) then
       pack ~lo ~hi:(lo + c)
-    else pop_own deque ~chunk
+    else begin
+      (* A failed CAS means a thief owns the cache line right now;
+         yield it before re-spinning. *)
+      Domain.cpu_relax ();
+      pop_own deque ~chunk
+    end
 
 (* Steal the upper half (rounded up) of [deque]; the packed stolen
    range, or -1 when the deque is empty or the CAS lost a race (the

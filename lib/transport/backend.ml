@@ -1,6 +1,14 @@
 open Colring_engine
 module Election = Colring_core.Election
 
+(* Domain-safety contract (enforced by the shared-state lint,
+   tools/lint/lint_domain.ml): this orchestrator owns no cross-domain
+   state — it runs the live backend, then replays on the calling
+   domain.  All real sharing lives in domains.ml behind its
+   shared.sexp entry (atomic pulse counters, mutex-guarded schedule
+   recorder, owner-indexed result arrays); the socket backend shares
+   nothing but file descriptors across processes. *)
+
 type spec = Sim | Domains | Socket of { tcp : bool }
 
 let name = function

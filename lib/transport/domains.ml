@@ -49,7 +49,12 @@ let rec try_take c =
   let v = Atomic.get c in
   if v = 0 then false
   else if Atomic.compare_and_set c v (v - 1) then true
-  else try_take c
+  else begin
+    (* A failed CAS means the sender just bumped the counter; yield
+       the cache line before re-spinning. *)
+    Domain.cpu_relax ();
+    try_take c
+  end
 
 (* Append a delivery under the lock; [None] means the budget is spent
    (the caller puts the pulse back and aborts).  Budget counts proper

@@ -1,0 +1,14 @@
+(* Fixture: atomics-discipline violations.  Linted "as" a lib/ path
+   with a hot manifest containing [spin]; never compiled. *)
+
+(* Un-manifested Atomic.make in library code. *)
+let total = Atomic.make 0
+
+(* Lost update: a concurrent write between the get and the set is
+   silently discarded. *)
+let bump () = Atomic.set total (Atomic.get total + 1)
+
+(* CAS retry loop in a hot function with no Domain.cpu_relax backoff. *)
+let rec spin c =
+  let v = Atomic.get c in
+  if Atomic.compare_and_set c v (v + 1) then () else spin c

@@ -1,0 +1,13 @@
+(* Fixture: disciplined atomics — manifested make, read-modify-write
+   through fetch_and_add, CAS retry with backoff. *)
+
+let total = Atomic.make 0
+let bump () = ignore (Atomic.fetch_and_add total 1)
+
+let rec spin c =
+  let v = Atomic.get c in
+  if Atomic.compare_and_set c v (v + 1) then ()
+  else begin
+    Domain.cpu_relax ();
+    spin c
+  end

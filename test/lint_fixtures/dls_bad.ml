@@ -1,0 +1,12 @@
+(* Fixture: dls-discipline violations — a key minted inside a
+   function, and a payload escaping its owning domain both ways
+   (stored, then captured by a spawned closure). *)
+
+let make_key () = Domain.DLS.new_key (fun () -> Buffer.create 16)
+let cache = Domain.DLS.new_key (fun () -> Buffer.create 16)
+let leak = ref None
+
+let escape () =
+  let b = Domain.DLS.get cache in
+  leak := Some b;
+  Domain.spawn (fun () -> Buffer.clear b)

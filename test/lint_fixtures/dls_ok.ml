@@ -1,0 +1,12 @@
+(* Fixture: disciplined DLS use — top-level key, payload consumed
+   inside the closure that fetched it and never escaping. *)
+
+let cache = Domain.DLS.new_key (fun () -> Hashtbl.create 4)
+
+let lookup k =
+  let tbl = Domain.DLS.get cache in
+  match Hashtbl.find_opt tbl k with
+  | Some v -> v
+  | None ->
+      Hashtbl.add tbl k (k * 2);
+      k * 2

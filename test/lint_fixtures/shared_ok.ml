@@ -1,0 +1,17 @@
+(* Fixture: clean domain-spawned code — every mutation target is
+   either allocated inside the walked body or declared in the test's
+   shared manifest ([results]). *)
+
+type acc = { mutable hits : int }
+
+let results = Array.make 8 0
+
+let go jobs =
+  Pool.run ~jobs 8 (fun i ->
+      let scratch = Array.make 4 0 in
+      let st = { hits = 0 } in
+      let r = ref 0 in
+      scratch.(0) <- i;
+      st.hits <- st.hits + 1;
+      r := !r + 1;
+      results.(i) <- scratch.(0) + st.hits + !r)

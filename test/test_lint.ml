@@ -21,10 +21,15 @@ let fixture_dir =
 let fixture name = Filename.concat fixture_dir name
 
 (* Lint fixture [name] as if it lived at repo path [as_path]; return
-   the rule names that fired. *)
-let rules_of ?(hot = hot_manifest) name ~as_path =
-  Lint_driver.lint_file ~as_path ~hot_manifest:hot (fixture name)
+   the rule names that fired.  [shared] is the shared.sexp manifest
+   for the domain-safety rules (empty by default: nothing declared). *)
+let rules_of ?(hot = hot_manifest) ?(shared = []) name ~as_path =
+  Lint_driver.lint_file ~as_path ~hot_manifest:hot ~shared_manifest:shared
+    (fixture name)
   |> List.map (fun d -> d.Lint_diag.rule)
+
+let shared_entry ~file ?(atomics = []) ?(state = []) () =
+  [ (file, { Lint_config.atomics; state; note = "test manifest" }) ]
 
 let count rule rules =
   List.length (List.filter (String.equal rule) rules)
@@ -97,9 +102,80 @@ let test_sink_discipline () =
 let test_deprecated_arg () =
   checki "call site and forwarding param fire" 3
     (count "deprecated-arg" (rules_of "depr_arg.ml" ~as_path:"test/x.ml"));
-  checki "definition site exempt" 0
+  (* The argument is gone; its old definition sites are no longer
+     exempt — the rule now guards against reintroduction anywhere. *)
+  checki "former definition site fires too" 3
     (count "deprecated-arg"
        (rules_of "depr_arg.ml" ~as_path:"lib/engine/network.ml"))
+
+(* ------------------------------------------------------------------ *)
+(* shared-state *)
+
+let test_shared_state () =
+  checki "array write, field write+read, callee Bytes write" 4
+    (count "shared-state"
+       (rules_of "shared_bad.ml" ~as_path:"lib/runtime/x.ml"));
+  checki "tests are not patrolled" 0
+    (count "shared-state" (rules_of "shared_bad.ml" ~as_path:"test/x.ml"));
+  checki "local allocs and manifested state pass" 0
+    (count "shared-state"
+       (rules_of "shared_ok.ml" ~as_path:"lib/runtime/x.ml"
+          ~shared:
+            (shared_entry ~file:"lib/runtime/x.ml" ~state:[ "results" ] ())));
+  checki "manifest entry is load-bearing" 1
+    (count "shared-state" (rules_of "shared_ok.ml" ~as_path:"lib/runtime/x.ml"))
+
+(* ------------------------------------------------------------------ *)
+(* atomics-discipline *)
+
+let test_atomics_discipline () =
+  let hot = [ ("lib/runtime/x.ml", [ "spin" ]) ] in
+  checki "unmanifested make, lost update, CAS without backoff" 3
+    (count "atomics-discipline"
+       (rules_of "atomics_bad.ml" ~as_path:"lib/runtime/x.ml" ~hot));
+  checki "tests are not patrolled" 0
+    (count "atomics-discipline"
+       (rules_of "atomics_bad.ml" ~as_path:"test/x.ml"));
+  checki "manifested make, fetch_and_add, backed-off CAS pass" 0
+    (count "atomics-discipline"
+       (rules_of "atomics_ok.ml" ~as_path:"lib/runtime/x.ml" ~hot
+          ~shared:
+            (shared_entry ~file:"lib/runtime/x.ml" ~atomics:[ "total" ] ())))
+
+(* ------------------------------------------------------------------ *)
+(* dls-discipline *)
+
+let test_dls_discipline () =
+  checki "nested new_key, stored payload, captured payload" 3
+    (count "dls-discipline"
+       (rules_of "dls_bad.ml" ~as_path:"lib/harness/x.ml"));
+  checki "top-level key with domain-local payload passes" 0
+    (count "dls-discipline" (rules_of "dls_ok.ml" ~as_path:"lib/harness/x.ml"))
+
+(* ------------------------------------------------------------------ *)
+(* shared.sexp / hot.sexp manifest pins *)
+
+(* The real manifests must keep covering the multicore core: if an
+   entry is dropped, the clean-tree run (@lint, pulled in by runtest)
+   and this pin both fail. *)
+let repo_file p = if Sys.file_exists p then p else Filename.concat ".." p
+
+let test_manifest_pins () =
+  let shared =
+    Lint_config.load_shared (repo_file "tools/lint/shared.sexp")
+  in
+  List.iter
+    (fun file ->
+      match List.assoc_opt file shared with
+      | Some e ->
+          checkb (file ^ " has a review note") true
+            (String.length e.Lint_config.note > 0)
+      | None -> Alcotest.failf "shared.sexp lost its entry for %s" file)
+    [ "lib/runtime/pool.ml"; "lib/transport/domains.ml"; "lib/harness/batch.ml" ];
+  let hot = Lint_config.load_hot (repo_file "tools/lint/hot.sexp") in
+  checkb "gelection walk step is patrolled" true
+    (List.mem "walk_step"
+       (Lint_config.hot_functions hot ~file:"lib/graph/gelection.ml"))
 
 (* ------------------------------------------------------------------ *)
 (* parse-error *)
@@ -178,6 +254,11 @@ let () =
           Alcotest.test_case "hot-alloc" `Quick test_hot_alloc;
           Alcotest.test_case "sink-discipline" `Quick test_sink_discipline;
           Alcotest.test_case "deprecated-arg" `Quick test_deprecated_arg;
+          Alcotest.test_case "shared-state" `Quick test_shared_state;
+          Alcotest.test_case "atomics-discipline" `Quick
+            test_atomics_discipline;
+          Alcotest.test_case "dls-discipline" `Quick test_dls_discipline;
+          Alcotest.test_case "manifest pins" `Quick test_manifest_pins;
           Alcotest.test_case "parse-error" `Quick test_parse_error;
           Alcotest.test_case "mli-coverage" `Quick test_mli_coverage;
         ] );

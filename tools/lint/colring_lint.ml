@@ -1,26 +1,39 @@
 (* colring-lint: repo-aware static analysis for the colring engine.
 
    Usage:
-     colring-lint --allow FILE --hot FILE [--check-allow] PATH...
+     colring-lint --allow FILE --hot FILE [--shared FILE] [--json]
+                  [--check-allow] PATH...
 
    Exit codes: 0 clean, 1 violations (or allowlist problems), 2 usage
    or configuration errors.
 
-   --check-allow only validates the allowlist (every entry must name
-   an existing file) — the CI guard that keeps allow.sexp honest
-   without a full tree walk. *)
+   --shared names the shared.sexp manifest consumed by the
+   domain-safety rules; without it those rules run against an empty
+   manifest (every cross-domain mutation flags).
+
+   --json replaces the human-readable report with one machine-readable
+   JSON object on stdout (violations + stale/missing allow entries +
+   counts) — the CI artifact that makes rule hits diffable across PRs.
+   Exit codes are unchanged.
+
+   --check-allow only validates the manifests (every allow.sexp and
+   shared.sexp entry must name an existing file) — the CI guard that
+   keeps the escape hatches honest without a full tree walk. *)
 
 open Colring_lint_core
 
 let usage () =
   prerr_endline
-    "usage: colring-lint --allow FILE --hot FILE [--check-allow] PATH...";
+    "usage: colring-lint --allow FILE --hot FILE [--shared FILE] [--json] \
+     [--check-allow] PATH...";
   exit 2
 
 let () =
   let allow_path = ref None in
   let hot_path = ref None in
+  let shared_path = ref None in
   let check_allow = ref false in
+  let json = ref false in
   let roots = ref [] in
   let rec parse = function
     | [] -> ()
@@ -30,8 +43,14 @@ let () =
     | "--hot" :: v :: rest ->
         hot_path := Some v;
         parse rest
+    | "--shared" :: v :: rest ->
+        shared_path := Some v;
+        parse rest
     | "--check-allow" :: rest ->
         check_allow := true;
+        parse rest
+    | "--json" :: rest ->
+        json := true;
         parse rest
     | arg :: rest ->
         if String.starts_with ~prefix:"-" arg then usage ();
@@ -41,53 +60,89 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   let allow_path = match !allow_path with Some p -> p | None -> usage () in
   let hot_path = match !hot_path with Some p -> p | None -> usage () in
-  let allow, hot_manifest =
-    try (Lint_config.load_allow allow_path, Lint_config.load_hot hot_path)
+  let allow, hot_manifest, shared_manifest =
+    try
+      ( Lint_config.load_allow allow_path,
+        Lint_config.load_hot hot_path,
+        match !shared_path with
+        | Some p -> Lint_config.load_shared p
+        | None -> [] )
     with
     | Lint_config.Config_error msg | Lint_sexp.Parse_error msg ->
       Printf.eprintf "colring-lint: configuration error: %s\n" msg;
       exit 2
   in
   if !check_allow then (
-    let missing =
+    let missing_allow =
       List.filter
         (fun (e : Lint_config.allow_entry) -> not (Sys.file_exists e.file))
         allow
+    in
+    let missing_shared =
+      List.filter (fun (f, _) -> not (Sys.file_exists f)) shared_manifest
     in
     List.iter
       (fun (e : Lint_config.allow_entry) ->
         Printf.eprintf
           "colring-lint: allow.sexp entry (rule %s) names missing file %s\n"
           e.rule e.file)
-      missing;
-    if missing = [] then (
-      Printf.printf "colring-lint: %d allow entries, all files present\n"
-        (List.length allow);
+      missing_allow;
+    List.iter
+      (fun (f, _) ->
+        Printf.eprintf "colring-lint: shared.sexp entry names missing file %s\n"
+          f)
+      missing_shared;
+    if missing_allow = [] && missing_shared = [] then (
+      Printf.printf
+        "colring-lint: %d allow entries and %d shared entries, all files \
+         present\n"
+        (List.length allow)
+        (List.length shared_manifest);
       exit 0)
     else exit 1);
   if !roots = [] then usage ();
   let result =
-    Lint_driver.lint_tree ~hot_manifest ~allow (List.rev !roots)
+    Lint_driver.lint_tree ~hot_manifest ~shared_manifest ~allow
+      (List.rev !roots)
   in
-  List.iter
-    (fun d -> print_endline (Lint_diag.to_string d))
-    result.Lint_driver.kept;
-  List.iter
-    (fun (e : Lint_config.allow_entry) ->
-      Printf.eprintf
-        "colring-lint: stale allow.sexp entry (rule %s, file %s) suppressed \
-         nothing — remove it\n"
-        e.rule e.file)
-    result.stale;
-  List.iter
-    (fun (e : Lint_config.allow_entry) ->
-      Printf.eprintf
-        "colring-lint: allow.sexp entry (rule %s) names missing file %s\n"
-        e.rule e.file)
-    result.missing;
-  let violations = List.length result.kept in
-  if violations > 0 || result.stale <> [] || result.missing <> [] then (
+  let violations = List.length result.Lint_driver.kept in
+  let dirty =
+    violations > 0 || result.stale <> [] || result.missing <> []
+  in
+  if !json then begin
+    let entry_json (e : Lint_config.allow_entry) =
+      Printf.sprintf {|{"rule":"%s","file":"%s"}|}
+        (Lint_diag.json_escape e.rule)
+        (Lint_diag.json_escape e.file)
+    in
+    Printf.printf
+      {|{"violations":[%s],"stale_allow":[%s],"missing_allow":[%s],"violation_count":%d,"clean":%b}|}
+      (String.concat "," (List.map Lint_diag.to_json result.kept))
+      (String.concat "," (List.map entry_json result.stale))
+      (String.concat "," (List.map entry_json result.missing))
+      violations (not dirty);
+    print_newline ()
+  end
+  else begin
+    List.iter
+      (fun d -> print_endline (Lint_diag.to_string d))
+      result.Lint_driver.kept;
+    List.iter
+      (fun (e : Lint_config.allow_entry) ->
+        Printf.eprintf
+          "colring-lint: stale allow.sexp entry (rule %s, file %s) suppressed \
+           nothing — remove it\n"
+          e.rule e.file)
+      result.stale;
+    List.iter
+      (fun (e : Lint_config.allow_entry) ->
+        Printf.eprintf
+          "colring-lint: allow.sexp entry (rule %s) names missing file %s\n"
+          e.rule e.file)
+      result.missing
+  end;
+  if dirty then (
     Printf.eprintf "colring-lint: %d violation%s\n" violations
       (if violations = 1 then "" else "s");
     exit 1)
-  else print_endline "colring-lint: clean"
+  else if not !json then print_endline "colring-lint: clean"

@@ -22,6 +22,8 @@
 (hot (file lib/graph/gnetwork.ml)
      (functions mark_nonempty unmark_if_empty view deliver_from step
                 enabled_count enabled_scan enabled_link))
+(hot (file lib/graph/gelection.ml)
+     (functions walk_step))
 (hot (file lib/mc/mc.ml)
      (functions bit subset replay_prefix))
 (hot (file lib/engine/transport.ml)

@@ -10,9 +10,30 @@
    - [hot.sexp]: the manifest of hot functions the allocation rule
      patrols:
 
-       (hot (file lib/engine/envq.ml) (functions push pop head_seq)) *)
+       (hot (file lib/engine/envq.ml) (functions push pop head_seq))
+
+   - [shared.sexp]: the manifest of state legitimately shared across
+     domains, consumed by the domain-safety rules (lint_domain.ml).
+     [(atomics ...)] names the bindings/fields an [Atomic.make] in
+     that file may create; [(state ...)] names the mutable
+     fields/arrays/refs domain-spawned code may touch; [(note ...)]
+     says why the sharing is sound (disjoint index ownership, mutex,
+     join happens-before, ...) and is mandatory:
+
+       (shared (file lib/runtime/pool.ml)
+               (atomics cursor failure)
+               (state out filled)
+               (note "one writer per index, published by the join")) *)
 
 type allow_entry = { rule : string; file : string; note : string }
+
+type shared_entry = {
+  atomics : string list;
+  state : string list;
+  note : string;
+}
+
+let empty_shared = { atomics = []; state = []; note = "" }
 
 exception Config_error of string
 
@@ -67,3 +88,35 @@ let load_hot path =
 
 let hot_functions manifest ~file =
   match List.assoc_opt file manifest with Some fns -> fns | None -> []
+
+let load_shared path =
+  Lint_sexp.load path
+  |> List.map (function
+       | Lint_sexp.List (Atom "shared" :: fields) ->
+           let file =
+             match atom_field "file" fields with
+             | Some v -> v
+             | None -> fail "%s: shared entry missing (file ...)" path
+           in
+           let names name =
+             match field name fields with
+             | Some atoms ->
+                 List.map
+                   (function
+                     | Lint_sexp.Atom a -> a
+                     | List _ -> fail "%s: (%s ...) holds atoms" path name)
+                   atoms
+             | None -> []
+           in
+           let note =
+             match atom_field "note" fields with
+             | Some v -> v
+             | None -> fail "%s: shared entry for %s missing (note ...)" path file
+           in
+           (file, { atomics = names "atomics"; state = names "state"; note })
+       | _ -> fail "%s: every top-level form must be (shared ...)" path)
+
+let shared_for manifest ~file =
+  match List.assoc_opt file manifest with
+  | Some e -> e
+  | None -> empty_shared

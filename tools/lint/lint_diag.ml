@@ -20,3 +20,24 @@ let compare a b =
 
 let to_string d =
   Printf.sprintf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.msg
+
+(* Hand-rolled JSON escaping: the analyzer links only compiler-libs. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json d =
+  Printf.sprintf {|{"rule":"%s","file":"%s","line":%d,"col":%d,"msg":"%s"}|}
+    (json_escape d.rule) (json_escape d.file) d.line d.col (json_escape d.msg)

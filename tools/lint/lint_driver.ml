@@ -62,7 +62,7 @@ let parse_error_diag path exn =
    against; it defaults to the (normalized) on-disk path.  The fixture
    tests lint files stored under test/lint_fixtures/ "as" virtual
    lib/engine/... paths. *)
-let lint_file ?as_path ~hot_manifest path =
+let lint_file ?as_path ~hot_manifest ?(shared_manifest = []) path =
   let rpath = match as_path with Some p -> p | None -> normalize path in
   let src = In_channel.with_open_bin path In_channel.input_all in
   let lexbuf = Lexing.from_string src in
@@ -72,10 +72,14 @@ let lint_file ?as_path ~hot_manifest path =
     with exn -> parse_error_diag rpath exn
   else
     try
-      Lint_rules.lint_structure
-        ~hot_functions:(Lint_config.hot_functions hot_manifest ~file:rpath)
-        ~path:rpath
-        (Parse.implementation lexbuf)
+      let hot_functions =
+        Lint_config.hot_functions hot_manifest ~file:rpath
+      in
+      let structure = Parse.implementation lexbuf in
+      Lint_rules.lint_structure ~hot_functions ~path:rpath structure
+      @ Lint_domain.lint ~hot_functions
+          ~shared:(Lint_config.shared_for shared_manifest ~file:rpath)
+          ~path:rpath structure
     with exn -> parse_error_diag rpath exn
 
 (* ------------------------------------------------------------------ *)
@@ -118,12 +122,12 @@ let apply_allowlist entries diags =
 (* ------------------------------------------------------------------ *)
 (* Whole-tree run *)
 
-let lint_tree ~hot_manifest ~allow roots =
+let lint_tree ~hot_manifest ?(shared_manifest = []) ~allow roots =
   let files = collect_files roots in
   let ml_files = List.filter (fun f -> Filename.check_suffix f ".ml") files in
   let mli_files = List.filter (fun f -> Filename.check_suffix f ".mli") files in
   let diags =
-    List.concat_map (fun f -> lint_file ~hot_manifest f) files
+    List.concat_map (fun f -> lint_file ~hot_manifest ~shared_manifest f) files
     @ Lint_rules.mli_coverage ~ml_files ~mli_files
   in
   apply_allowlist allow (List.sort_uniq Lint_diag.compare diags)

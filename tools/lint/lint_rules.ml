@@ -20,11 +20,15 @@
    - [sink-discipline] no [Trace.<Constructor>] construction and no
                        [Trace.record]/[Trace.create] outside
                        lib/engine/sink.ml (pattern matches are fine).
-   - [deprecated-arg]  no [~record_trace]/[?record_trace] outside its
-                       definition sites (lib/engine/network.ml,
-                       lib/core/election.ml).
+   - [deprecated-arg]  no [~record_trace]/[?record_trace] anywhere —
+                       the argument was removed; the rule guards
+                       against reintroduction.
    - [mli-coverage]    every lib/**/*.ml has a matching .mli
-                       (checked over file lists, see {!mli_coverage}). *)
+                       (checked over file lists, see {!mli_coverage}).
+
+   The domain-safety rules ([shared-state] / [atomics-discipline] /
+   [dls-discipline]) live in lint_domain.ml, driven by the
+   shared.sexp manifest. *)
 
 open Parsetree
 
@@ -153,15 +157,15 @@ let check_sink_discipline_ident ctx ~loc lid =
 (* ------------------------------------------------------------------ *)
 (* deprecated-arg *)
 
-let deprecated_arg_definition_sites =
-  [ "lib/engine/network.ml"; "lib/core/election.ml" ]
-
+(* [?record_trace] was removed outright (DESIGN.md section 6); the
+   rule survives as the anti-reintroduction guard, with no exempt
+   definition sites left — the label may not appear anywhere, not
+   even where it used to be defined. *)
 let check_deprecated_label ctx ~loc label =
   match label with
-  | Asttypes.Labelled "record_trace" | Asttypes.Optional "record_trace"
-    when not (List.mem ctx.path deprecated_arg_definition_sites) ->
+  | Asttypes.Labelled "record_trace" | Asttypes.Optional "record_trace" ->
       report ctx ~rule:"deprecated-arg" ~loc
-        "?record_trace is deprecated (DESIGN.md section 6); pass \
+        "?record_trace was removed (DESIGN.md section 6); pass \
          ~sink:(Sink.memory ()) and read the buffer with Network.trace"
   | _ -> ()
 

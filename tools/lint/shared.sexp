@@ -1,0 +1,39 @@
+; Manifest of state legitimately shared across domains, consumed by
+; the domain-safety rules (shared-state / atomics-discipline /
+; dls-discipline — see tools/lint/lint_domain.ml and DESIGN.md §8).
+;
+;   (atomics ...)  names an [Atomic.make] in this file may bind
+;   (state ...)    mutable fields / arrays / refs domain-spawned code
+;                  may touch
+;   (note ...)     why the sharing is sound — mandatory, this is the
+;                  review record
+;
+; Adding a name here is a claim that the sharing has a synchronization
+; story (atomic, mutex, disjoint index ownership published by a join);
+; the TSan stress suite (test/stress) is the dynamic cross-check.
+
+(shared (file lib/runtime/pool.ml)
+        (atomics cursor failure deques remaining)
+        (state out filled)
+        (note "the pool's own machinery: the static-mode cursor, the
+               steal-mode packed-range deques, the remaining-work counter
+               and the first-failure cell are the lock-free core; map's
+               [out] slots and [filled] bytes have one writer per index
+               (the domain that ran that chunk) and are read only after
+               the joins in [run] establish happens-before"))
+
+(shared (file lib/transport/domains.ml)
+        (atomics chan live abort term)
+        (state sends outputs backlog exhausted deliveries drops terms_rev)
+        (note "per-link pulse counters ([chan]) and the liveness/abort/
+               termination cells are atomics; [deliveries]/[drops]/
+               [terms_rev]/[exhausted] are only written under [lock];
+               [sends]/[outputs]/[backlog] are indexed by the owning
+               node's id — one writer each — and read by the coordinator
+               only after the pool join"))
+
+(shared (file lib/harness/batch.ml)
+        (state reports latencies)
+        (note "per-job result and latency slots: the wave that owns a job
+               is the only writer of its index, and the caller reads them
+               after Pool.run joins"))
