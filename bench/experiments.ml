@@ -1283,7 +1283,8 @@ let e14 ~sink ~jobs ~quick =
 let e15 ~sink ~jobs ~quick =
   section
     "E15 Model checker (lib/mc)  --  exhaustive schedule-space exploration\n\
-     with sleep-set POR + state caching; states/sec is wall-clock.\n\
+     with incremental undo, sleep-set/source-set POR, state caching and\n\
+     (for anon:relay) rotation symmetry; states/sec is wall-clock.\n\
      'as expected' = verified for the paper algorithms and baselines,\n\
      counterexample found for every ablation.";
   let t =
@@ -1296,9 +1297,40 @@ let e15 ~sink ~jobs ~quick =
         ("sleep pruned", Table.Right);
         ("dedup pruned", Table.Right);
         ("replayed", Table.Right);
+        ("undone", Table.Right);
         ("time (s)", Table.Right);
         ("states/s", Table.Right);
         ("as expected", Table.Left);
+      ]
+  in
+  let row n target =
+    let ids = Ids.distinct (Rng.create ~seed:1) ~n ~id_max:n in
+    let (Colring_mc.Spec.Packed spec) =
+      Colring_mc.Spec.of_target target ~ids ~topo_seed:2
+    in
+    let t0 = Unix.gettimeofday () in
+    let r = Colring_mc.Mc.check ~jobs spec in
+    let dt = Unix.gettimeofday () -. t0 in
+    let s = r.Colring_mc.Mc.stats in
+    let ok =
+      if spec.Colring_mc.Mc.expect_violation then
+        r.Colring_mc.Mc.counterexample <> None
+      else r.Colring_mc.Mc.counterexample = None && not s.Colring_mc.Mc.truncated
+    in
+    Table.add_row t
+      [
+        target;
+        Table.cell_int n;
+        Table.cell_int s.Colring_mc.Mc.states;
+        Table.cell_int s.Colring_mc.Mc.schedules;
+        Table.cell_int s.Colring_mc.Mc.sleep_pruned;
+        Table.cell_int s.Colring_mc.Mc.dedup_pruned;
+        Table.cell_int s.Colring_mc.Mc.replayed_deliveries;
+        Table.cell_int s.Colring_mc.Mc.undone_deliveries;
+        Table.cell_float ~decimals:3 dt;
+        Table.cell_float ~decimals:0
+          (float_of_int s.Colring_mc.Mc.states /. Float.max dt 1e-6);
+        yes_no ok;
       ]
   in
   let targets =
@@ -1308,47 +1340,22 @@ let e15 ~sink ~jobs ~quick =
       "algo3-doubled";
       "algo3-improved";
       "franklin";
+      "anon:relay";
       "ablation:no-lag";
       "ablation:same-virtual-ids";
       "ablation:no-absorption";
     ]
   in
   let ns = if quick then [ 3 ] else [ 3; 4 ] in
-  List.iter
-    (fun n ->
-      let ids = Ids.distinct (Rng.create ~seed:1) ~n ~id_max:n in
-      List.iter
-        (fun target ->
-          let (Colring_mc.Spec.Packed spec) =
-            Colring_mc.Spec.of_target target ~ids ~topo_seed:2
-          in
-          let t0 = Unix.gettimeofday () in
-          let r = Colring_mc.Mc.check ~jobs spec in
-          let dt = Unix.gettimeofday () -. t0 in
-          let s = r.Colring_mc.Mc.stats in
-          let ok =
-            if spec.Colring_mc.Mc.expect_violation then
-              r.Colring_mc.Mc.counterexample <> None
-            else
-              r.Colring_mc.Mc.counterexample = None
-              && not s.Colring_mc.Mc.truncated
-          in
-          Table.add_row t
-            [
-              target;
-              Table.cell_int n;
-              Table.cell_int s.Colring_mc.Mc.states;
-              Table.cell_int s.Colring_mc.Mc.schedules;
-              Table.cell_int s.Colring_mc.Mc.sleep_pruned;
-              Table.cell_int s.Colring_mc.Mc.dedup_pruned;
-              Table.cell_int s.Colring_mc.Mc.replayed_deliveries;
-              Table.cell_float ~decimals:3 dt;
-              Table.cell_float ~decimals:0
-                (float_of_int s.Colring_mc.Mc.states /. Float.max dt 1e-6);
-              yes_no ok;
-            ])
-        targets)
-    ns;
+  List.iter (fun n -> List.iter (row n) targets) ns;
+  (* The scale rows: exhaustive verification at n=5 for the paper
+     algorithms and a baseline, and n=6 for the cheap ones — the
+     sizes the incremental-undo + POR + symmetry scale-up unlocked. *)
+  if not quick then begin
+    List.iter (row 5)
+      [ "algo1"; "algo2"; "algo3-improved"; "chang-roberts"; "anon:relay" ];
+    List.iter (row 6) [ "algo1"; "algo2"; "anon:relay" ]
+  end;
   print_table ~sink ~name:"e15" t
 
 (* ------------------------------------------------------------------ *)

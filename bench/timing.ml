@@ -667,12 +667,87 @@ let graph_section ~quick () =
         Bench_io.Bool (List.for_all (fun p -> p.gp_ok = p.gp_trials) points) );
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Model-checker throughput: the scale-up headline.  The fixed
+   workload is algo3-doubled at n=4 — the heaviest pre-scale-up E15
+   row — so states/sec is comparable across engine generations;
+   [mc_baseline_states_per_sec] is the recorded replay-only figure. *)
+
+let mc_baseline_states_per_sec = 31043.
+
+let mc_cases ~quick =
+  if quick then [ ("algo3-doubled", 4) ]
+  else [ ("algo3-doubled", 4); ("algo2", 5); ("algo3-improved", 5) ]
+
+let mc_section ~quick () =
+  Printf.printf
+    "\n================================================================\n";
+  Printf.printf "Model checker (incremental undo + POR + symmetry)\n";
+  Printf.printf
+    "================================================================\n\n";
+  Printf.printf "%-20s %4s %10s %10s %12s\n" "target" "n" "states" "wall(s)"
+    "states/s";
+  let points =
+    List.map
+      (fun (target, n) ->
+        let ids = Ids.distinct (Rng.create ~seed:1) ~n ~id_max:n in
+        let (Colring_mc.Spec.Packed spec) =
+          Colring_mc.Spec.of_target target ~ids ~topo_seed:2
+        in
+        let t0 = Unix.gettimeofday () in
+        let r = Colring_mc.Mc.check spec in
+        let wall = Unix.gettimeofday () -. t0 in
+        let s = r.Colring_mc.Mc.stats in
+        let sps = float_of_int s.Colring_mc.Mc.states /. Float.max wall 1e-9 in
+        Printf.printf "%-20s %4d %10d %10.3f %12.0f\n" target n
+          s.Colring_mc.Mc.states wall sps;
+        ( target,
+          n,
+          s,
+          Option.is_none r.Colring_mc.Mc.counterexample
+          && not s.Colring_mc.Mc.truncated,
+          wall,
+          sps ))
+      (mc_cases ~quick)
+  in
+  let headline =
+    List.filter_map
+      (fun (target, n, _, _, _, sps) ->
+        if String.equal target "algo3-doubled" && n = 4 then Some sps else None)
+      points
+  in
+  let headline = match headline with [] -> 0. | sps :: _ -> sps in
+  Printf.printf "\nheadline speedup vs replay-only checker: %.1fx\n"
+    (headline /. mc_baseline_states_per_sec);
+  let json_of_point (target, n, s, verified, wall, sps) =
+    Bench_io.Obj
+      [
+        ("target", Bench_io.String target);
+        ("n", Bench_io.Int n);
+        ("states", Bench_io.Int s.Colring_mc.Mc.states);
+        ("schedules", Bench_io.Int s.Colring_mc.Mc.schedules);
+        ("replayed_deliveries", Bench_io.Int s.Colring_mc.Mc.replayed_deliveries);
+        ("undone_deliveries", Bench_io.Int s.Colring_mc.Mc.undone_deliveries);
+        ("verified", Bench_io.Bool verified);
+        ("wall_seconds", Bench_io.Float wall);
+        ("states_per_sec", Bench_io.Float sps);
+      ]
+  in
+  Bench_io.Obj
+    [
+      ("workload", Bench_io.String "exhaustive check, default parameters");
+      ("results", Bench_io.List (List.map json_of_point points));
+      ("baseline_states_per_sec", Bench_io.Float mc_baseline_states_per_sec);
+      ( "speedup_vs_baseline",
+        Bench_io.Float (headline /. mc_baseline_states_per_sec) );
+    ]
+
 (* The shape downstream tooling relies on; called on the file just
    written, so `bench/main.exe -- throughput` fails loudly if the
    schema regresses. *)
 let validate_report path =
   let fail msg =
-    failwith (Printf.sprintf "%s: schema_version 5 check failed: %s" path msg)
+    failwith (Printf.sprintf "%s: schema_version 6 check failed: %s" path msg)
   in
   let j = try Bench_io.read_file path with
     | Bench_io.Parse_error e -> fail ("unparsable JSON: " ^ e)
@@ -682,7 +757,7 @@ let validate_report path =
   let float_field obj k =
     Option.bind (Bench_io.member k obj) Bench_io.get_float
   in
-  require (int_field j "schema_version" = Some 5) "schema_version must be 5";
+  require (int_field j "schema_version" = Some 6) "schema_version must be 6";
   require (int_field j "domains_recommended" <> None)
     "missing domains_recommended";
   (match Bench_io.member "transport" j with
@@ -739,7 +814,7 @@ let validate_report path =
                 "batch point missing p99_ms")
             points
       | _ -> fail "batch missing results list"));
-  match Bench_io.member "graph" j with
+  (match Bench_io.member "graph" j with
   | None -> fail "missing graph section"
   | Some graph -> (
       match Option.bind (Bench_io.member "results" graph) Bench_io.get_list with
@@ -757,7 +832,28 @@ let validate_report path =
               require (float_field p "elections_per_sec" <> None)
                 "graph point missing elections_per_sec")
             points
-      | _ -> fail "graph missing results list")
+      | _ -> fail "graph missing results list"));
+  match Bench_io.member "model_checker" j with
+  | None -> fail "missing model_checker section"
+  | Some mc -> (
+      require (float_field mc "baseline_states_per_sec" <> None)
+        "model_checker missing baseline_states_per_sec";
+      require (float_field mc "speedup_vs_baseline" <> None)
+        "model_checker missing speedup_vs_baseline";
+      match Option.bind (Bench_io.member "results" mc) Bench_io.get_list with
+      | Some (_ :: _ as points) ->
+          List.iter
+            (fun p ->
+              require
+                (Option.bind (Bench_io.member "target" p) Bench_io.get_string
+                <> None)
+                "model_checker point missing target";
+              require (int_field p "states" <> None)
+                "model_checker point missing states";
+              require (float_field p "states_per_sec" <> None)
+                "model_checker point missing states_per_sec")
+            points
+      | _ -> fail "model_checker missing results list")
 
 let json_of_result r =
   Bench_io.Obj
@@ -794,10 +890,11 @@ let throughput ?(quick = false) ?(json_path = "BENCH_engine.json") () =
   let sweep = sweep_section ~quick () in
   let batch = batch_section ~quick () in
   let graph = graph_section ~quick () in
+  let mc = mc_section ~quick () in
   Bench_io.write_file json_path
     (Bench_io.Obj
        [
-         ("schema_version", Bench_io.Int 5);
+         ("schema_version", Bench_io.Int 6);
          ("suite", Bench_io.String "colring-engine");
          ("ocaml_version", Bench_io.String Sys.ocaml_version);
          ("word_size_bits", Bench_io.Int Sys.word_size);
@@ -807,9 +904,10 @@ let throughput ?(quick = false) ?(json_path = "BENCH_engine.json") () =
          ("sweep", sweep);
          ("batch", batch);
          ("graph", graph);
+         ("model_checker", mc);
        ]);
   validate_report json_path;
-  Printf.printf "\nwrote %s (schema_version 5, shape validated)\n" json_path
+  Printf.printf "\nwrote %s (schema_version 6, shape validated)\n" json_path
 
 let run () =
   Printf.printf

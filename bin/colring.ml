@@ -1032,7 +1032,9 @@ let target_arg =
            ablation (ablation:no-lag, ablation:same-virtual-ids, \
            ablation:no-absorption — these MUST yield a counterexample), or a \
            classic baseline (chang-roberts, lelann, hirschberg-sinclair, \
-           peterson, franklin). Graph targets with fixed tiny instances: \
+           peterson, franklin), or anon:relay (an anonymous uniform ring, \
+           checked under rotation symmetry). Graph targets with fixed tiny \
+           instances: \
            walk:theta3, walk:k4, walk:bowtie, ablation:bridge (the walk \
            election beyond a bridge MUST yield a counterexample); any \
            non-ring $(b,--topology) instead checks the walk election on \
@@ -1044,8 +1046,10 @@ let max_states_arg =
     & opt (positive_conv ~flag:"--max-states") 1_000_000
     & info [ "max-states" ] ~docv:"K"
         ~doc:
-          "Per-root-branch state budget. Exceeding it reports a truncated \
-           (non-exhaustive) exploration, which fails the check.")
+          "Global state budget shared by every worker: at most K states are \
+           expanded in total, regardless of $(b,--jobs). Exceeding it \
+           reports a truncated (non-exhaustive) exploration, which fails \
+           the check.")
 
 let fmt_schedule schedule =
   Printf.sprintf "[%s]"
@@ -1066,6 +1070,7 @@ let report_check ~name ~expect_violation ~replay_violates ~ids_str ~n ~seed
   Printf.printf "states expanded     %d\n" s.Mc.states;
   Printf.printf "schedules           %d\n" s.Mc.schedules;
   Printf.printf "replayed deliveries %d\n" s.Mc.replayed_deliveries;
+  Printf.printf "undone deliveries   %d\n" s.Mc.undone_deliveries;
   Printf.printf "sleep-set pruned    %d\n" s.Mc.sleep_pruned;
   Printf.printf "state-cache pruned  %d\n" s.Mc.dedup_pruned;
   Printf.printf "max depth           %d\n" s.Mc.max_depth_seen;
@@ -1095,6 +1100,7 @@ let report_check ~name ~expect_violation ~replay_violates ~ids_str ~n ~seed
           ("states", Sink.Int s.Mc.states);
           ("schedules", Sink.Int s.Mc.schedules);
           ("replayed_deliveries", Sink.Int s.Mc.replayed_deliveries);
+          ("undone_deliveries", Sink.Int s.Mc.undone_deliveries);
           ("sleep_pruned", Sink.Int s.Mc.sleep_pruned);
           ("dedup_pruned", Sink.Int s.Mc.dedup_pruned);
           ("max_depth", Sink.Int s.Mc.max_depth_seen);

@@ -32,6 +32,13 @@ let program ~id =
           end
     done
   in
-  { Network.start; wake; inspect = (fun () -> []) }
+  let snap =
+    Some
+      {
+        Engine_intf.save = (fun () -> [| (if !done_ then 1 else 0) |]);
+        load = (fun a -> done_ := a.(0) = 1);
+      }
+  in
+  { Network.start; wake; inspect = (fun () -> []); snap }
 
 let worst_case_messages ~n = (n * (n + 1) / 2) + n

@@ -81,4 +81,55 @@ let program ~id =
     done
   in
   let inspect () = [ ("rounds", !rounds) ] in
-  { Network.start; wake; inspect }
+  (* The two round buffers are length-prefixed in the flat encoding. *)
+  let snap =
+    Some
+      {
+        Engine_intf.save =
+          (fun () ->
+            let mode_code =
+              match !mode with
+              | Active -> 0
+              | Relay -> 1
+              | Announcer -> 2
+              | Done -> 3
+            in
+            let a =
+              Array.make (4 + Queue.length from_p0 + Queue.length from_p1) 0
+            in
+            a.(0) <- mode_code;
+            a.(1) <- !rounds;
+            a.(2) <- Queue.length from_p0;
+            a.(3) <- Queue.length from_p1;
+            let i = ref 4 in
+            Queue.iter
+              (fun v ->
+                a.(!i) <- v;
+                incr i)
+              from_p0;
+            Queue.iter
+              (fun v ->
+                a.(!i) <- v;
+                incr i)
+              from_p1;
+            a);
+        load =
+          (fun a ->
+            (mode :=
+               match a.(0) with
+               | 0 -> Active
+               | 1 -> Relay
+               | 2 -> Announcer
+               | _ -> Done);
+            rounds := a.(1);
+            Queue.clear from_p0;
+            Queue.clear from_p1;
+            for i = 0 to a.(2) - 1 do
+              Queue.add a.(4 + i) from_p0
+            done;
+            for i = 0 to a.(3) - 1 do
+              Queue.add a.(4 + a.(2) + i) from_p1
+            done);
+      }
+  in
+  { Network.start; wake; inspect; snap }

@@ -65,10 +65,30 @@ let program ~id =
           | None -> continue := false)
     done
   in
+  let snap =
+    Some
+      {
+        Engine_intf.save =
+          (fun () ->
+            [|
+              !phase;
+              !replies;
+              (if !elected then 1 else 0);
+              (if !done_ then 1 else 0);
+            |]);
+        load =
+          (fun a ->
+            phase := a.(0);
+            replies := a.(1);
+            elected := a.(2) = 1;
+            done_ := a.(3) = 1);
+      }
+  in
   {
     Network.start;
     wake;
     inspect = (fun () -> [ ("phase", !phase); ("replies", !replies) ]);
+    snap;
   }
 
 let message_bound ~n =

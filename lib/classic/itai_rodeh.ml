@@ -68,4 +68,6 @@ let program ~n ~range =
     done
   in
   let inspect () = [ ("round", !round); ("value", !value) ] in
-  { Network.start; wake; inspect }
+  (* No codec: the program draws fresh randomness on every new round,
+     and [rng] streams are not rolled back by the undo machinery. *)
+  { Network.start; wake; inspect; snap = None }

@@ -28,6 +28,13 @@ let program ~id =
           end
     done
   in
-  { Network.start; wake; inspect = (fun () -> [ ("max_seen", !max_seen) ]) }
+  let snap =
+    Some
+      {
+        Engine_intf.save = (fun () -> [| !max_seen |]);
+        load = (fun a -> max_seen := a.(0));
+      }
+  in
+  { Network.start; wake; inspect = (fun () -> [ ("max_seen", !max_seen) ]); snap }
 
 let messages ~n = n * n

@@ -66,4 +66,32 @@ let program ~id =
   let inspect () =
     [ ("tid", !tid); ("phases", !phases) ]
   in
-  { Network.start; wake; inspect }
+  (* Wait_second's payload rides in the fourth slot. *)
+  let snap =
+    Some
+      {
+        Engine_intf.save =
+          (fun () ->
+            let code, payload =
+              match !mode with
+              | Wait_first -> (0, 0)
+              | Relay -> (1, 0)
+              | Announcer -> (2, 0)
+              | Done -> (3, 0)
+              | Wait_second v -> (4, v)
+            in
+            [| !tid; !phases; code; payload |]);
+        load =
+          (fun a ->
+            tid := a.(0);
+            phases := a.(1);
+            mode :=
+              (match a.(2) with
+              | 0 -> Wait_first
+              | 1 -> Relay
+              | 2 -> Announcer
+              | 3 -> Done
+              | _ -> Wait_second a.(3)));
+      }
+  in
+  { Network.start; wake; inspect; snap }

@@ -5,6 +5,16 @@ let cw_in = Port.P0
 let ccw_out = Port.P0
 let ccw_in = Port.P1
 
+let role_code = function
+  | Output.Undecided -> 0
+  | Output.Leader -> 1
+  | Output.Non_leader -> 2
+
+let role_of = function
+  | 1 -> Output.Leader
+  | 2 -> Output.Non_leader
+  | _ -> Output.Undecided
+
 (* Algorithm 2 minus the lag: both instances start at initialization
    and the CCW block is not gated on rho_cw >= id.  Compare Algo2. *)
 let algo2_no_lag ~id =
@@ -64,7 +74,28 @@ let algo2_no_lag ~id =
   let inspect () =
     [ ("id", id); ("rho_cw", !rho_cw); ("rho_ccw", !rho_ccw) ]
   in
-  { Network.start; wake; inspect }
+  let snap =
+    Some
+      {
+        Engine_intf.save =
+          (fun () ->
+            [|
+              !rho_cw;
+              !rho_ccw;
+              (if !term_initiated then 1 else 0);
+              (if !finished then 1 else 0);
+              role_code !role;
+            |]);
+        load =
+          (fun a ->
+            rho_cw := a.(0);
+            rho_ccw := a.(1);
+            term_initiated := a.(2) = 1;
+            finished := a.(3) = 1;
+            role := role_of a.(4));
+      }
+  in
+  { Network.start; wake; inspect; snap }
 
 (* Algorithm 3 with identical virtual IDs per direction. *)
 let algo3_same_virtual_ids ~id =
@@ -98,7 +129,17 @@ let algo3_same_virtual_ids ~id =
     done
   in
   let inspect () = [ ("id", id); ("rho0", rho.(0)); ("rho1", rho.(1)) ] in
-  { Network.start; wake; inspect }
+  let snap =
+    Some
+      {
+        Engine_intf.save = (fun () -> [| rho.(0); rho.(1) |]);
+        load =
+          (fun a ->
+            rho.(0) <- a.(0);
+            rho.(1) <- a.(1));
+      }
+  in
+  { Network.start; wake; inspect; snap }
 
 (* Algorithm 1 without the absorption case. *)
 let algo1_no_absorption ~id =
@@ -118,7 +159,14 @@ let algo1_no_absorption ~id =
     done
   in
   let inspect () = [ ("id", id); ("rho_cw", !rho) ] in
-  { Network.start; wake; inspect }
+  let snap =
+    Some
+      {
+        Engine_intf.save = (fun () -> [| !rho |]);
+        load = (fun a -> rho := a.(0));
+      }
+  in
+  { Network.start; wake; inspect; snap }
 
 type failure = {
   wrong_leader : bool;

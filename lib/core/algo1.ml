@@ -35,6 +35,16 @@ let program ~id =
   let inspect () =
     [ ("id", st.id); ("rho_cw", st.rho_cw); ("sigma_cw", st.sigma_cw) ]
   in
-  { Network.start; wake; inspect }
+  let snap =
+    Some
+      {
+        Engine_intf.save = (fun () -> [| st.rho_cw; st.sigma_cw |]);
+        load =
+          (fun a ->
+            st.rho_cw <- a.(0);
+            st.sigma_cw <- a.(1));
+      }
+  in
+  { Network.start; wake; inspect; snap }
 
 let total_pulses = Formulas.algo1_total

@@ -141,6 +141,43 @@ let program ~id =
       ("term_initiated", if st.term_initiated then 1 else 0);
     ]
   in
-  { Network.start; wake; inspect }
+  let role_code = function
+    | Output.Undecided -> 0
+    | Output.Leader -> 1
+    | Output.Non_leader -> 2
+  in
+  let role_of = function
+    | 1 -> Output.Leader
+    | 2 -> Output.Non_leader
+    | _ -> Output.Undecided
+  in
+  let snap =
+    Some
+      {
+        Engine_intf.save =
+          (fun () ->
+            [|
+              st.rho_cw;
+              st.sigma_cw;
+              st.rho_ccw;
+              st.sigma_ccw;
+              role_code st.role;
+              role_code st.out_role;
+              (if st.term_initiated then 1 else 0);
+              (if st.finished then 1 else 0);
+            |]);
+        load =
+          (fun a ->
+            st.rho_cw <- a.(0);
+            st.sigma_cw <- a.(1);
+            st.rho_ccw <- a.(2);
+            st.sigma_ccw <- a.(3);
+            st.role <- role_of a.(4);
+            st.out_role <- role_of a.(5);
+            st.term_initiated <- a.(6) = 1;
+            st.finished <- a.(7) = 1);
+      }
+  in
+  { Network.start; wake; inspect; snap }
 
 let total_pulses = Formulas.algo2_total

@@ -115,7 +115,47 @@ let make ~resample ~scheme ~id =
       ("resamples", st.resamples);
     ]
   in
-  { Network.start; wake; inspect }
+  let role_code = function
+    | Output.Undecided -> 0
+    | Output.Leader -> 1
+    | Output.Non_leader -> 2
+  in
+  let role_of = function
+    | 1 -> Output.Leader
+    | 2 -> Output.Non_leader
+    | _ -> Output.Undecided
+  in
+  let snap =
+    Some
+      {
+        Engine_intf.save =
+          (fun () ->
+            [|
+              st.id;
+              st.rho.(0);
+              st.rho.(1);
+              st.sigma.(0);
+              st.sigma.(1);
+              st.resamples;
+              role_code st.out_role;
+              (match st.out_cw_port with
+              | None -> -1
+              | Some p -> Port.index p);
+            |]);
+        load =
+          (fun a ->
+            st.id <- a.(0);
+            st.rho.(0) <- a.(1);
+            st.rho.(1) <- a.(2);
+            st.sigma.(0) <- a.(3);
+            st.sigma.(1) <- a.(4);
+            st.resamples <- a.(5);
+            st.out_role <- role_of a.(6);
+            st.out_cw_port <-
+              (if a.(7) < 0 then None else Some (Port.of_index a.(7))));
+      }
+  in
+  { Network.start; wake; inspect; snap }
 
 let program ~scheme ~id = make ~resample:false ~scheme ~id
 let program_resampling ~id = make ~resample:true ~scheme:Improved ~id

@@ -1,0 +1,22 @@
+(** An anonymous clockwise pulse relay.
+
+    Every node runs the {e identical} program — no ids anywhere — so
+    the system is invariant under ring rotation: it is the exercise
+    target for the model checker's symmetry reduction.  Each node
+    emits one clockwise pulse at start-up, relays the {e first} pulse
+    it ever receives, and absorbs all later ones.
+
+    On an oriented ring of [n] nodes every node's predecessor sends
+    exactly twice, so every node receives exactly {!final_rho} pulses
+    and the run quiesces after exactly [total_pulses n] sends — both
+    facts independent of the delivery schedule, and both invariant
+    under rotation, as symmetry-reduced checking requires. *)
+
+val program : unit -> Colring_engine.Network.pulse Colring_engine.Network.program
+(** One relay node.  Anonymous: every call builds the same program. *)
+
+val total_pulses : n:int -> int
+(** Schedule-independent send total: [2 * n]. *)
+
+val final_rho : int
+(** Pulses every node has received at quiescence: 2. *)

@@ -11,6 +11,13 @@ type run_result = {
   termination_order : int list;
 }
 
+(* A program-state snapshot codec: [save] encodes the program's whole
+   mutable state as a flat int array, [load] restores it exactly.
+   Programs expose one through their [snap] field to opt into the
+   model checker's incremental-undo backtracking; [None] keeps the
+   checker on its replay-from-prefix fallback. *)
+type snapshot = { save : unit -> int array; load : int array -> unit }
+
 module type NETWORK = sig
   type topology
   type 'm t
@@ -30,6 +37,19 @@ module type NETWORK = sig
 
   val step : 'm t -> Scheduler.t -> bool
   val force_step : 'm t -> link:int -> unit
+
+  (* Incremental undo: [force_step_undo] is [force_step] plus an undo
+     record capturing everything the delivery mutated (the popped
+     envelope, the destination's program snapshot, queue/metric/clock
+     effects of the wake); [undo_step] restores the pre-delivery state
+     exactly.  Records must be undone in LIFO order.  Only legal when
+     [undo_capable] holds: every program carries a [snap] codec and no
+     user sink observes the run (events cannot be unemitted). *)
+  type 'm undo
+
+  val undo_capable : 'm t -> bool
+  val force_step_undo : 'm t -> link:int -> 'm undo
+  val undo_step : 'm t -> 'm undo -> unit
   val enabled_count : 'm t -> int
   val enabled_link : 'm t -> after:int -> int
   val fingerprint : 'm t -> string

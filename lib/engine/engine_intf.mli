@@ -1,40 +1,23 @@
-(** The topology-parameterized engine surface.
-
-    Rings ({!Network}) and general multigraphs
-    ([Colring_graph.Gnetwork]) implement the same simulator contract:
-    build a network of per-node programs over a topology, deliver
-    in-flight pulses one at a time under a {!Scheduler}, observe the
-    run through a {!Sink}, and expose the enabled-set/force-step hooks
-    the model checker drives.  {!NETWORK} is that contract, written
-    down once so the duplication is structural rather than accidental:
-    the ring engine is the degree-2 instantiation ([Unify.Ring_network])
-    and the graph engine the general one
-    ([Colring_graph.Unified.Graph_network]); generic drivers — the
-    model-checker functor [Colring_mc.Mc.Make] in particular — are
-    functors over it.
-
-    Per-topology capabilities stay out of this signature on purpose:
-    blocking receives, traces, diagrams, injection and causal clocks
-    are ring-engine extras, exactly as scheduler direction bias is an
-    optional capability (a view's [travels_cw] may answer [None]). *)
+(* The topology-parameterized engine surface.  See engine_intf.mli —
+   this module only declares types and module types, so the two files
+   are textually identical. *)
 
 type run_result = {
-  sends : int;  (** Total pulses sent — the paper's message complexity. *)
+  sends : int;
   deliveries : int;
   quiescent : bool;
-      (** Nothing in flight and every mailbox empty when the run ended. *)
   all_terminated : bool;
-  exhausted : bool;  (** Stopped by [max_deliveries] instead of quiescence. *)
-  termination_order : int list;  (** Chronological. *)
+  exhausted : bool;
+  termination_order : int list;
 }
-(** One run's outcome, shared by every engine (each re-exports it with
-    a type equation, so results cross engine boundaries without
-    conversion). *)
 
-(** The simulator contract.  See {!Network} for the reference
-    semantics of each operation; conforming engines must match them
-    observably (budget semantics, sink emission order, enabled-set
-    enumeration order). *)
+(* A program-state snapshot codec: [save] encodes the program's whole
+   mutable state as a flat int array, [load] restores it exactly.
+   Programs expose one through their [snap] field to opt into the
+   model checker's incremental-undo backtracking; [None] keeps the
+   checker on its replay-from-prefix fallback. *)
+type snapshot = { save : unit -> int array; load : int array -> unit }
+
 module type NETWORK = sig
   type topology
   type 'm t
@@ -54,15 +37,22 @@ module type NETWORK = sig
 
   val step : 'm t -> Scheduler.t -> bool
   val force_step : 'm t -> link:int -> unit
+
+  (* Incremental undo: [force_step_undo] is [force_step] plus an undo
+     record capturing everything the delivery mutated (the popped
+     envelope, the destination's program snapshot, queue/metric/clock
+     effects of the wake); [undo_step] restores the pre-delivery state
+     exactly.  Records must be undone in LIFO order.  Only legal when
+     [undo_capable] holds: every program carries a [snap] codec and no
+     user sink observes the run (events cannot be unemitted). *)
+  type 'm undo
+
+  val undo_capable : 'm t -> bool
+  val force_step_undo : 'm t -> link:int -> 'm undo
+  val undo_step : 'm t -> 'm undo -> unit
   val enabled_count : 'm t -> int
   val enabled_link : 'm t -> after:int -> int
-
   val fingerprint : 'm t -> string
-  (** A canonical string of the observable configuration (channel and
-      mailbox depths, termination flags, outputs, inspect counters) —
-      equal iff the states are observably equal.  The model checker's
-      dedup key builds on it. *)
-
   val topology : 'm t -> topology
   val size : 'm t -> int
   val num_links : topology -> int

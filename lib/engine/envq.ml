@@ -60,3 +60,34 @@ let pop t =
   t.head <- (t.head + 1) land (Array.length t.payloads - 1);
   t.len <- t.len - 1;
   x
+
+let peek t =
+  if t.len = 0 then invalid_arg "Envq.peek: empty";
+  t.payloads.(t.head)
+
+(* The deque half of the interface exists for the model checker's
+   incremental undo: [push_front] re-files a popped head envelope (with
+   its original stamps) and [pop_back] retracts the most recent push.
+   Both preserve FIFO order for the untouched contents. *)
+let push_front t x ~seq ~batch ~depth =
+  if Int.equal t.len (Array.length t.payloads) then grow t x;
+  let cap = Array.length t.payloads in
+  let s = (t.head + cap - 1) land (cap - 1) in
+  t.head <- s;
+  t.payloads.(s) <- x;
+  t.meta.(3 * s) <- seq;
+  t.meta.((3 * s) + 1) <- batch;
+  t.meta.((3 * s) + 2) <- depth;
+  t.len <- t.len + 1
+
+let pop_back t =
+  if t.len = 0 then invalid_arg "Envq.pop_back: empty";
+  let s = (t.head + t.len - 1) land (Array.length t.payloads - 1) in
+  let x = t.payloads.(s) in
+  t.payloads.(s) <- t.filler.(0);
+  t.len <- t.len - 1;
+  x
+
+let to_payload_array t =
+  Array.init t.len (fun i ->
+      t.payloads.((t.head + i) land (Array.length t.payloads - 1)))

@@ -34,3 +34,20 @@ val pop : 'm t -> 'm
 (** Remove the oldest envelope and return its payload.  Read the
     [head_*] stamps first if they are needed.  Raises
     [Invalid_argument] when empty. *)
+
+val peek : 'm t -> 'm
+(** Payload of the oldest envelope without removing it.  Raises
+    [Invalid_argument] when empty. *)
+
+val push_front : 'm t -> 'm -> seq:int -> batch:int -> depth:int -> unit
+(** Re-file an envelope at the head — the inverse of {!pop} with the
+    original stamps.  Exists for the model checker's incremental undo;
+    FIFO order of the untouched contents is preserved. *)
+
+val pop_back : 'm t -> 'm
+(** Remove and return the newest envelope's payload — the inverse of
+    {!push}.  Raises [Invalid_argument] when empty. *)
+
+val to_payload_array : 'm t -> 'm array
+(** The queued payloads, oldest first.  Allocates; for invariant
+    probes, not the hot path. *)

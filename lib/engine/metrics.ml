@@ -46,6 +46,29 @@ let on_consume t ~node ~port_index =
 let on_post_termination_delivery t = t.post_term <- t.post_term + 1
 let on_wake t = t.wakes <- t.wakes + 1
 
+(* Exact inverses of the [on_*] updates, called by the engines'
+   [undo_step] for each event recorded in an undo journal — scalars
+   and per-node/per-link arrays stay consistent without snapshotting
+   the whole counter block. *)
+let undo_send t ~link ~node ~cw =
+  t.sends <- t.sends - 1;
+  if cw then t.sends_cw <- t.sends_cw - 1;
+  t.sends_by_node.(node) <- t.sends_by_node.(node) - 1;
+  t.sends_by_link.(link) <- t.sends_by_link.(link) - 1
+
+let undo_deliver t ~node ~port_index =
+  t.deliveries <- t.deliveries - 1;
+  let i = (node * t.ports) + port_index in
+  t.delivered.(i) <- t.delivered.(i) - 1
+
+let undo_consume t ~node ~port_index =
+  t.consumes <- t.consumes - 1;
+  let i = (node * t.ports) + port_index in
+  t.consumed.(i) <- t.consumed.(i) - 1
+
+let undo_post_termination_delivery t = t.post_term <- t.post_term - 1
+let undo_wake t = t.wakes <- t.wakes - 1
+
 let sends t = t.sends
 let sends_cw t = t.sends_cw
 let sends_ccw t = t.sends - t.sends_cw

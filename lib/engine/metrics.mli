@@ -18,6 +18,16 @@ val on_consume : t -> node:int -> port_index:int -> unit
 val on_post_termination_delivery : t -> unit
 val on_wake : t -> unit
 
+(** Exact inverses of the [on_*] updates, one per journalled event —
+    the engines' [undo_step] uses them to roll counters back without
+    snapshotting the whole block. *)
+
+val undo_send : t -> link:int -> node:int -> cw:bool -> unit
+val undo_deliver : t -> node:int -> port_index:int -> unit
+val undo_consume : t -> node:int -> port_index:int -> unit
+val undo_post_termination_delivery : t -> unit
+val undo_wake : t -> unit
+
 val sends : t -> int
 (** Total pulses sent — the paper's message complexity. *)
 

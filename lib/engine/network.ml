@@ -16,10 +16,49 @@ type 'm program = {
   start : 'm api -> unit;
   wake : 'm api -> unit;
   inspect : unit -> (string * int) list;
+  snap : Engine_intf.snapshot option;
 }
 
 let silent_program =
-  { start = (fun _ -> ()); wake = (fun _ -> ()); inspect = (fun () -> []) }
+  {
+    start = (fun _ -> ());
+    wake = (fun _ -> ());
+    inspect = (fun () -> []);
+    snap = Some { Engine_intf.save = (fun () -> [||]); load = (fun _ -> ()) };
+  }
+
+(* Per-step journal scratch for [force_step_undo]: the wake's consumed
+   pulses (port + payload) and sent links, in order.  One per network,
+   reused across steps; arrays grow by doubling and are copied out
+   into each undo record. *)
+type 'm ulog = {
+  mutable cports : int array;
+  mutable cpayloads : 'm array;
+  mutable clen : int;
+  mutable slinks : int array;
+  mutable slen : int;
+}
+
+let ulog_create () =
+  { cports = [||]; cpayloads = [||]; clen = 0; slinks = [||]; slen = 0 }
+
+let grow_ints a len =
+  if Int.equal len (Array.length a) then
+    Array.append a (Array.make (max 8 len) 0)
+  else a
+
+let ulog_send g link =
+  g.slinks <- grow_ints g.slinks g.slen;
+  g.slinks.(g.slen) <- link;
+  g.slen <- g.slen + 1
+
+let ulog_consume g port m =
+  g.cports <- grow_ints g.cports g.clen;
+  if Int.equal g.clen (Array.length g.cpayloads) then
+    g.cpayloads <- Array.append g.cpayloads (Array.make (max 8 g.clen) m);
+  g.cports.(g.clen) <- port;
+  g.cpayloads.(g.clen) <- m;
+  g.clen <- g.clen + 1
 
 type 'm t = {
   topo : Topology.t;
@@ -60,6 +99,14 @@ type 'm t = {
   link_pos : int array;
   mutable nonempty_count : int;
   mutable view : Scheduler.view;
+  (* Incremental-undo support: [ulog] collects the current step's wake
+     effects while [logging] is set (only inside [force_step_undo]);
+     [undo_ok] is fixed at creation — every program must carry a
+     [snap] codec and no user sink may observe the run, since emitted
+     events cannot be unemitted. *)
+  ulog : 'm ulog;
+  mutable logging : bool;
+  undo_ok : bool;
 }
 
 let slot v p = (v * 2) + Port.index p
@@ -95,6 +142,7 @@ let enqueue t ~link ~node ~port m =
   Envq.push t.channels.(link) m ~seq ~batch:t.next_batch
     ~depth:(t.local_clock.(node) + 1);
   t.in_flight <- t.in_flight + 1;
+  if t.logging then ulog_send t.ulog link;
   t.sink.Sink.on_send ~node ~port:(Port.index port) ~seq ~link
     ~cw:(Topology.link_travels_cw t.topo link)
 
@@ -109,6 +157,7 @@ let make_api t v rng =
     else begin
       let m = Ring.pop mb in
       consume v p;
+      if t.logging then ulog_consume t.ulog (Port.index p) m;
       Some m
     end
   in
@@ -116,8 +165,9 @@ let make_api t v rng =
     let mb = t.mailboxes.(slot v p) in
     if Ring.is_empty mb then false
     else begin
-      ignore (Ring.pop mb);
+      let m = Ring.pop mb in
       consume v p;
+      if t.logging then ulog_consume t.ulog (Port.index p) m;
       true
     end
   in
@@ -152,6 +202,10 @@ let create ?(sink = Sink.null) ?(seed = 0) topo make_program =
   let programs = Array.init n make_program in
   let metrics = Metrics.create ~n_nodes:n ~n_links:num_links () in
   let user_sink = sink in
+  let undo_ok =
+    (not user_sink.Sink.enabled)
+    && Array.for_all (fun p -> Option.is_some p.snap) programs
+  in
   let t =
     {
       topo;
@@ -174,6 +228,9 @@ let create ?(sink = Sink.null) ?(seed = 0) topo make_program =
       nonempty = Array.make num_links 0;
       link_pos = Array.make num_links (-1);
       nonempty_count = 0;
+      ulog = ulog_create ();
+      logging = false;
+      undo_ok;
       view =
         {
           Scheduler.nonempty = [||];
@@ -261,6 +318,135 @@ let force_step t ~link =
     invalid_arg "Network.force_step: empty link";
   deliver_from t link
 
+(* ------------------------------------------------------------------ *)
+(* Incremental undo (Engine_intf.NETWORK contract).  One record per
+   delivery: the popped envelope with its stamps, the destination's
+   pre-wake program snapshot and engine-side scalars, and the wake's
+   journalled consume/send effects.  [undo_step] applies the inverses
+   in reverse order, so a LIFO stack of records walks the network back
+   along any prefix of the forced schedule. *)
+
+type 'm undo = {
+  u_link : int;
+  u_payload : 'm;
+  u_seq : int;
+  u_batch : int;
+  u_depth : int;
+  u_dst : int;
+  u_dst_port : int;
+  u_dropped : bool; (* destination was terminated: no wake ran *)
+  u_prev_output : Output.t;
+  u_became_term : bool;
+  u_prev_clock : int;
+  u_prev_span : int;
+  u_prev_next_seq : int;
+  u_prev_next_batch : int;
+  u_snap : int array; (* destination program state before the wake *)
+  u_consumed_ports : int array;
+  u_consumed_payloads : 'm array;
+  u_sent_links : int array;
+}
+
+let undo_capable t = t.undo_ok
+
+let force_step_undo t ~link =
+  if Envq.is_empty t.channels.(link) then
+    invalid_arg "Network.force_step_undo: empty link";
+  if not t.undo_ok then
+    invalid_arg "Network.force_step_undo: network is not undo-capable";
+  let q = t.channels.(link) in
+  let u_seq = Envq.head_seq q in
+  let u_batch = Envq.head_batch q in
+  let u_depth = Envq.head_depth q in
+  let u_payload = Envq.peek q in
+  let dst, dst_port = Topology.link_dst t.topo link in
+  let dropped = t.term.(dst) in
+  let u_snap =
+    if dropped then [||]
+    else
+      match t.programs.(dst).snap with
+      | Some s -> s.Engine_intf.save ()
+      | None -> assert false (* undo_ok *)
+  in
+  let u_prev_output = t.outputs.(dst) in
+  let u_prev_clock = t.local_clock.(dst) in
+  let u_prev_span = t.causal_span in
+  let u_prev_next_seq = t.next_seq in
+  let u_prev_next_batch = t.next_batch in
+  let g = t.ulog in
+  g.clen <- 0;
+  g.slen <- 0;
+  t.logging <- true;
+  deliver_from t link;
+  t.logging <- false;
+  {
+    u_link = link;
+    u_payload;
+    u_seq;
+    u_batch;
+    u_depth;
+    u_dst = dst;
+    u_dst_port = Port.index dst_port;
+    u_dropped = dropped;
+    u_prev_output;
+    u_became_term = (not dropped) && t.term.(dst);
+    u_prev_clock;
+    u_prev_span;
+    u_prev_next_seq;
+    u_prev_next_batch;
+    u_snap;
+    u_consumed_ports = Array.sub g.cports 0 g.clen;
+    u_consumed_payloads = Array.sub g.cpayloads 0 g.clen;
+    u_sent_links = Array.sub g.slinks 0 g.slen;
+  }
+
+let undo_step t u =
+  let dst = u.u_dst in
+  if u.u_dropped then Metrics.undo_post_termination_delivery t.metrics
+  else begin
+    (* Retract the wake's sends, newest first. *)
+    for i = Array.length u.u_sent_links - 1 downto 0 do
+      let l = u.u_sent_links.(i) in
+      ignore (Envq.pop_back t.channels.(l));
+      unmark_if_empty t l;
+      t.in_flight <- t.in_flight - 1;
+      Metrics.undo_send t.metrics ~link:l ~node:dst
+        ~cw:(Topology.link_travels_cw t.topo l)
+    done;
+    (* Re-file the wake's consumed pulses, newest first: this restores
+       the mailbox to its state just after the delivery pushed the
+       incoming payload at the tail... *)
+    for i = Array.length u.u_consumed_ports - 1 downto 0 do
+      let p = u.u_consumed_ports.(i) in
+      Ring.push_front t.mailboxes.((dst * 2) + p) u.u_consumed_payloads.(i);
+      t.mailbox_backlog <- t.mailbox_backlog + 1;
+      Metrics.undo_consume t.metrics ~node:dst ~port_index:p
+    done;
+    (* ... so popping that tail element retracts the delivery. *)
+    ignore (Ring.pop_back t.mailboxes.((dst * 2) + u.u_dst_port));
+    t.mailbox_backlog <- t.mailbox_backlog - 1;
+    Metrics.undo_deliver t.metrics ~node:dst ~port_index:u.u_dst_port;
+    Metrics.undo_wake t.metrics;
+    (match t.programs.(dst).snap with
+    | Some s -> s.Engine_intf.load u.u_snap
+    | None -> assert false);
+    t.outputs.(dst) <- u.u_prev_output;
+    if u.u_became_term then begin
+      t.term.(dst) <- false;
+      t.term_order_rev <-
+        (match t.term_order_rev with _ :: rest -> rest | [] -> assert false)
+    end;
+    t.local_clock.(dst) <- u.u_prev_clock;
+    t.causal_span <- u.u_prev_span;
+    t.next_seq <- u.u_prev_next_seq;
+    t.next_batch <- u.u_prev_next_batch
+  end;
+  (* Put the envelope back at the head of its channel. *)
+  Envq.push_front t.channels.(u.u_link) u.u_payload ~seq:u.u_seq
+    ~batch:u.u_batch ~depth:u.u_depth;
+  mark_nonempty t u.u_link;
+  t.in_flight <- t.in_flight + 1
+
 let enabled_count t = t.nonempty_count
 
 (* Smallest non-empty link strictly greater than [link], by scanning
@@ -279,6 +465,8 @@ let enabled_link t ~after = enabled_scan t after 0 (-1)
 
 let channel_length t ~link = Envq.length t.channels.(link)
 let mailbox_length t ~node ~port = Ring.length t.mailboxes.(slot node port)
+let channel_payloads t ~link = Envq.to_payload_array t.channels.(link)
+let mailbox_payloads t ~node ~port = Ring.to_array t.mailboxes.(slot node port)
 
 let inject t ~node ~port m =
   enqueue t ~link:(Topology.link_id t.topo node port) ~node ~port m
@@ -353,24 +541,26 @@ let fingerprint t =
   let buf = Buffer.create 128 in
   let n = size t in
   for link = 0 to Topology.num_links t.topo - 1 do
-    Buffer.add_string buf (string_of_int (channel_length t ~link));
+    Output.add_int buf (channel_length t ~link);
     Buffer.add_char buf ','
   done;
   Buffer.add_char buf '|';
   for v = 0 to n - 1 do
-    Buffer.add_string buf
-      (string_of_int (mailbox_length t ~node:v ~port:Port.P0));
+    Output.add_int buf (mailbox_length t ~node:v ~port:Port.P0);
     Buffer.add_char buf ':';
-    Buffer.add_string buf
-      (string_of_int (mailbox_length t ~node:v ~port:Port.P1));
+    Output.add_int buf (mailbox_length t ~node:v ~port:Port.P1);
     Buffer.add_char buf ';';
     Buffer.add_string buf (if terminated t v then "T" else "t");
-    Buffer.add_string buf (Format.asprintf "%a" Output.pp (output t v));
+    Output.add_compact buf (output t v);
+    (* Program state via the [inspect] counters, NOT the snapshot
+       codec: fingerprints must agree across implementation variants
+       that share observable counters but differ in internal layout
+       (e.g. the two Algorithm 2 engines in the differential tests). *)
     List.iter
       (fun (k, x) ->
         Buffer.add_string buf k;
         Buffer.add_char buf '=';
-        Buffer.add_string buf (string_of_int x);
+        Output.add_int buf x;
         Buffer.add_char buf ' ')
       (inspect t v);
     Buffer.add_char buf '|'

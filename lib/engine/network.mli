@@ -51,10 +51,16 @@ type 'm program = {
           to a fixpoint and return (never block). *)
   inspect : unit -> (string * int) list;
       (** Named internal counters (ρ, σ, …) for invariant probes. *)
+  snap : Engine_intf.snapshot option;
+      (** Program-state codec for the model checker's incremental undo:
+          [save] flattens the program's whole mutable state to ints,
+          [load] restores it exactly.  [None] opts out — the checker
+          then falls back to replay-from-prefix for this network. *)
 }
 
 val silent_program : 'm program
-(** A program that never sends, consumes or decides. *)
+(** A program that never sends, consumes or decides (and has a trivial
+    snapshot, since it holds no state). *)
 
 (** {2 Construction} *)
 
@@ -131,6 +137,36 @@ val enabled_link : 'm t -> after:int -> int
 
 val channel_length : 'm t -> link:int -> int
 val mailbox_length : 'm t -> node:int -> port:Port.t -> int
+
+val channel_payloads : 'm t -> link:int -> 'm array
+(** In-flight payloads of one directed link, oldest first.  Allocates;
+    for invariant probes ({!Colring_mc.Inductive}), not the hot path. *)
+
+val mailbox_payloads : 'm t -> node:int -> port:Port.t -> 'm array
+(** Delivered-but-unconsumed payloads of one mailbox, oldest first. *)
+
+(** {2 Incremental undo}
+
+    The {!Engine_intf.NETWORK} undo contract: [force_step_undo] is
+    {!force_step} plus a record of everything the delivery mutated;
+    [undo_step] restores the pre-delivery state exactly, including
+    metrics, clocks, mailbox/channel contents and the destination
+    program's state (via its [snap] codec).  Records must be undone in
+    LIFO order.  Only legal on an {!undo_capable} network: every
+    program carries a [snap] codec and no user sink observes the run
+    (events cannot be unemitted); programs must also not consume
+    [rng] randomness, which is not rolled back — the model checker
+    requires deterministic programs anyway. *)
+
+type 'm undo
+
+val undo_capable : 'm t -> bool
+
+val force_step_undo : 'm t -> link:int -> 'm undo
+(** Raises [Invalid_argument] when the link is empty or the network is
+    not undo-capable. *)
+
+val undo_step : 'm t -> 'm undo -> unit
 
 val inject : 'm t -> node:int -> port:Port.t -> 'm -> unit
 (** Put a message in flight on [node]'s outgoing channel at [port] as

@@ -31,6 +31,44 @@ let equal a b =
   && Option.equal Int.equal a.value b.value
   && List.equal Int.equal a.values b.values
 
+(* Digit-direct decimal rendering: [string_of_int] allocates and
+   copies, which dominates fingerprint construction at model-checker
+   rates (dozens of ints per state, hundreds of thousands of states
+   per second). *)
+let rec add_int buf n =
+  if n < 0 then begin
+    Buffer.add_char buf '-';
+    add_int buf (-n)
+  end
+  else begin
+    if n >= 10 then add_int buf (n / 10);
+    Buffer.add_char buf (Char.unsafe_chr (Char.code '0' + (n mod 10)))
+  end
+
+(* One unambiguous token per field, fixed order: 'add_compact a = add_compact b'
+   iff 'equal a b'.  Buffer-direct because the engines fingerprint every
+   node's output once per model-checker state. *)
+let add_compact buf t =
+  Buffer.add_char buf
+    (match t.role with Leader -> 'L' | Non_leader -> 'N' | Undecided -> 'U');
+  Buffer.add_char buf
+    (match t.cw_port with
+    | None -> '-'
+    | Some p -> if Port.index p = 0 then '0' else '1');
+  (match t.value with
+  | None -> Buffer.add_char buf '-'
+  | Some v -> add_int buf v);
+  match t.values with
+  | [] -> ()
+  | vs ->
+      Buffer.add_char buf '[';
+      List.iter
+        (fun v ->
+          add_int buf v;
+          Buffer.add_char buf '.')
+        vs;
+      Buffer.add_char buf ']'
+
 let pp ppf t =
   Format.fprintf ppf "%s" (role_to_string t.role);
   Option.iter (fun p -> Format.fprintf ppf " cw=%a" Port.pp p) t.cw_port;

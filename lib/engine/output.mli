@@ -37,4 +37,14 @@ val equal : t -> t -> bool
     the engine compares outputs on every [set_output], so this must
     never fall back to polymorphic compare. *)
 
+val add_int : Buffer.t -> int -> unit
+(** Append [n] in decimal, digit-direct (no [string_of_int]
+    allocation): the int renderer of the engine fingerprints. *)
+
+val add_compact : Buffer.t -> t -> unit
+(** Append an unambiguous compact rendering (fixed field order, one
+    token per field): two outputs render equal iff {!equal} holds.
+    The allocation-light path the engine fingerprints use — the model
+    checker calls it for every node of every state. *)
+
 val pp : Format.formatter -> t -> unit

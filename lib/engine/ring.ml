@@ -44,3 +44,26 @@ let pop t =
   t.head <- (t.head + 1) land (Array.length t.elems - 1);
   t.len <- t.len - 1;
   x
+
+(* The deque half of the interface exists for the model checker's
+   incremental undo: [push_front] re-files a popped element at the
+   head and [pop_back] retracts the most recent push. *)
+let push_front t x =
+  if Int.equal t.len (Array.length t.elems) then grow t x;
+  let cap = Array.length t.elems in
+  let s = (t.head + cap - 1) land (cap - 1) in
+  t.head <- s;
+  t.elems.(s) <- x;
+  t.len <- t.len + 1
+
+let pop_back t =
+  if t.len = 0 then invalid_arg "Ring.pop_back: empty";
+  let s = (t.head + t.len - 1) land (Array.length t.elems - 1) in
+  let x = t.elems.(s) in
+  t.elems.(s) <- t.filler.(0);
+  t.len <- t.len - 1;
+  x
+
+let to_array t =
+  Array.init t.len (fun i ->
+      t.elems.((t.head + i) land (Array.length t.elems - 1)))

@@ -31,3 +31,15 @@ val peek : 'a t -> 'a
 val pop : 'a t -> 'a
 (** Remove and return the oldest element.  Raises [Invalid_argument]
     when empty. *)
+
+val push_front : 'a t -> 'a -> unit
+(** Insert at the head — the inverse of {!pop}.  Exists for the model
+    checker's incremental undo. *)
+
+val pop_back : 'a t -> 'a
+(** Remove and return the newest element — the inverse of {!push}.
+    Raises [Invalid_argument] when empty. *)
+
+val to_array : 'a t -> 'a array
+(** The buffered elements, oldest first.  Allocates; for invariant
+    probes, not the hot path. *)

@@ -56,7 +56,20 @@ let algo3_deg2 ~scheme ~id =
       ("sigma1", sigma.(1));
     ]
   in
-  { Gnetwork.start; wake; inspect }
+  let snap =
+    Some
+      {
+        Engine_intf.save =
+          (fun () -> [| rho.(0); rho.(1); sigma.(0); sigma.(1) |]);
+        load =
+          (fun a ->
+            rho.(0) <- a.(0);
+            rho.(1) <- a.(1);
+            sigma.(0) <- a.(2);
+            sigma.(1) <- a.(3));
+      }
+  in
+  { Gnetwork.start; wake; inspect; snap }
 
 let rotor ~id =
   if id < 1 then invalid_arg "Circulate.rotor: id must be positive";
@@ -92,4 +105,15 @@ let rotor ~id =
   let inspect () =
     [ ("id", id); ("rho", !rho); ("sigma", !sigma); ("absorbed", !absorbed) ]
   in
-  { Gnetwork.start; wake; inspect }
+  let snap =
+    Some
+      {
+        Engine_intf.save = (fun () -> [| !rho; !sigma; !absorbed |]);
+        load =
+          (fun a ->
+            rho := a.(0);
+            sigma := a.(1);
+            absorbed := a.(2));
+      }
+  in
+  { Gnetwork.start; wake; inspect; snap }

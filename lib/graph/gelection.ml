@@ -119,7 +119,14 @@ let program_of plan ~ids v =
     done
   in
   let inspect () = [ ("id", id); ("rho", !rho) ] in
-  { Gnetwork.start; wake; inspect }
+  let snap =
+    Some
+      {
+        Engine_intf.save = (fun () -> [| !rho |]);
+        load = (fun a -> rho := a.(0));
+      }
+  in
+  { Gnetwork.start; wake; inspect; snap }
 
 let make ?sink ?seed plan ~ids =
   ignore (validate plan ~ids);

@@ -16,16 +16,52 @@ type 'm program = {
   start : 'm api -> unit;
   wake : 'm api -> unit;
   inspect : unit -> (string * int) list;
+  snap : Engine_intf.snapshot option;
 }
 
-type 'm envelope = { payload : 'm; seq : int; batch : int }
+(* Per-step journal scratch for [force_step_undo] — the ring engine's
+   scheme: the wake's consumed pulses (port + payload) and sent links,
+   in order, reused across steps. *)
+type 'm ulog = {
+  mutable cports : int array;
+  mutable cpayloads : 'm array;
+  mutable clen : int;
+  mutable slinks : int array;
+  mutable slen : int;
+}
+
+let ulog_create () =
+  { cports = [||]; cpayloads = [||]; clen = 0; slinks = [||]; slen = 0 }
+
+let grow_ints a len =
+  if Int.equal len (Array.length a) then
+    Array.append a (Array.make (max 8 len) 0)
+  else a
+
+let ulog_send g link =
+  g.slinks <- grow_ints g.slinks g.slen;
+  g.slinks.(g.slen) <- link;
+  g.slen <- g.slen + 1
+
+let ulog_consume g port m =
+  g.cports <- grow_ints g.cports g.clen;
+  if Int.equal g.clen (Array.length g.cpayloads) then
+    g.cpayloads <- Array.append g.cpayloads (Array.make (max 8 g.clen) m);
+  g.cports.(g.clen) <- port;
+  g.cpayloads.(g.clen) <- m;
+  g.clen <- g.clen + 1
 
 type 'm t = {
   topo : Gtopology.t;
   programs : 'm program array;
   mutable apis : 'm api array;
-  channels : 'm envelope Queue.t array; (* by link id *)
-  mailboxes : 'm Queue.t array; (* by link id of the RECEIVING endpoint *)
+  (* Struct-of-arrays queues shared with the ring engine: [Envq] keeps
+     the seq/batch stamps of in-flight messages in flat int arrays
+     (the depth stamp, a ring-only causal clock, is stored as 0), and
+     [Ring] mailboxes support the head/tail surgery the incremental
+     undo needs ([push_front]/[pop_back]). *)
+  channels : 'm Envq.t array; (* by link id *)
+  mailboxes : 'm Ring.t array; (* by link id of the RECEIVING endpoint *)
   outputs : Output.t array;
   term : bool array;
   mutable term_order_rev : int list;
@@ -48,6 +84,12 @@ type 'm t = {
   link_pos : int array;
   mutable nonempty_count : int;
   mutable view : Scheduler.view;
+  (* Incremental-undo support (see the ring engine): [ulog] collects
+     the current step's wake effects while [logging] is set; [undo_ok]
+     is fixed at creation. *)
+  ulog : 'm ulog;
+  mutable logging : bool;
+  undo_ok : bool;
 }
 
 let mark_nonempty t link =
@@ -58,7 +100,7 @@ let mark_nonempty t link =
   end
 
 let unmark_if_empty t link =
-  if Queue.is_empty t.channels.(link) then begin
+  if Envq.is_empty t.channels.(link) then begin
     let pos = t.link_pos.(link) in
     let last = t.nonempty_count - 1 in
     let moved = t.nonempty.(last) in
@@ -71,22 +113,26 @@ let unmark_if_empty t link =
 let make_api t v rng =
   let mailbox p = t.mailboxes.(Gtopology.link_id t.topo ~node:v ~port:p) in
   let recv p =
-    match Queue.take_opt (mailbox p) with
-    | Some m ->
-        t.backlog <- t.backlog - 1;
-        t.sink.Sink.on_consume ~node:v ~port:p;
-        Some m
-    | None -> None
+    let mb = mailbox p in
+    if Ring.is_empty mb then None
+    else begin
+      let m = Ring.pop mb in
+      t.backlog <- t.backlog - 1;
+      if t.logging then ulog_consume t.ulog p m;
+      t.sink.Sink.on_consume ~node:v ~port:p;
+      Some m
+    end
   in
-  let pending p = Queue.length (mailbox p) in
+  let pending p = Ring.length (mailbox p) in
   let send p m =
     if t.term.(v) then failwith "Gnetwork: send after terminate";
     let link = Gtopology.link_id t.topo ~node:v ~port:p in
     let seq = t.next_seq in
     t.next_seq <- seq + 1;
-    Queue.add { payload = m; seq; batch = t.next_batch } t.channels.(link);
+    Envq.push t.channels.(link) m ~seq ~batch:t.next_batch ~depth:0;
     mark_nonempty t link;
     t.in_flight <- t.in_flight + 1;
+    if t.logging then ulog_send t.ulog link;
     (* No global direction exists on a general graph, so every send is
        reported [cw:false]; [Metrics.sends_cw] stays 0. *)
     t.sink.Sink.on_send ~node:v ~port:p ~seq ~link ~cw:false
@@ -130,13 +176,18 @@ let create ?(sink = Sink.null) ?(seed = 0) topo make_program =
       ()
   in
   let user_sink = sink in
+  let programs = Array.init n make_program in
+  let undo_ok =
+    (not user_sink.Sink.enabled)
+    && Array.for_all (fun p -> Option.is_some p.snap) programs
+  in
   let t =
     {
       topo;
-      programs = Array.init n make_program;
+      programs;
       apis = [||];
-      channels = Array.init links (fun _ -> Queue.create ());
-      mailboxes = Array.init links (fun _ -> Queue.create ());
+      channels = Array.init links (fun _ -> Envq.create ());
+      mailboxes = Array.init links (fun _ -> Ring.create ());
       outputs = Array.make n Output.empty;
       term = Array.make n false;
       term_order_rev = [];
@@ -150,6 +201,9 @@ let create ?(sink = Sink.null) ?(seed = 0) topo make_program =
       nonempty = Array.make links 0;
       link_pos = Array.make links (-1);
       nonempty_count = 0;
+      ulog = ulog_create ();
+      logging = false;
+      undo_ok;
       view =
         {
           Scheduler.nonempty = [||];
@@ -166,8 +220,8 @@ let create ?(sink = Sink.null) ?(seed = 0) topo make_program =
     {
       Scheduler.nonempty = t.nonempty;
       count = 0;
-      head_seq = (fun link -> (Queue.peek t.channels.(link)).seq);
-      head_batch = (fun link -> (Queue.peek t.channels.(link)).batch);
+      head_seq = (fun link -> Envq.head_seq t.channels.(link));
+      head_batch = (fun link -> Envq.head_batch t.channels.(link));
       (* General graphs have no global direction; direction-biased
          schedulers degrade gracefully on [None]. *)
       travels_cw = (fun _ -> None);
@@ -190,16 +244,17 @@ let view t =
   v
 
 let deliver_from t link =
-  let env = Queue.take t.channels.(link) in
+  let q = t.channels.(link) in
+  let seq = Envq.head_seq q in
+  let payload = Envq.pop q in
   unmark_if_empty t link;
   t.in_flight <- t.in_flight - 1;
   let dst, dst_port = Gtopology.link_dst t.topo link in
-  if t.term.(dst) then
-    t.sink.Sink.on_drop ~node:dst ~port:dst_port ~seq:env.seq
+  if t.term.(dst) then t.sink.Sink.on_drop ~node:dst ~port:dst_port ~seq
   else begin
-    t.sink.Sink.on_deliver ~node:dst ~port:dst_port ~seq:env.seq;
-    Queue.add env.payload
-      t.mailboxes.(Gtopology.link_id t.topo ~node:dst ~port:dst_port);
+    t.sink.Sink.on_deliver ~node:dst ~port:dst_port ~seq;
+    Ring.push t.mailboxes.(Gtopology.link_id t.topo ~node:dst ~port:dst_port)
+      payload;
     t.backlog <- t.backlog + 1;
     t.next_batch <- t.next_batch + 1;
     t.sink.Sink.on_wake ~node:dst;
@@ -214,9 +269,120 @@ let step t (sched : Scheduler.t) =
   end
 
 let force_step t ~link =
-  if Queue.is_empty t.channels.(link) then
+  if Envq.is_empty t.channels.(link) then
     invalid_arg "Gnetwork.force_step: empty link";
   deliver_from t link
+
+(* ------------------------------------------------------------------ *)
+(* Incremental undo — the ring engine's scheme without ring-only
+   clocks; see Network.force_step_undo for the full commentary. *)
+
+type 'm undo = {
+  u_link : int;
+  u_payload : 'm;
+  u_seq : int;
+  u_batch : int;
+  u_dst : int;
+  u_dst_port : int;
+  u_dropped : bool;
+  u_prev_output : Output.t;
+  u_became_term : bool;
+  u_prev_next_seq : int;
+  u_prev_next_batch : int;
+  u_snap : int array;
+  u_consumed_ports : int array;
+  u_consumed_payloads : 'm array;
+  u_sent_links : int array;
+}
+
+let undo_capable t = t.undo_ok
+
+let force_step_undo t ~link =
+  if Envq.is_empty t.channels.(link) then
+    invalid_arg "Gnetwork.force_step_undo: empty link";
+  if not t.undo_ok then
+    invalid_arg "Gnetwork.force_step_undo: network is not undo-capable";
+  let q = t.channels.(link) in
+  let u_seq = Envq.head_seq q in
+  let u_batch = Envq.head_batch q in
+  let u_payload = Envq.peek q in
+  let dst, dst_port = Gtopology.link_dst t.topo link in
+  let dropped = t.term.(dst) in
+  let u_snap =
+    if dropped then [||]
+    else
+      match t.programs.(dst).snap with
+      | Some s -> s.Engine_intf.save ()
+      | None -> assert false (* undo_ok *)
+  in
+  let u_prev_output = t.outputs.(dst) in
+  let u_prev_next_seq = t.next_seq in
+  let u_prev_next_batch = t.next_batch in
+  let g = t.ulog in
+  g.clen <- 0;
+  g.slen <- 0;
+  t.logging <- true;
+  deliver_from t link;
+  t.logging <- false;
+  {
+    u_link = link;
+    u_payload;
+    u_seq;
+    u_batch;
+    u_dst = dst;
+    u_dst_port = dst_port;
+    u_dropped = dropped;
+    u_prev_output;
+    u_became_term = (not dropped) && t.term.(dst);
+    u_prev_next_seq;
+    u_prev_next_batch;
+    u_snap;
+    u_consumed_ports = Array.sub g.cports 0 g.clen;
+    u_consumed_payloads = Array.sub g.cpayloads 0 g.clen;
+    u_sent_links = Array.sub g.slinks 0 g.slen;
+  }
+
+let undo_step t u =
+  let dst = u.u_dst in
+  if u.u_dropped then Metrics.undo_post_termination_delivery t.metrics
+  else begin
+    for i = Array.length u.u_sent_links - 1 downto 0 do
+      let l = u.u_sent_links.(i) in
+      ignore (Envq.pop_back t.channels.(l));
+      unmark_if_empty t l;
+      t.in_flight <- t.in_flight - 1;
+      Metrics.undo_send t.metrics ~link:l ~node:dst ~cw:false
+    done;
+    for i = Array.length u.u_consumed_ports - 1 downto 0 do
+      let p = u.u_consumed_ports.(i) in
+      Ring.push_front
+        t.mailboxes.(Gtopology.link_id t.topo ~node:dst ~port:p)
+        u.u_consumed_payloads.(i);
+      t.backlog <- t.backlog + 1;
+      Metrics.undo_consume t.metrics ~node:dst ~port_index:p
+    done;
+    ignore
+      (Ring.pop_back
+         t.mailboxes.(Gtopology.link_id t.topo ~node:dst ~port:u.u_dst_port));
+    t.backlog <- t.backlog - 1;
+    Metrics.undo_deliver t.metrics ~node:dst ~port_index:u.u_dst_port;
+    Metrics.undo_wake t.metrics;
+    (match t.programs.(dst).snap with
+    | Some s -> s.Engine_intf.load u.u_snap
+    | None -> assert false);
+    t.outputs.(dst) <- u.u_prev_output;
+    if u.u_became_term then begin
+      t.term.(dst) <- false;
+      t.term_order_rev <-
+        (match t.term_order_rev with _ :: rest -> rest | [] -> assert false)
+    end;
+    t.next_seq <- u.u_prev_next_seq;
+    t.next_batch <- u.u_prev_next_batch
+  end;
+  Envq.push_front t.channels.(u.u_link) u.u_payload ~seq:u.u_seq
+    ~batch:u.u_batch ~depth:0;
+  mark_nonempty t u.u_link;
+  t.in_flight <- t.in_flight + 1
 
 let enabled_count t = t.nonempty_count
 
@@ -228,10 +394,15 @@ let rec enabled_scan t link i best =
     else enabled_scan t link (i + 1) best
 
 let enabled_link t ~after = enabled_scan t after 0 (-1)
-let channel_length t ~link = Queue.length t.channels.(link)
+let channel_length t ~link = Envq.length t.channels.(link)
 
 let mailbox_length t ~node ~port =
-  Queue.length t.mailboxes.(Gtopology.link_id t.topo ~node ~port)
+  Ring.length t.mailboxes.(Gtopology.link_id t.topo ~node ~port)
+
+let channel_payloads t ~link = Envq.to_payload_array t.channels.(link)
+
+let mailbox_payloads t ~node ~port =
+  Ring.to_array t.mailboxes.(Gtopology.link_id t.topo ~node ~port)
 
 type run_result = Engine_intf.run_result = {
   sends : int;
@@ -304,23 +475,26 @@ let fingerprint t =
   let buf = Buffer.create 128 in
   let n = size t in
   for link = 0 to Gtopology.num_links t.topo - 1 do
-    Buffer.add_string buf (string_of_int (channel_length t ~link));
+    Output.add_int buf (channel_length t ~link);
     Buffer.add_char buf ','
   done;
   Buffer.add_char buf '|';
   for v = 0 to n - 1 do
     for p = 0 to Gtopology.degree t.topo v - 1 do
       if p > 0 then Buffer.add_char buf ':';
-      Buffer.add_string buf (string_of_int (mailbox_length t ~node:v ~port:p))
+      Output.add_int buf (mailbox_length t ~node:v ~port:p)
     done;
     Buffer.add_char buf ';';
     Buffer.add_string buf (if terminated t v then "T" else "t");
-    Buffer.add_string buf (Format.asprintf "%a" Output.pp (output t v));
+    Output.add_compact buf (output t v);
+    (* Program state via [inspect], as in [Network.fingerprint]:
+       comparable across implementation variants that share counter
+       names but differ in internal (snapshot) layout. *)
     List.iter
       (fun (k, x) ->
         Buffer.add_string buf k;
         Buffer.add_char buf '=';
-        Buffer.add_string buf (string_of_int x);
+        Output.add_int buf x;
         Buffer.add_char buf ' ')
       (inspect t v);
     Buffer.add_char buf '|'

@@ -33,6 +33,9 @@ type 'm program = {
   start : 'm api -> unit;
   wake : 'm api -> unit;
   inspect : unit -> (string * int) list;
+  snap : Colring_engine.Engine_intf.snapshot option;
+      (** Program-state codec for the model checker's incremental undo
+          (see {!Colring_engine.Network.program}).  [None] opts out. *)
 }
 
 val create :
@@ -97,6 +100,31 @@ val enabled_link : 'm t -> after:int -> int
 
 val channel_length : 'm t -> link:int -> int
 val mailbox_length : 'm t -> node:int -> port:int -> int
+
+val channel_payloads : 'm t -> link:int -> 'm array
+(** In-flight payloads of one directed link, oldest first.  Allocates;
+    for invariant probes, not the hot path. *)
+
+val mailbox_payloads : 'm t -> node:int -> port:int -> 'm array
+(** Delivered-but-unconsumed payloads of one mailbox, oldest first. *)
+
+(** {2 Incremental undo}
+
+    Same contract as {!Colring_engine.Network}: [force_step_undo] is
+    {!force_step} plus an undo record; [undo_step] restores the
+    pre-delivery state exactly (LIFO order required).  Only legal on an
+    {!undo_capable} network — every program carries a [snap] codec and
+    no user sink observes the run. *)
+
+type 'm undo
+
+val undo_capable : 'm t -> bool
+
+val force_step_undo : 'm t -> link:int -> 'm undo
+(** Raises [Invalid_argument] when the link is empty or the network is
+    not undo-capable. *)
+
+val undo_step : 'm t -> 'm undo -> unit
 
 val fingerprint : 'm t -> string
 (** Canonical observable-state string, same shape as

@@ -81,6 +81,19 @@ let covered_argmax decomp ~ids =
     ids;
   !best
 
+(* Pulses travel only along the closed spanning walk, so the live mask
+   for source-set reduction is exactly the walk's links; the monitor
+   is a monotone counter bound and everything else is asserted at
+   quiescence, both preserved by the reduction. *)
+let walk_reduction plan =
+  let live =
+    Array.fold_left
+      (fun m l -> m lor (1 lsl l))
+      0
+      (Ears.walk (Gelection.decomposition plan))
+  in
+  Mc.Source { live }
+
 let walk_election ?(name = "walk-election") topo ~ids =
   let plan = Gelection.plan topo in
   let decomp = Gelection.decomposition plan in
@@ -99,6 +112,8 @@ let walk_election ?(name = "walk-election") topo ~ids =
         ];
     max_depth = bound + 1;
     dedup = true;
+    reduction = walk_reduction plan;
+    symmetry = None;
     expect_violation = false;
   }
 
@@ -152,6 +167,8 @@ let bridge_ablation ~ids =
       all_of [ check_quiescent; check_global_roles ~leader_node:(argmax ids) ];
     max_depth = bound + 1;
     dedup = true;
+    reduction = walk_reduction plan;
+    symmetry = None;
     expect_violation = true;
   }
 

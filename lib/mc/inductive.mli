@@ -1,0 +1,46 @@
+(** Inductive-invariant checking over sampled reachable states.
+
+    Exhaustive exploration ({!Mc.check}) certifies small rings; this
+    module complements it on sizes the state space outgrows.  A seeded
+    random walk samples reachable configurations, an invariant is
+    evaluated at each, and — where the invariant is a pure state
+    predicate — the {e inductive step} is checked directly: every
+    one-step successor of a satisfying state is visited with the
+    engine's incremental undo ([force_step_undo]/[undo_step]) and must
+    satisfy the invariant too.  A closure failure pinpoints the
+    delivery that breaks the invariant, which is far more informative
+    than a distant assertion failure.
+
+    Everything is deterministic in [seed]; the qcheck properties in the
+    test-suite drive these entry points over randomized ids, walk
+    counts and depths. *)
+
+type verdict = {
+  samples : int;  (** States at which the invariant was evaluated. *)
+  transitions : int;
+      (** One-step successors visited for the closure check. *)
+  violations : string list;  (** Chronological; empty iff all held. *)
+}
+
+val ok : verdict -> bool
+
+val algo1 :
+  ids:int array -> seed:int -> walks:int -> max_steps:int -> verdict
+(** Algorithm 1 under {!Colring_core.Invariants} (Lemmas 6–9 of the
+    paper) along [walks] random walks of up to [max_steps] deliveries.
+    The lemma probes track history (Lemma 7's ordering), so no closure
+    transitions are counted. *)
+
+val algo2 :
+  ids:int array -> seed:int -> walks:int -> max_steps:int -> verdict
+(** Algorithm 2 under the same lemma probes. *)
+
+val chang_roberts :
+  ids:int array -> seed:int -> walks:int -> max_steps:int -> verdict
+(** Chang–Roberts under the classical [btw] invariant: a [Candidate c]
+    about to be received by node [w] implies every node strictly
+    clockwise-between [c]'s owner and [w] has id < [c], and any
+    [Announce e] carries the maximum id.  A pure state predicate, so
+    the inductive step is checked: every enabled delivery from every
+    sampled state is taken (and undone) and the invariant re-evaluated
+    on the successor. *)

@@ -5,6 +5,7 @@ type stats = {
   states : int;
   schedules : int;
   replayed_deliveries : int;
+  undone_deliveries : int;
   sleep_pruned : int;
   dedup_pruned : int;
   max_depth_seen : int;
@@ -14,6 +15,9 @@ type stats = {
 type counterexample = { schedule : int array; violation : string }
 type result = { stats : stats; counterexample : counterexample option }
 
+type reduction = Sleep | Source of { live : int }
+type sym = { key : string; perm : int array }
+
 let depth_violation = "depth budget exceeded (possible non-termination)"
 
 let zero_stats =
@@ -21,6 +25,7 @@ let zero_stats =
     states = 0;
     schedules = 0;
     replayed_deliveries = 0;
+    undone_deliveries = 0;
     sleep_pruned = 0;
     dedup_pruned = 0;
     max_depth_seen = 0;
@@ -50,33 +55,51 @@ let seen_add seen key z =
   Hashtbl.replace seen key (z :: List.filter (fun m -> not (subset z m)) masks)
 
 (* ------------------------------------------------------------------ *)
-(* Per-branch DFS accumulator (shared across engine instantiations) *)
+(* Per-unit DFS accumulator (shared across engine instantiations) *)
 
 type acc = {
   mutable states : int;
   mutable schedules : int;
   mutable replayed : int;
+  mutable undone : int;
   mutable sleep_pruned : int;
   mutable dedup_pruned : int;
   mutable max_depth_seen : int;
   mutable truncated : bool;
   mutable stopped : bool;
+  mutable aborted : bool;
+      (* Stopped by the cross-task ticket throttle, whose firing point
+         depends on scheduling: the whole unit is nondeterministic and
+         must be recomputed by the canonical repair pass. *)
   mutable ce : counterexample option;
 }
 
-let merge_stats accs =
-  Array.fold_left
-    (fun (s : stats) (a : acc) ->
-      {
-        states = s.states + a.states;
-        schedules = s.schedules + a.schedules;
-        replayed_deliveries = s.replayed_deliveries + a.replayed;
-        sleep_pruned = s.sleep_pruned + a.sleep_pruned;
-        dedup_pruned = s.dedup_pruned + a.dedup_pruned;
-        max_depth_seen = max s.max_depth_seen a.max_depth_seen;
-        truncated = s.truncated || a.truncated;
-      })
-    zero_stats accs
+let fresh_acc () =
+  {
+    states = 0;
+    schedules = 0;
+    replayed = 0;
+    undone = 0;
+    sleep_pruned = 0;
+    dedup_pruned = 0;
+    max_depth_seen = 0;
+    truncated = false;
+    stopped = false;
+    aborted = false;
+    ce = None;
+  }
+
+let add_stats (s : stats) (a : acc) =
+  {
+    states = s.states + a.states;
+    schedules = s.schedules + a.schedules;
+    replayed_deliveries = s.replayed_deliveries + a.replayed;
+    undone_deliveries = s.undone_deliveries + a.undone;
+    sleep_pruned = s.sleep_pruned + a.sleep_pruned;
+    dedup_pruned = s.dedup_pruned + a.dedup_pruned;
+    max_depth_seen = max s.max_depth_seen a.max_depth_seen;
+    truncated = s.truncated || a.truncated;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* The checker, generic over the unified engine surface *)
@@ -91,14 +114,23 @@ module type S = sig
     terminal : 'm net -> string option;
     max_depth : int;
     dedup : bool;
+    reduction : reduction;
+    symmetry : ('m net -> sym) option;
     expect_violation : bool;
   }
 
   val check :
-    ?jobs:int -> ?max_states:int -> ?minimized:bool -> 'm spec -> result
+    ?jobs:int ->
+    ?max_states:int ->
+    ?minimized:bool ->
+    ?split:int ->
+    ?undo_depth:int ->
+    'm spec ->
+    result
 
   val replay : 'm spec -> int array -> 'm net * string option
   val minimize : 'm spec -> counterexample -> counterexample
+  val confirm : 'm spec -> counterexample -> bool
 end
 
 module Make (N : Engine_intf.NETWORK) = struct
@@ -111,19 +143,26 @@ module Make (N : Engine_intf.NETWORK) = struct
     terminal : 'm net -> string option;
     max_depth : int;
     dedup : bool;
+    reduction : reduction;
+    symmetry : ('m net -> sym) option;
     expect_violation : bool;
   }
 
   (* Rebuild a state by re-forcing a recorded choice prefix on a fresh
      network, feeding the (fresh) monitor after every delivery so its
      internal state matches the walk that first checked this prefix.
-     Violations cannot occur here: the prefix was monitored when it
-     was first extended. *)
+     Returns the first monitor violation with its step count — a
+     frontier prefix's final edge has not been monitored yet when a
+     task first replays it. *)
   let replay_prefix net mon path len =
-    for i = 0 to len - 1 do
-      N.force_step net ~link:path.(i);
-      ignore (mon net)
-    done
+    let rec go i =
+      if i >= len then None
+      else begin
+        N.force_step net ~link:path.(i);
+        match mon net with Some v -> Some (i + 1, v) | None -> go (i + 1)
+      end
+    in
+    go 0
 
   (* The dedup key extends the engine fingerprint with the monotone
      send/delivery/drop counters: two states merge only when their
@@ -148,97 +187,214 @@ module Make (N : Engine_intf.NETWORK) = struct
     done;
     Array.sub links 0 !i
 
-  (* One subtree of the root fan-out, explored depth-first with one
-     live network: descending is a [force_step]; trying the next
-     sibling rebuilds the parent by replaying the recorded prefix (the
-     engine is deterministic, so the choice sequence IS the
-     snapshot). *)
-  let run_branch spec ~indep ~max_states ~root_link ~init_sleep =
-    let st =
-      {
-        states = 0;
-        schedules = 0;
-        replayed = 0;
-        sleep_pruned = 0;
-        dedup_pruned = 0;
-        max_depth_seen = 0;
-        truncated = false;
-        stopped = false;
-        ce = None;
-      }
+  (* ---------------------------------------------------------------- *)
+  (* Exploration context: everything per-[check] and read-only during
+     the walk, so seed pass, parallel tasks and repair pass share it. *)
+
+  type 'm ctx = {
+    spec : 'm spec;
+    indep : int array;  (* indep.(l): links commuting with l *)
+    live_in : int array;  (* per node: its in-links ∩ the live set *)
+    n_nodes : int;
+  }
+
+  let permute_mask perm m =
+    let r = ref 0 in
+    Array.iteri (fun l l' -> if m land bit l <> 0 then r := !r lor bit l') perm;
+    !r
+
+  (* Dedup in canonical space: under a symmetry, the key is the
+     canonical representative's and the sleep mask is carried along by
+     the canonicalizing link permutation, so covering works modulo the
+     symmetry group.  Sound because the checked properties are
+     required to be invariant under the declared symmetry. *)
+  let dedup_prune ctx seen net sleep (st : acc) =
+    ctx.spec.dedup
+    &&
+    let key, mask =
+      match ctx.spec.symmetry with
+      | None -> (state_key net, sleep)
+      | Some f ->
+          let s = f net in
+          (s.key, permute_mask s.perm sleep)
     in
+    if seen_covers seen key mask then begin
+      st.dedup_pruned <- st.dedup_pruned + 1;
+      true
+    end
+    else begin
+      seen_add seen key mask;
+      false
+    end
+
+  (* Source-set reduction: a delivery mutates only its destination
+     node, so deliveries into distinct nodes commute, and the set of
+     enabled deliveries into ONE node [d] is a persistent (source) set
+     — provided no in-link of [d] can later become non-empty and add a
+     conflicting delivery.  The [live] mask (links that can ever carry
+     a pulse, declared by the spec) closes that gap: [d] is eligible
+     only when EVERY live in-link of [d] already holds a message, so
+     the deferred deliveries into other nodes can never enable a new
+     conflicting delivery into [d].  The smallest eligible node is
+     chosen canonically; with none eligible the full enabled set is
+     explored (sound fallback).  See DESIGN.md section 9. *)
+  let branch_links ctx links =
+    match ctx.spec.reduction with
+    | Sleep -> links
+    | Source { live } ->
+        let mask = Array.fold_left (fun m l -> m lor bit l) 0 links in
+        if mask land lnot live <> 0 then
+          invalid_arg
+            (Printf.sprintf
+               "Mc.check(%s): message in flight on a link outside the \
+                declared live set — the Source reduction would be unsound"
+               ctx.spec.name);
+        let rec find d =
+          if d >= ctx.n_nodes then links
+          else
+            let lm = ctx.live_in.(d) in
+            if lm <> 0 && subset lm mask then
+              (* All live in-links of [d] are non-empty: branch on them
+                 alone. *)
+              Array.of_list
+                (List.filter
+                   (fun l -> lm land bit l <> 0)
+                   (Array.to_list links))
+            else find (d + 1)
+        in
+        find 0
+
+  (* ---------------------------------------------------------------- *)
+  (* One unit of exploration: replay a frontier prefix, then DFS the
+     whole subtree.  Backtracking uses per-delivery incremental undo
+     ([N.force_step_undo]/[N.undo_step]) when the network supports it
+     and the node sits above [undo_depth]; deeper nodes (and networks
+     without snapshot codecs) fall back to replay-from-prefix, taking
+     care to restore the entry state on exit so enclosing undo records
+     stay applicable. *)
+
+  let run_unit ctx ~budget ~tickets ~ticket_cap ~undo_depth ~prefix
+      ~init_sleep =
+    let spec = ctx.spec in
+    let st = fresh_acc () in
     let seen = Hashtbl.create 1024 in
     let path = Array.make (spec.max_depth + 1) 0 in
+    let plen = Array.length prefix in
+    Array.blit prefix 0 path 0 plen;
     let net = ref (spec.make ()) in
     let mon = ref (spec.monitor ()) in
     let fail depth violation =
       st.ce <- Some { schedule = Array.sub path 0 depth; violation }
     in
+    let rebuild depth =
+      net := spec.make ();
+      mon := spec.monitor ();
+      (match replay_prefix !net !mon path depth with
+      | Some _ ->
+          (* The prefix was monitored when first walked. *)
+          assert false
+      | None -> ());
+      st.replayed <- st.replayed + depth
+    in
+    let undo_ok = N.undo_capable !net in
+    let running () = Option.is_none st.ce && not st.stopped in
     let rec expand depth sleep =
-      if st.ce = None && not st.stopped then begin
+      if running () then begin
         if depth > st.max_depth_seen then st.max_depth_seen <- depth;
-        let prune =
-          spec.dedup
-          &&
-          let key = state_key !net in
-          if seen_covers seen key sleep then begin
-            st.dedup_pruned <- st.dedup_pruned + 1;
-            true
-          end
-          else begin
-            seen_add seen key sleep;
-            false
-          end
-        in
-        if not prune then begin
-          st.states <- st.states + 1;
-          if st.states > max_states then begin
+        if not (dedup_prune ctx seen !net sleep st) then begin
+          (match tickets with
+          | Some a ->
+              if Atomic.fetch_and_add a 1 >= ticket_cap then begin
+                st.aborted <- true;
+                st.stopped <- true
+              end
+          | None -> ());
+          (* Strict budget: a state the budget cannot pay for is never
+             expanded (nor counted), so the repaired global total is
+             capped at exactly [max_states]. *)
+          if (not st.stopped) && st.states >= budget then begin
             st.truncated <- true;
             st.stopped <- true
-          end
-          else if N.enabled_count !net = 0 then begin
-            st.schedules <- st.schedules + 1;
-            match spec.terminal !net with
-            | Some v -> fail depth v
-            | None -> ()
-          end
-          else if depth >= spec.max_depth then fail depth depth_violation
+          end;
+          if st.stopped then ()
           else begin
-            let links = enabled_links !net in
-            let sleep_now = ref sleep in
-            let live = ref true in
-            (* [live]: the mutable network still sits at this node's
-               state; consumed by the first child we descend into. *)
-            Array.iter
-              (fun l ->
-                if st.ce = None && not st.stopped then
-                  if !sleep_now land bit l <> 0 then
-                    st.sleep_pruned <- st.sleep_pruned + 1
-                  else begin
-                    if not !live then begin
-                      net := spec.make ();
-                      mon := spec.monitor ();
-                      replay_prefix !net !mon path depth;
-                      st.replayed <- st.replayed + depth
-                    end;
-                    live := false;
-                    path.(depth) <- l;
-                    N.force_step !net ~link:l;
-                    (match !mon !net with
-                    | Some v -> fail (depth + 1) v
-                    | None -> expand (depth + 1) (!sleep_now land indep.(l)));
-                    sleep_now := !sleep_now lor bit l
-                  end)
-              links
+            st.states <- st.states + 1;
+            if N.enabled_count !net = 0 then begin
+              st.schedules <- st.schedules + 1;
+              match spec.terminal !net with
+              | Some v -> fail depth v
+              | None -> ()
+            end
+            else if depth >= spec.max_depth then fail depth depth_violation
+            else begin
+            let links = branch_links ctx (enabled_links !net) in
+            if undo_ok && depth < undo_depth then begin
+              let sleep_now = ref sleep in
+              Array.iter
+                (fun l ->
+                  if running () then
+                    if !sleep_now land bit l <> 0 then
+                      st.sleep_pruned <- st.sleep_pruned + 1
+                    else begin
+                      path.(depth) <- l;
+                      let u = N.force_step_undo !net ~link:l in
+                      (match !mon !net with
+                      | Some v -> fail (depth + 1) v
+                      | None -> expand (depth + 1) (!sleep_now land ctx.indep.(l)));
+                      (* Once the unit stops (counterexample or budget)
+                         the network is abandoned wholesale; undoing a
+                         record against a state some replay-mode
+                         descendant left behind would be wrong. *)
+                      if running () then begin
+                        N.undo_step !net u;
+                        st.undone <- st.undone + 1
+                      end;
+                      sleep_now := !sleep_now lor bit l
+                    end)
+                links
+            end
+            else begin
+              (* Replay-mode node: descending consumes the live
+                 network; each later sibling rebuilds the parent by
+                 replaying the recorded prefix (the engine is
+                 deterministic, so the choice sequence IS the
+                 snapshot). *)
+              let sleep_now = ref sleep in
+              let live = ref true in
+              Array.iter
+                (fun l ->
+                  if running () then
+                    if !sleep_now land bit l <> 0 then
+                      st.sleep_pruned <- st.sleep_pruned + 1
+                    else begin
+                      if not !live then rebuild depth;
+                      live := false;
+                      path.(depth) <- l;
+                      N.force_step !net ~link:l;
+                      (match !mon !net with
+                      | Some v -> fail (depth + 1) v
+                      | None -> expand (depth + 1) (!sleep_now land ctx.indep.(l)));
+                      sleep_now := !sleep_now lor bit l
+                    end)
+                links;
+              (* Undo records held by shallower frames apply to any
+                 state-identical network, but only at THIS state: the
+                 boundary node (the topmost replay-mode frame, sitting
+                 directly under undo-mode frames) restores it before
+                 returning into undo territory.  Deeper replay frames
+                 skip the restore — their parent rebuilds on demand. *)
+              if undo_ok && depth = undo_depth && running () && not !live then
+                rebuild depth
+            end
+          end
           end
         end
       end
     in
-    path.(0) <- root_link;
-    N.force_step !net ~link:root_link;
-    (match !mon !net with
-    | Some v -> fail 1 v
-    | None -> expand 1 init_sleep);
+    (match replay_prefix !net !mon path plen with
+    | Some (len, v) -> fail len v
+    | None -> expand plen init_sleep);
+    st.replayed <- st.replayed + plen;
     st
 
   (* ---------------------------------------------------------------- *)
@@ -274,13 +430,36 @@ module Make (N : Engine_intf.NETWORK) = struct
     Array.iter
       (fun link ->
         N.force_step net ~link;
-        if !violation = None then violation := mon net)
+        if Option.is_none !violation then violation := mon net)
       schedule;
-    (if !violation = None && N.enabled_count net = 0 then
+    (if Option.is_none !violation && N.enabled_count net = 0 then
        violation := spec.terminal net);
-    if !violation = None && Array.length schedule >= spec.max_depth then
-      violation := Some depth_violation;
+    if Option.is_none !violation && Array.length schedule >= spec.max_depth
+    then violation := Some depth_violation;
     (net, !violation)
+
+  (* Independent confirmation of a counterexample: drive the schedule
+     through the engine's ORDINARY run loop via
+     [Scheduler.of_schedule] — not the checker's [force_step] path —
+     and demand that a violation reproduces.  This catches minimizer
+     bugs (a shrunk schedule that is infeasible, or feasible but
+     clean) before a counterexample is ever reported. *)
+  let confirm spec ce =
+    let net = spec.make () in
+    let mon = spec.monitor () in
+    let hit = ref None in
+    let probe ~step:_ = if Option.is_none !hit then hit := mon net in
+    let len = Array.length ce.schedule in
+    match
+      N.run ~max_deliveries:len ~probe net (Scheduler.of_schedule ce.schedule)
+    with
+    | exception Invalid_argument _ -> false (* schedule does not fit *)
+    | _ ->
+        (if Option.is_none !hit && N.enabled_count net = 0 then
+           hit := spec.terminal net);
+        (if Option.is_none !hit && len >= spec.max_depth then
+           hit := Some depth_violation);
+        Option.is_some !hit
 
   let minimize spec ce =
     if String.equal ce.violation depth_violation then
@@ -317,14 +496,97 @@ module Make (N : Engine_intf.NETWORK) = struct
           | None -> incr i
         done
       done;
-      { schedule = !cur; violation = !viol }
+      let m = { schedule = !cur; violation = !viol } in
+      (* A minimized schedule must reproduce through the ordinary run
+         loop; fall back to the original counterexample otherwise. *)
+      if confirm spec m then m else ce
     end
 
   (* ---------------------------------------------------------------- *)
   (* The checker *)
 
-  let check ?(jobs = 1) ?(max_states = 1_000_000) ?(minimized = true) spec =
+  (* Task-frontier construction: a bounded sequential BFS from the
+     root.  Expanded states are accounted exactly like DFS states
+     (same dedup, same reductions, same budget); unexpanded frontier
+     entries become the parallel tasks.  The frontier — and hence
+     every downstream number — is a pure function of the spec and
+     [split], never of [jobs]. *)
+
+  type seed_outcome = {
+    seed_acc : acc;
+    frontier : (int array * int) array;  (* (prefix, sleep) in order *)
+  }
+
+  let seed_explore ctx ~split ~max_states =
+    let spec = ctx.spec in
+    let st = fresh_acc () in
+    let seen = Hashtbl.create 1024 in
+    let q = Queue.create () in
+    Queue.add ([||], 0) q;
+    let fail prefix len v =
+      st.ce <- Some { schedule = Array.sub prefix 0 len; violation = v }
+    in
+    while
+      Option.is_none st.ce && (not st.stopped)
+      && Queue.length q > 0
+      && Queue.length q < split
+    do
+      let prefix, sleep = Queue.pop q in
+      let plen = Array.length prefix in
+      let net = spec.make () in
+      let mon = spec.monitor () in
+      (match replay_prefix net mon prefix plen with
+      | Some (len, v) -> fail prefix len v
+      | None ->
+          st.replayed <- st.replayed + plen;
+          if plen > st.max_depth_seen then st.max_depth_seen <- plen;
+          if not (dedup_prune ctx seen net sleep st) then begin
+            (* Strict budget, as in [run_unit]: an unpayable state is
+               neither counted nor expanded. *)
+            if st.states >= max_states then begin
+              st.truncated <- true;
+              st.stopped <- true
+            end
+            else begin
+            st.states <- st.states + 1;
+            if N.enabled_count net = 0 then begin
+              st.schedules <- st.schedules + 1;
+              match spec.terminal net with
+              | Some v -> fail prefix plen v
+              | None -> ()
+            end
+            else if plen >= spec.max_depth then
+              fail prefix plen depth_violation
+            else begin
+              let links = branch_links ctx (enabled_links net) in
+              let sleep_now = ref sleep in
+              Array.iter
+                (fun l ->
+                  if !sleep_now land bit l <> 0 then
+                    st.sleep_pruned <- st.sleep_pruned + 1
+                  else begin
+                    let child = Array.make (plen + 1) 0 in
+                    Array.blit prefix 0 child 0 plen;
+                    child.(plen) <- l;
+                    Queue.add (child, !sleep_now land ctx.indep.(l)) q;
+                    sleep_now := !sleep_now lor bit l
+                  end)
+                links
+            end
+            end
+          end);
+      ()
+    done;
+    let frontier =
+      if Option.is_some st.ce || st.stopped then [||]
+      else Array.of_seq (Queue.to_seq q)
+    in
+    { seed_acc = st; frontier }
+
+  let check ?(jobs = 1) ?(max_states = 1_000_000) ?(minimized = true)
+      ?(split = 16) ?(undo_depth = max_int) spec =
     if spec.max_depth < 1 then invalid_arg "Mc.check: max_depth < 1";
+    if split < 1 then invalid_arg "Mc.check: split < 1";
     let probe = spec.make () in
     let topo = N.topology probe in
     let num_links = N.num_links topo in
@@ -343,6 +605,17 @@ module Make (N : Engine_intf.NETWORK) = struct
           indep.(l) <- indep.(l) lor bit l'
       done
     done;
+    let n_nodes = N.size probe in
+    let live_in = Array.make n_nodes 0 in
+    (match spec.reduction with
+    | Sleep -> ()
+    | Source { live } ->
+        for l = 0 to num_links - 1 do
+          if live land bit l <> 0 then
+            let d = N.link_dst_node topo l in
+            live_in.(d) <- live_in.(d) lor bit l
+        done);
+    let ctx = { spec; indep; live_in; n_nodes } in
     let finish stats counterexample =
       let counterexample =
         if minimized then Option.map (minimize spec) counterexample
@@ -351,41 +624,63 @@ module Make (N : Engine_intf.NETWORK) = struct
       { stats; counterexample }
     in
     match (spec.monitor ()) probe with
-    | Some v -> finish zero_stats (Some { schedule = [||]; violation = v })
+    | Some v ->
+        finish zero_stats (Some { schedule = [||]; violation = v })
     | None -> (
-        let roots = enabled_links probe in
-        match Array.length roots with
-        | 0 ->
-            let stats = { zero_stats with states = 1; schedules = 1 } in
-            finish stats
-              (Option.map
-                 (fun v -> { schedule = [||]; violation = v })
-                 (spec.terminal probe))
+        let seed = seed_explore ctx ~split ~max_states in
+        let stats0 = add_stats zero_stats seed.seed_acc in
+        match Array.length seed.frontier with
+        | 0 -> finish stats0 seed.seed_acc.ce
         | k ->
-            (* Root branches fan out on the domain pool.  Each branch
-               is a pure function of its index (own network, monitor
-               and seen-table), so results are bit-identical for every
-               [jobs]; branch [i] starts with its earlier siblings in
-               the sleep set, filtered by dependence on its own root
-               delivery — the same rule the sequential DFS applies. *)
-            let accs =
-              Pool.map ~jobs k (fun i ->
-                  let root_link = roots.(i) in
-                  let init_sleep = ref 0 in
-                  for j = 0 to i - 1 do
-                    init_sleep := !init_sleep lor bit roots.(j)
-                  done;
-                  run_branch spec ~indep ~max_states ~root_link
-                    ~init_sleep:(!init_sleep land indep.(root_link)))
+            (* Parallel phase: every frontier subtree is an independent
+               pure unit, so results are jobs-independent; the shared
+               ticket counter is ONLY a throttle that stops the fleet
+               doing much more than [max_states] of work in total.
+               Units the throttle touched are nondeterministic and get
+               recomputed below. *)
+            let tickets = Atomic.make seed.seed_acc.states in
+            let units =
+              Pool.map ~mode:Pool.Steal ~jobs k (fun i ->
+                  let prefix, sleep = seed.frontier.(i) in
+                  run_unit ctx ~budget:max_states ~tickets:(Some tickets)
+                    ~ticket_cap:max_states ~undo_depth ~prefix
+                    ~init_sleep:sleep)
             in
-            let stats = merge_stats accs in
-            let ce =
-              Array.fold_left
-                (fun acc (a : acc) ->
-                  match acc with Some _ -> acc | None -> a.ce)
-                None accs
-            in
-            finish stats ce)
+            (* Canonical repair pass: fold the units in frontier order
+               against the ONE global budget, exactly as a sequential
+               run with a shared counter would.  A unit is reused
+               verbatim only if the throttle never touched it and it
+               fits the remaining budget; otherwise it is recomputed
+               sequentially under the exact remainder.  The first
+               counterexample in frontier order wins and later units
+               are dropped wholesale — which is also what makes the
+               early throttle aborts invisible. *)
+            let stats = ref stats0 in
+            let ce = ref None in
+            let i = ref 0 in
+            while Option.is_none !ce && !i < k do
+              let remaining = max_states - (!stats).states in
+              if remaining <= 0 then begin
+                stats := { !stats with truncated = true };
+                i := k
+              end
+              else begin
+                let u = units.(!i) in
+                let u =
+                  if (not u.aborted) && u.states <= remaining then u
+                  else begin
+                    let prefix, sleep = seed.frontier.(!i) in
+                    run_unit ctx ~budget:remaining ~tickets:None
+                      ~ticket_cap:max_states ~undo_depth ~prefix
+                      ~init_sleep:sleep
+                  end
+                in
+                stats := add_stats !stats u;
+                ce := u.ce;
+                incr i
+              end
+            done;
+            finish !stats !ce)
 end
 
 (* The historical ring-engine API: [Mc.check] and friends are the ring

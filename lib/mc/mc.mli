@@ -4,14 +4,33 @@
     next, and a run is a deterministic function of its choice
     sequence, so a recorded sequence of link ids {e is} a state
     snapshot: any state is rebuilt by replaying its prefix on a fresh
-    network.  {!check} walks the choice tree depth-first with exactly
-    one live network — descending is a [force_step], backtracking
-    replays the prefix — and evaluates a per-step safety monitor after
-    {e every} delivery plus a terminal predicate at every quiescent
-    state.
+    network.  {!check} explores the choice tree and evaluates a
+    per-step safety monitor after {e every} delivery plus a terminal
+    predicate at every quiescent state.
 
-    Two reductions keep the tree tractable (DESIGN.md section 9 has
-    the soundness argument):
+    Backtracking is {b incremental} wherever the engine allows it:
+    when every program carries a snapshot codec
+    ({!Colring_engine.Engine_intf.NETWORK.undo_capable}), descending
+    is a [force_step_undo] and backtracking an [undo_step] — O(1) per
+    edge instead of replaying the whole prefix.  Nodes deeper than
+    [undo_depth] (and engines without codecs) fall back to
+    replay-from-prefix; the hybrid is transparent in the results and
+    only shifts work between {!stats.replayed_deliveries} and
+    {!stats.undone_deliveries}.
+
+    Exploration is {b work-stealing parallel}: a bounded sequential
+    BFS carves the tree into a frontier of independent subtree tasks,
+    which a stealing domain pool ({!Colring_runtime.Pool.Steal})
+    drains.  Each task owns its network, monitor and seen-table, so
+    verdicts, minimized counterexamples {e and the full stats block}
+    are bit-identical for every [jobs] value.  [max_states] is one
+    {e global} budget: a shared ticket counter throttles the fleet,
+    and a canonical repair pass re-folds the tasks in frontier order
+    against the exact remaining budget, reproducing sequential budget
+    semantics independent of scheduling.
+
+    Three reductions keep the tree tractable (DESIGN.md section 9 has
+    the soundness arguments):
 
     - {b Sleep sets} (partial-order reduction): deliveries to distinct
       nodes commute, so of two adjacent independent deliveries only
@@ -19,16 +38,28 @@
       node; sleep sets are [int] bit masks over link ids (hence at
       most 60 links, i.e. rings up to n = 30 — far beyond what
       exhaustive exploration can visit anyway).
+    - {b Source sets} ({!reduction} [Source]): when every {e live}
+      in-link of some node already holds a message, the enabled
+      deliveries into that node form a persistent set — branching on
+      them alone is sound for trace-invariant properties (monotone
+      counter bounds, quiescent-state predicates, the depth budget).
+      Specs whose monitors observe interleaving order (e.g.
+      termination order) must keep [Sleep].
     - {b State caching}: states that merge across interleavings (the
       engine fingerprint extended with the monotone
       send/delivery/drop counters) are pruned when revisited under a
       sleep set that includes one they were already expanded under.
+      With a {!sym} hook the key is the canonical representative's
+      and the sleep mask travels through the canonicalizing link
+      permutation, so anonymous-ring states merge modulo rotation.
       Disable it ({!type-spec} [dedup = false]) for content-carrying
       protocols, whose payloads the fingerprint cannot see.
 
     Counterexamples are choice sequences; {!minimize} shrinks them
-    greedily and {!Colring_engine.Scheduler.of_schedule} replays them
-    through the ordinary run loop.
+    greedily and re-confirms the shrunk schedule through the ordinary
+    run loop ({!Colring_engine.Scheduler.of_schedule}) before
+    reporting it — a shrink that fails to reproduce falls back to the
+    unminimized schedule.
 
     The checker is a functor over the unified
     {!Colring_engine.Engine_intf.NETWORK} surface — {!Make} on any
@@ -41,11 +72,12 @@
 type stats = {
   states : int;  (** States expanded (post-pruning). *)
   schedules : int;  (** Quiescent (terminal) states visited. *)
-  replayed_deliveries : int;  (** Backtracking work, in deliveries. *)
+  replayed_deliveries : int;  (** Replay-mode backtracking work. *)
+  undone_deliveries : int;  (** Incremental-undo backtracking work. *)
   sleep_pruned : int;  (** Branches skipped by sleep sets. *)
   dedup_pruned : int;  (** Revisits cut by state caching. *)
   max_depth_seen : int;
-  truncated : bool;  (** Some branch hit the [max_states] budget. *)
+  truncated : bool;  (** The global [max_states] budget was hit. *)
 }
 
 type counterexample = {
@@ -54,6 +86,29 @@ type counterexample = {
 }
 
 type result = { stats : stats; counterexample : counterexample option }
+
+type reduction =
+  | Sleep  (** Sleep sets only — always sound. *)
+  | Source of { live : int }
+      (** Sleep sets plus source-set branching.  [live] is the bit
+          mask of links that can ever carry a message; the checker
+          verifies it dynamically ([Invalid_argument] if a message
+          appears outside it) and gates eligibility on every live
+          in-link of the candidate node being non-empty.  Only sound
+          when monitor/terminal verdicts are invariant under
+          reordering of commuting deliveries. *)
+
+type sym = {
+  key : string;
+      (** Canonical fingerprint of the state's symmetry orbit; must
+          embed the progress counters (it {e replaces} the default
+          dedup key). *)
+  perm : int array;
+      (** Link permutation mapping this state's link ids to the
+          canonical representative's: [perm.(l)] is where link [l]
+          lands.  Sleep masks are pushed through it before seen-table
+          operations. *)
+}
 
 val depth_violation : string
 (** The violation reported when a schedule exceeds [max_depth]. *)
@@ -82,6 +137,12 @@ module type S = sig
             violation ({!depth_violation}) — the checker's termination
             invariant. *)
     dedup : bool;  (** Enable state caching (see above). *)
+    reduction : reduction;
+        (** Partial-order reduction level; see {!reduction}. *)
+    symmetry : ('m net -> sym) option;
+        (** Canonicalization hook for symmetric (anonymous) systems;
+            requires [dedup].  The checked properties must be
+            invariant under the declared symmetry group. *)
     expect_violation : bool;
         (** Whether a counterexample is the {e desired} outcome — true
             for the ablation variants, which a checker worth its salt
@@ -89,14 +150,24 @@ module type S = sig
   }
 
   val check :
-    ?jobs:int -> ?max_states:int -> ?minimized:bool -> 'm spec -> result
-  (** Explore the schedule space of [spec].  The root branches fan out
-      over the {!Colring_runtime.Pool} domain pool ([jobs], default 1);
-      results are bit-identical for every [jobs] value.  [max_states]
-      (default 1_000_000) bounds the states expanded {e per root
-      branch}; exceeding it sets {!stats.truncated} (the budgeted
-      frontier used for n = 5).  The first counterexample in
-      deterministic DFS-and-branch order is returned, minimized via
+    ?jobs:int ->
+    ?max_states:int ->
+    ?minimized:bool ->
+    ?split:int ->
+    ?undo_depth:int ->
+    'm spec ->
+    result
+  (** Explore the schedule space of [spec].  A sequential BFS expands
+      the root until at least [split] (default 16) frontier subtrees
+      exist (or the space is exhausted), then the subtrees drain over
+      the {!Colring_runtime.Pool} stealing pool ([jobs], default 1).
+      Results — verdict, minimized counterexample, every stats field —
+      are bit-identical for every [jobs] value.  [max_states] (default
+      1_000_000) bounds the states expanded {e globally}; exceeding it
+      sets {!stats.truncated}.  [undo_depth] caps how deep incremental
+      undo is used before falling back to replay (default: unlimited).
+      The first counterexample in canonical (BFS-frontier, then DFS)
+      order is returned, minimized and replay-confirmed via
       {!minimize} unless [minimized:false]. *)
 
   val replay : 'm spec -> int array -> 'm net * string option
@@ -111,7 +182,16 @@ module type S = sig
       repeatedly try dropping single deliveries (skipping infeasible
       candidates) until no removal preserves a violation.  The result
       is 1-minimal — every single-element removal is violation-free —
-      though not necessarily globally minimal. *)
+      though not necessarily globally minimal.  The shrunk schedule is
+      re-confirmed with {!confirm}; if confirmation fails the original
+      counterexample is returned unchanged. *)
+
+  val confirm : 'm spec -> counterexample -> bool
+  (** Drive the counterexample's schedule through the engine's
+      {e ordinary} run loop ({!Colring_engine.Scheduler.of_schedule} —
+      not the checker's forcing path) on a fresh instance and report
+      whether a violation reproduces.  Guards {!minimize} against
+      shrinker bugs. *)
 end
 
 module Make (N : Colring_engine.Engine_intf.NETWORK) :

@@ -131,6 +131,25 @@ let terminating_monitor ~bound ~order () =
     end
 
 (* ------------------------------------------------------------------ *)
+(* Reduction masks
+
+   Source-set reduction needs the mask of links that can ever carry a
+   pulse.  Unidirectional (clockwise-only) protocols use the clockwise
+   half of the links; bidirectional ones use all of them.  The checker
+   verifies the declaration dynamically, so a wrong mask fails loudly
+   rather than pruning unsoundly. *)
+
+let mask_links topo keep =
+  let m = ref 0 in
+  for l = 0 to Topology.num_links topo - 1 do
+    if keep l then m := !m lor (1 lsl l)
+  done;
+  !m
+
+let cw_only topo = Mc.Source { live = mask_links topo (Topology.link_travels_cw topo) }
+let all_links topo = Mc.Source { live = mask_links topo (fun _ -> true) }
+
+(* ------------------------------------------------------------------ *)
 (* Spec builders *)
 
 let guard_ids ids =
@@ -162,10 +181,15 @@ let algo2_shape ~name ~program ~ids =
         ];
     max_depth = bound + 1;
     dedup = true;
+    (* The termination-order monitor observes the interleaving (which
+       node terminated first), which source-set reordering does not
+       preserve: sleep sets only. *)
+    reduction = Mc.Sleep;
+    symmetry = None;
     expect_violation = false;
   }
 
-let stabilizing_shape ~name ~program ~topo ~ids ~bound ~orientation =
+let stabilizing_shape ~name ~program ~topo ~ids ~bound ~orientation ~reduction =
   let leader_node = Ids.argmax ids in
   let terminal_checks =
     [ check_quiescent; check_sends_exact ~expected:bound ]
@@ -179,6 +203,11 @@ let stabilizing_shape ~name ~program ~topo ~ids ~bound ~orientation =
     terminal = all_of terminal_checks;
     max_depth = bound + 1;
     dedup = true;
+    (* The per-step property is a monotone counter bound and the rest
+       is asserted at quiescence; both are invariant under reordering
+       of commuting deliveries, so source sets are sound. *)
+    reduction;
+    symmetry = None;
     expect_violation = false;
   }
 
@@ -189,10 +218,10 @@ let election algorithm ~ids ~topo_seed =
   match algorithm with
   | Election.Algo2 -> algo2_shape ~name:"algo2" ~program:Algo2.program ~ids
   | Election.Algo1 ->
-      stabilizing_shape ~name:"algo1" ~program:Algo1.program
-        ~topo:(Topology.oriented n) ~ids
+      let topo = Topology.oriented n in
+      stabilizing_shape ~name:"algo1" ~program:Algo1.program ~topo ~ids
         ~bound:(Formulas.algo1_total ~n ~id_max)
-        ~orientation:false
+        ~orientation:false ~reduction:(cw_only topo)
   | Election.Algo3 scheme ->
       let name, bound =
         match scheme with
@@ -201,9 +230,9 @@ let election algorithm ~ids ~topo_seed =
         | Algo3.Improved ->
             ("algo3-improved", Formulas.algo3_improved_total ~n ~id_max)
       in
-      stabilizing_shape ~name ~program:(Algo3.program ~scheme)
-        ~topo:(Topology.random_non_oriented (Rng.create ~seed:topo_seed) n)
-        ~ids ~bound ~orientation:true
+      let topo = Topology.random_non_oriented (Rng.create ~seed:topo_seed) n in
+      stabilizing_shape ~name ~program:(Algo3.program ~scheme) ~topo ~ids ~bound
+        ~orientation:true ~reduction:(all_links topo)
   | Election.Algo3_resample ->
       invalid_arg
         "Spec.election: Algo3_resample is randomized; model checking needs a \
@@ -221,20 +250,19 @@ let ablation which ~ids ~topo_seed =
         (* The leader predicate can never hold, so the violation shows
            up at quiescence; the doubled-scheme total is a generous
            in-flight bound. *)
+        let topo = Topology.random_non_oriented (Rng.create ~seed:topo_seed) n in
         stabilizing_shape ~name:"ablation:same-virtual-ids"
-          ~program:Ablation.algo3_same_virtual_ids
-          ~topo:(Topology.random_non_oriented (Rng.create ~seed:topo_seed) n)
-          ~ids
+          ~program:Ablation.algo3_same_virtual_ids ~topo ~ids
           ~bound:(Formulas.algo3_doubled_total ~n ~id_max)
-          ~orientation:true
+          ~orientation:true ~reduction:(all_links topo)
     | No_absorption ->
         (* Pure relays circulate the initial pulses forever; the
            Corollary 13 send bound breaks within a few deliveries. *)
+        let topo = Topology.oriented n in
         stabilizing_shape ~name:"ablation:no-absorption"
-          ~program:Ablation.algo1_no_absorption ~topo:(Topology.oriented n)
-          ~ids
+          ~program:Ablation.algo1_no_absorption ~topo ~ids
           ~bound:(Formulas.algo1_total ~n ~id_max)
-          ~orientation:false
+          ~orientation:false ~reduction:(cw_only topo)
   in
   { spec with Mc.expect_violation = true }
 
@@ -246,8 +274,8 @@ let classic name ~ids =
   (* No closed-form delivery count to lean on: the depth budget is the
      safety net against non-termination.  Content-carrying messages
      are invisible to the fingerprint, so state caching stays off. *)
-  let pack : 'm. (id:int -> 'm Network.program) -> packed =
-   fun program ->
+  let pack : 'm. Mc.reduction -> (id:int -> 'm Network.program) -> packed =
+   fun reduction program ->
     Packed
       {
         Mc.name;
@@ -257,20 +285,109 @@ let classic name ~ids =
           all_of [ check_all_terminated; check_roles ~leader_node ];
         max_depth = 64 * n * n;
         dedup = false;
+        (* Per-step monitoring is off and all properties live at
+           quiescent states, which source sets preserve exactly. *)
+        reduction;
+        symmetry = None;
         expect_violation = false;
       }
   in
   match name with
-  | "chang-roberts" -> pack Classic.Chang_roberts.program
-  | "lelann" -> pack Classic.Lelann.program
-  | "hirschberg-sinclair" -> pack Classic.Hirschberg_sinclair.program
-  | "peterson" -> pack Classic.Peterson.program
-  | "franklin" -> pack Classic.Franklin.program
+  | "chang-roberts" -> pack (cw_only topo) Classic.Chang_roberts.program
+  | "lelann" -> pack (cw_only topo) Classic.Lelann.program
+  | "hirschberg-sinclair" ->
+      pack (all_links topo) Classic.Hirschberg_sinclair.program
+  | "peterson" -> pack (cw_only topo) Classic.Peterson.program
+  | "franklin" -> pack (all_links topo) Classic.Franklin.program
   | "itai-rodeh" ->
       invalid_arg
         "Spec.classic: itai-rodeh is randomized; model checking needs a \
          deterministic system"
   | other -> invalid_arg (Printf.sprintf "Spec.classic: unknown target %S" other)
+
+(* ------------------------------------------------------------------ *)
+(* The anonymous relay: the symmetry-reduction exercise target *)
+
+(* Canonicalize a relay state modulo ring rotation: render the full
+   observable state (progress counters, per-node inspect counters,
+   channel and mailbox occupancies) once per rotation and keep the
+   lexicographically smallest string; the link permutation sending the
+   winning rotation to position zero rides along so the checker can
+   rotate sleep masks into canonical space.  Sound for the relay
+   because its program is identical at every node and every checked
+   property is rotation-invariant. *)
+let relay_symmetry topo =
+  let n = Topology.n topo in
+  let num_links = Topology.num_links topo in
+  fun net ->
+    let m = Network.metrics net in
+    let header =
+      Printf.sprintf "%d/%d/%d#" (Metrics.sends m) (Metrics.deliveries m)
+        (Metrics.post_termination_deliveries m)
+    in
+    let render r =
+      let buf = Buffer.create (16 * n) in
+      Buffer.add_string buf header;
+      for i = 0 to n - 1 do
+        let v = (i + r) mod n in
+        List.iter
+          (fun (_, x) ->
+            Buffer.add_string buf (string_of_int x);
+            Buffer.add_char buf ',')
+          (Network.inspect net v);
+        Buffer.add_string buf
+          (Printf.sprintf "|%d,%d,%d,%d;"
+             (Network.channel_length net ~link:(Topology.link_id topo v Port.P0))
+             (Network.channel_length net ~link:(Topology.link_id topo v Port.P1))
+             (Network.mailbox_length net ~node:v ~port:Port.P0)
+             (Network.mailbox_length net ~node:v ~port:Port.P1))
+      done;
+      Buffer.contents buf
+    in
+    let best_r = ref 0 in
+    let best = ref (render 0) in
+    for r = 1 to n - 1 do
+      let s = render r in
+      if String.compare s !best < 0 then begin
+        best := s;
+        best_r := r
+      end
+    done;
+    let perm = Array.make num_links 0 in
+    for l = 0 to num_links - 1 do
+      let v, p = Topology.link_src topo l in
+      perm.(l) <- Topology.link_id topo ((v - !best_r + n) mod n) p
+    done;
+    { Mc.key = !best; perm }
+
+let anon_relay ~n =
+  if n < 2 then invalid_arg "Spec.anon_relay: need at least 2 nodes";
+  let topo = Topology.oriented n in
+  let bound = Relay.total_pulses ~n in
+  let check_rho net =
+    let bad = ref None in
+    for v = 0 to n - 1 do
+      let rho = Network.inspect_counter net v "rho" in
+      if Option.is_none !bad && rho <> Relay.final_rho then
+        bad :=
+          Some
+            (Printf.sprintf "node %d quiesced with rho %d, expected %d" v rho
+               Relay.final_rho)
+    done;
+    !bad
+  in
+  {
+    Mc.name = "anon:relay";
+    make = (fun () -> Network.create topo (fun _ -> Relay.program ()));
+    monitor = sends_bound_monitor ~bound;
+    terminal =
+      all_of [ check_quiescent; check_sends_exact ~expected:bound; check_rho ];
+    max_depth = bound + 1;
+    dedup = true;
+    reduction = Mc.Sleep;
+    symmetry = Some (relay_symmetry topo);
+    expect_violation = false;
+  }
 
 let targets =
   [
@@ -281,6 +398,7 @@ let targets =
     "ablation:no-lag";
     "ablation:same-virtual-ids";
     "ablation:no-absorption";
+    "anon:relay";
     "chang-roberts";
     "lelann";
     "hirschberg-sinclair";
@@ -300,6 +418,7 @@ let of_target target ~ids ~topo_seed =
   | "ablation:same-virtual-ids" ->
       Packed (ablation Same_virtual_ids ~ids ~topo_seed)
   | "ablation:no-absorption" -> Packed (ablation No_absorption ~ids ~topo_seed)
+  | "anon:relay" -> Packed (anon_relay ~n:(Array.length ids))
   | "algo3-resample" ->
       invalid_arg
         "Spec.of_target: algo3-resample is randomized; model checking needs a \

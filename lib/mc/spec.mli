@@ -53,6 +53,14 @@ val ablation :
     [expect_violation] set: checking one of these {e must} produce a
     counterexample. *)
 
+val anon_relay : n:int -> Colring_engine.Network.pulse Mc.spec
+(** The anonymous {!Colring_core.Relay} protocol on an oriented ring
+    of [n] nodes — every node identical, so the spec carries a
+    rotation {!Mc.sym} hook and exercises the checker's symmetry
+    reduction.  Checks the schedule-independent send total ([2n],
+    monitored as a bound per step and exactly at quiescence) and that
+    every node quiesces having received exactly two pulses. *)
+
 val classic : string -> ids:int array -> packed
 (** Baseline spec by name ([chang-roberts], [lelann],
     [hirschberg-sinclair], [peterson], [franklin]); oriented ring,

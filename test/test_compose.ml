@@ -67,6 +67,7 @@ let test_chain_switches_on_terminate () =
      pulse and terminate for real. *)
   let first =
     {
+      Network.snap = None;
       Network.start =
         (fun api ->
           api.set_output (Output.with_value 1 Output.empty);
@@ -79,6 +80,7 @@ let test_chain_switches_on_terminate () =
     checki "first output visible" (Some 1 |> Option.get)
       (Option.get out.value);
     {
+      Network.snap = None;
       Network.start =
         (fun api ->
           api.send Port.P1 ();

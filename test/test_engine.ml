@@ -67,6 +67,7 @@ let test_link_direction () =
 (* A relay that forwards everything from P0 to P1 with payloads. *)
 let relay_program () =
   {
+    Network.snap = None;
     Network.start = (fun _ -> ());
     wake =
       (fun api ->
@@ -85,6 +86,7 @@ let test_fifo_order_preserved () =
   let collected = ref [] in
   let injector k =
     {
+      Network.snap = None;
       Network.start =
         (fun api ->
           for i = 1 to k do
@@ -123,6 +125,7 @@ let test_send_counts_and_metrics () =
     Network.create topo (fun v ->
         if v = 0 then
           {
+            Network.snap = None;
             Network.start = (fun api -> api.send Port.P1 ());
             wake = (fun _ -> ());
             inspect = (fun () -> []);
@@ -143,6 +146,7 @@ let test_terminated_nodes_drop_pulses () =
     Network.create topo (fun v ->
         if v = 0 then
           {
+            Network.snap = None;
             Network.start =
               (fun api ->
                 api.send Port.P1 ();
@@ -152,6 +156,7 @@ let test_terminated_nodes_drop_pulses () =
           }
         else
           {
+            Network.snap = None;
             Network.start = (fun _ -> ());
             wake =
               (fun api ->
@@ -174,6 +179,7 @@ let test_send_after_terminate_rejected () =
       ignore
         (Network.create topo (fun _ ->
              {
+               Network.snap = None;
                Network.start =
                  (fun api ->
                    api.terminate ();
@@ -217,6 +223,7 @@ let test_max_deliveries_exhaustion () =
      flag exhaustion. *)
   let forever =
     {
+      Network.snap = None;
       Network.start = (fun api -> api.send Port.P1 ());
       wake =
         (fun api ->
@@ -239,6 +246,7 @@ let test_per_node_rng_streams_differ () =
   let net =
     Network.create ~seed:7 (Topology.oriented 4) (fun _ ->
         {
+          Network.snap = None;
           Network.start =
             (fun api -> seen := Rng.int api.rng 1_000_000 :: !seen);
           wake = (fun _ -> ());
@@ -258,6 +266,7 @@ let mk_two_senders () =
   Network.create (Topology.oriented 2) (fun v ->
       if v = 0 then
         {
+          Network.snap = None;
           Network.start =
             (fun api ->
               api.send Port.P0 ();
@@ -290,6 +299,7 @@ let test_starve_node_delays () =
     Network.create (Topology.oriented 3) (fun v ->
         if v = 0 then
           {
+            Network.snap = None;
             Network.start =
               (fun api ->
                 api.send Port.P1 ();
@@ -346,6 +356,7 @@ let test_blocking_recv_any () =
     Network.create (Topology.oriented 2) (fun v ->
         if v = 0 then
           {
+            Network.snap = None;
             Network.start =
               (fun api ->
                 api.send Port.P1 ();
@@ -372,6 +383,7 @@ let test_blocking_immediate_mailbox () =
     Network.create (Topology.oriented 2) (fun v ->
         if v = 0 then
           {
+            Network.snap = None;
             Network.start =
               (fun api ->
                 api.send Port.P1 ();
@@ -410,6 +422,7 @@ let test_mailbox_length_tracks_guarded_pulses () =
     Network.create (Topology.oriented 2) (fun v ->
         if v = 0 then
           {
+            Network.snap = None;
             Network.start =
               (fun api ->
                 api.send Port.P1 ();

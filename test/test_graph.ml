@@ -328,6 +328,7 @@ let test_gnetwork_fifo_and_drop () =
     Gnetwork.create g (fun v ->
         if v = 0 then
           {
+            Gnetwork.snap = None;
             Gnetwork.start =
               (fun api ->
                 api.send 0 1;
@@ -338,6 +339,7 @@ let test_gnetwork_fifo_and_drop () =
           }
         else
           {
+            Gnetwork.snap = None;
             Gnetwork.start = (fun _ -> ());
             wake =
               (fun api ->
@@ -366,6 +368,7 @@ let test_gnetwork_per_node_rng () =
   let net =
     Gnetwork.create ~seed:5 g (fun _ ->
         {
+          Gnetwork.snap = None;
           Gnetwork.start =
             (fun api -> seen := Rng.int api.rng 1_000_000 :: !seen);
           wake = (fun _ -> ());

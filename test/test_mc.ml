@@ -93,6 +93,11 @@ let test_ablations_yield_minimized_counterexamples () =
           | _, Some v ->
               Alcotest.(check string) (target ^ " reproduces") ce.Mc.violation v
           | _, None -> Alcotest.failf "%s: counterexample does not replay" target);
+          (* Confirmed through the engine's ordinary run loop
+             (Scheduler.of_schedule), not just the checker's forcing
+             path. *)
+          checkb (target ^ " confirmed via of_schedule") true
+            (Mc.confirm spec ce);
           (* 1-minimal: dropping any single delivery loses the bug
              (the depth violation is minimal by construction). *)
           if ce.Mc.violation <> Mc.depth_violation then
@@ -124,10 +129,26 @@ let test_graph_targets_verify_exhaustively () =
         (r.Mc.stats.Mc.schedules >= 1);
       checkb (target ^ " has no counterexample") true
         (r.Mc.counterexample = None);
+      (* The source-set reduction must agree with plain sleep sets on
+         the verdict while exploring no more of the space. *)
+      let sleepy =
+        Gspec.Gmc.check ~jobs:2 { spec with Gspec.Gmc.reduction = Mc.Sleep }
+      in
       checkb
-        (target ^ " sleep sets pruned something")
+        (target ^ " sleep-only run is exhaustive")
+        false sleepy.Mc.stats.Mc.truncated;
+      checkb
+        (target ^ " sleep-only run agrees")
         true
-        (r.Mc.stats.Mc.sleep_pruned > 0))
+        (sleepy.Mc.counterexample = None);
+      checkb
+        (target ^ " sleep-only run pruned something")
+        true
+        (sleepy.Mc.stats.Mc.sleep_pruned > 0);
+      checkb
+        (target ^ " source sets do not enlarge the space")
+        true
+        (r.Mc.stats.Mc.states <= sleepy.Mc.stats.Mc.states))
     graph_correct_targets
 
 let gviolation_of spec schedule =
@@ -146,6 +167,7 @@ let test_bridge_ablation_minimized_counterexample () =
       (match Gspec.Gmc.replay spec ce.Mc.schedule with
       | _, Some v -> Alcotest.(check string) "reproduces" ce.Mc.violation v
       | _, None -> Alcotest.fail "counterexample does not replay");
+      checkb "confirmed via of_schedule" true (Gspec.Gmc.confirm spec ce);
       (* 1-minimal: quiescence needs every pulse delivered, so the
          minimal schedule is one complete run of the covered walk. *)
       Array.iteri
@@ -181,6 +203,8 @@ let test_ring_instantiation_agrees_with_toplevel () =
         terminal = spec.Mc.terminal;
         max_depth = spec.Mc.max_depth;
         dedup = spec.Mc.dedup;
+        reduction = spec.Mc.reduction;
+        symmetry = spec.Mc.symmetry;
         expect_violation = spec.Mc.expect_violation;
       }
   in
@@ -248,6 +272,8 @@ let toy ~max_depth ~monitor =
     terminal = (fun _ -> None);
     max_depth;
     dedup = false;
+    reduction = Mc.Sleep;
+    symmetry = None;
     expect_violation = true;
   }
 
@@ -285,6 +311,190 @@ let test_link_mask_guard () =
     | _ -> false
     | exception Invalid_argument _ -> true)
 
+let test_max_states_budget_is_global () =
+  (* The budget caps states expanded across ALL frontier units, not
+     per unit: a truncated run never reports more states than the
+     budget, and truncation is bit-identical across worker counts. *)
+  let spec =
+    Spec.election (Election.Algo3 Algo3.Doubled) ~ids:(ids 4) ~topo_seed:2
+  in
+  let budget = 500 in
+  let r1 = Mc.check ~jobs:1 ~max_states:budget spec in
+  checkb "truncated" true r1.Mc.stats.Mc.truncated;
+  checkb "global cap respected" true (r1.Mc.stats.Mc.states <= budget);
+  checkb "made real progress" true (r1.Mc.stats.Mc.states > budget / 2);
+  let r4 = Mc.check ~jobs:4 ~max_states:budget spec in
+  checkb "truncation identical across jobs" true (r1 = r4)
+
+let test_undo_depth_hybrid_equivalence () =
+  (* The hybrid backtracker — incremental undo above [undo_depth],
+     replay below — must be invisible in the results, for any depth
+     (0 = pure replay, the pre-scale-up engine). *)
+  List.iter
+    (fun target ->
+      (* n=4: big enough that exploration reaches the parallel units
+         (n=3 fits inside the seed BFS, which always replays). *)
+      let (Spec.Packed spec) = Spec.of_target target ~ids:(ids 4) ~topo_seed:2 in
+      let full = Mc.check spec in
+      (* Ablations can die inside the seed BFS (which always replays),
+         so only the exhaustive target must show undo activity. *)
+      if String.equal target "algo2" then
+        checkb (target ^ " uses undo by default") true
+          (full.Mc.stats.Mc.undone_deliveries > 0);
+      List.iter
+        (fun undo_depth ->
+          let r = Mc.check ~undo_depth spec in
+          checkb
+            (Printf.sprintf "%s identical at undo_depth %d" target undo_depth)
+            true
+            ({ r with Mc.stats = full.Mc.stats } = full
+            && { r.Mc.stats with Mc.undone_deliveries = 0; replayed_deliveries = 0 }
+               = {
+                   full.Mc.stats with
+                   Mc.undone_deliveries = 0;
+                   replayed_deliveries = 0;
+                 }))
+        [ 0; 1; 3 ])
+    [ "algo2"; "ablation:no-absorption" ]
+
+(* ------------------------------------------------------------------ *)
+(* Scale: n=5 and n=6 exhaustive verification *)
+
+let test_verification_scale_n5_n6 () =
+  let verify target n =
+    let (Spec.Packed spec) = Spec.of_target target ~ids:(ids n) ~topo_seed:2 in
+    let r = Mc.check spec in
+    checkb (Printf.sprintf "%s n=%d exhaustive" target n) false
+      r.Mc.stats.Mc.truncated;
+    checkb (Printf.sprintf "%s n=%d verified" target n) true
+      (r.Mc.counterexample = None);
+    checkb
+      (Printf.sprintf "%s n=%d reached a terminal state" target n)
+      true
+      (r.Mc.stats.Mc.schedules >= 1)
+  in
+  List.iter (fun t -> verify t 5) [ "algo1"; "algo2"; "chang-roberts" ];
+  List.iter (fun t -> verify t 6) [ "algo1"; "algo2" ]
+
+(* ------------------------------------------------------------------ *)
+(* Symmetry reduction: the anonymous relay ring *)
+
+let test_relay_symmetry_reduction () =
+  let spec = Spec.anon_relay ~n:5 in
+  let r = Mc.check spec in
+  checkb "exhaustive" false r.Mc.stats.Mc.truncated;
+  checkb "verified" true (r.Mc.counterexample = None);
+  checkb "reached a terminal state" true (r.Mc.stats.Mc.schedules >= 1);
+  (* Dropping the rotation canonicalization must not change the
+     verdict, only enlarge the explored quotient. *)
+  let plain = Mc.check { spec with Mc.symmetry = None } in
+  checkb "plain run exhaustive" false plain.Mc.stats.Mc.truncated;
+  checkb "plain run agrees" true (plain.Mc.counterexample = None);
+  checkb "symmetry shrinks the space" true
+    (r.Mc.stats.Mc.states < plain.Mc.stats.Mc.states)
+
+(* ------------------------------------------------------------------ *)
+(* Properties: undo = replay, and inductive invariants on samples *)
+
+module Undo_prop (N : Engine_intf.NETWORK) = struct
+  (* Drive [plen] random deliveries, then [slen] more through the
+     incremental-undo path, roll them back, and require the state to
+     match both the pre-suffix fingerprint and a fresh replay of the
+     prefix — the exact contract the checker's backtracker leans on. *)
+  let holds ~make (plen, slen, seed) =
+    let rng = Rng.create ~seed in
+    let net = make () in
+    let prefix = ref [] in
+    let pick net =
+      let count = N.enabled_count net in
+      if count = 0 then None
+      else begin
+        let k = Rng.int rng count in
+        let l = ref (N.enabled_link net ~after:(-1)) in
+        for _ = 1 to k do
+          l := N.enabled_link net ~after:!l
+        done;
+        Some !l
+      end
+    in
+    (try
+       for _ = 1 to plen do
+         match pick net with
+         | None -> raise Exit
+         | Some link ->
+             N.force_step net ~link;
+             prefix := link :: !prefix
+       done
+     with Exit -> ());
+    let fp0 = N.fingerprint net in
+    let undos = ref [] in
+    (try
+       for _ = 1 to slen do
+         match pick net with
+         | None -> raise Exit
+         | Some link -> undos := N.force_step_undo net ~link :: !undos
+       done
+     with Exit -> ());
+    List.iter (fun u -> N.undo_step net u) !undos;
+    let replayed = make () in
+    List.iter (fun link -> N.force_step replayed ~link) (List.rev !prefix);
+    String.equal (N.fingerprint net) fp0
+    && String.equal (N.fingerprint replayed) fp0
+end
+
+module Ring_undo = Undo_prop (Unify.Ring_network)
+module Graph_undo = Undo_prop (Colring_graph.Unified.Graph_network)
+
+let arb_undo =
+  QCheck.make
+    ~print:(fun (p, s, seed) -> Printf.sprintf "prefix=%d suffix=%d seed=%d" p s seed)
+    QCheck.Gen.(triple (int_range 0 30) (int_range 0 15) (int_range 0 10_000))
+
+let prop_undo_ring =
+  QCheck.Test.make ~name:"ring undo-after-suffix = replay-from-prefix" ~count:200
+    arb_undo (fun inst ->
+      Ring_undo.holds
+        ~make:(fun () ->
+          Network.create (Topology.oriented 4) (fun v -> Algo2.program ~id:(v + 1)))
+        inst)
+
+let prop_undo_graph =
+  QCheck.Test.make ~name:"graph undo-after-suffix = replay-from-prefix"
+    ~count:100 arb_undo
+    (fun inst ->
+      let spec = Gspec.of_target "walk:theta3" in
+      Graph_undo.holds ~make:spec.Gspec.Gmc.make inst)
+
+let arb_ring_instance =
+  QCheck.make
+    ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d" n seed)
+    QCheck.Gen.(pair (int_range 3 5) (int_range 0 10_000))
+
+let inductive_ids (n, seed) =
+  Ids.distinct (Rng.create ~seed) ~n ~id_max:(n + 5)
+
+let prop_inductive_algo1 =
+  QCheck.Test.make ~name:"algo1 lemmas hold on sampled walks" ~count:15
+    arb_ring_instance (fun ((_, seed) as inst) ->
+      Inductive.ok
+        (Inductive.algo1 ~ids:(inductive_ids inst) ~seed ~walks:4 ~max_steps:40))
+
+let prop_inductive_algo2 =
+  QCheck.Test.make ~name:"algo2 lemmas hold on sampled walks" ~count:15
+    arb_ring_instance (fun ((_, seed) as inst) ->
+      Inductive.ok
+        (Inductive.algo2 ~ids:(inductive_ids inst) ~seed ~walks:4 ~max_steps:40))
+
+let prop_inductive_chang_roberts =
+  QCheck.Test.make ~name:"chang-roberts btw invariant is one-step closed"
+    ~count:15 arb_ring_instance
+    (fun ((_, seed) as inst) ->
+      let v =
+        Inductive.chang_roberts ~ids:(inductive_ids inst) ~seed ~walks:4
+          ~max_steps:40
+      in
+      Inductive.ok v && v.Inductive.transitions > 0)
+
 let test_randomized_targets_rejected () =
   List.iter
     (fun target ->
@@ -303,6 +513,10 @@ let () =
             test_correct_targets_verify_at_n3;
           Alcotest.test_case "algo2 exhaustive at n=4" `Quick
             test_algo2_exhaustive_at_n4;
+          Alcotest.test_case "n=5 and n=6 exhaustive" `Quick
+            test_verification_scale_n5_n6;
+          Alcotest.test_case "anonymous relay under rotation symmetry" `Quick
+            test_relay_symmetry_reduction;
         ] );
       ( "ablations",
         [
@@ -324,6 +538,8 @@ let () =
         [
           Alcotest.test_case "jobs independence" `Quick
             test_results_independent_of_jobs;
+          Alcotest.test_case "undo-depth hybrid equivalence" `Quick
+            test_undo_depth_hybrid_equivalence;
         ] );
       ( "replay",
         [
@@ -338,8 +554,20 @@ let () =
           Alcotest.test_case "initial violation" `Quick
             test_initial_state_violation_is_empty_schedule;
           Alcotest.test_case "max states" `Quick test_max_states_reports_truncation;
+          Alcotest.test_case "max states is global" `Quick
+            test_max_states_budget_is_global;
           Alcotest.test_case "link mask guard" `Quick test_link_mask_guard;
           Alcotest.test_case "randomized rejected" `Quick
             test_randomized_targets_rejected;
         ] );
+      ( "properties",
+        List.map
+          (fun t -> QCheck_alcotest.to_alcotest t)
+          [
+            prop_undo_ring;
+            prop_undo_graph;
+            prop_inductive_algo1;
+            prop_inductive_algo2;
+            prop_inductive_chang_roberts;
+          ] );
     ]

@@ -257,6 +257,7 @@ exception Boom
 
 let raising_program =
   {
+    Network.snap = None;
     Network.start = (fun _ -> raise Boom);
     wake = (fun _ -> ());
     inspect = (fun () -> []);

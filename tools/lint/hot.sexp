@@ -25,7 +25,9 @@
 (hot (file lib/graph/gelection.ml)
      (functions walk_step))
 (hot (file lib/mc/mc.ml)
-     (functions bit subset replay_prefix))
+     (functions bit subset))
+(hot (file lib/engine/output.ml)
+     (functions add_int))
 (hot (file lib/engine/transport.ml)
      (functions mix delay_us fault_scan jit_scan))
 (hot (file lib/transport/domains.ml)

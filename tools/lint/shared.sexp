@@ -37,3 +37,17 @@
         (note "per-job result and latency slots: the wave that owns a job
                is the only writer of its index, and the caller reads them
                after Pool.run joins"))
+
+(shared (file lib/mc/mc.ml)
+        (atomics tickets)
+        (state states schedules replayed undone sleep_pruned dedup_pruned
+               max_depth_seen truncated stopped aborted ce)
+        (note "the checker's parallel phase: [tickets] is the global
+               exploration-budget throttle, a fetch-and-add counter shared
+               by the stealing workers — it only ever aborts a unit early,
+               and aborted units are recomputed sequentially in the
+               canonical repair pass, so verdicts and stats stay
+               jobs-independent; the [acc] fields are per-unit accumulators
+               allocated by the worker that runs the unit (one writer
+               each) and folded by the coordinator only after the
+               Pool.map join establishes happens-before"))
